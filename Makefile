@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples docs clean loc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/dos_battery.exe
+	dune exec examples/roaming_adversary.exe
+	dune exec examples/iot_fleet.exe
+	dune exec examples/secure_update.exe
+	dune exec examples/isa_attest.exe
+	dune exec examples/interpreted_anchor.exe
+
+clean:
+	dune clean
+
+loc:
+	@find lib test bench bin examples -name '*.ml' -o -name '*.mli' | xargs wc -l | tail -1
