@@ -1,0 +1,73 @@
+(* ra_asm: assemble, list and run programs for the interpreted MCU core.
+
+     ra_asm --list prog.s              assemble + print a listing
+     ra_asm --run prog.s               run on a bare machine, print regs
+     ra_asm --origin 0x1000 --list -   read source from stdin
+
+   The bare machine: 64 KB flash at 0x000000 (the program), 64 KB RAM at
+   0x100000, stack at the top of RAM, no protection rules. *)
+
+module Memory = Ra_mcu.Memory
+module Region = Ra_mcu.Region
+module Ea_mpu = Ra_mcu.Ea_mpu
+module Cpu = Ra_mcu.Cpu
+open Ra_isa
+
+let read_source path =
+  if path = "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_text path In_channel.input_all
+
+let run_program program =
+  let memory =
+    Memory.create
+      [
+        Region.make ~name:"flash" ~base:0x000000 ~size:0x10000 ~kind:Region.Flash;
+        Region.make ~name:"ram" ~base:0x100000 ~size:0x10000 ~kind:Region.Ram;
+      ]
+  in
+  let cpu = Cpu.create memory (Ea_mpu.create ~capacity:0) ~clock_hz:24_000_000 in
+  Asm.load memory program;
+  let core = Core.create cpu ~pc:program.Asm.origin ~sp:0x110000 in
+  let state, steps = Core.run core in
+  Format.printf "%a after %d instruction(s), %Ld cycle(s)@." Core.pp_state state steps
+    (Cpu.cycles cpu);
+  for i = 0 to 15 do
+    if Core.reg core i <> 0 then Format.printf "  r%-2d = 0x%x (%d)@." i (Core.reg core i) (Core.reg core i)
+  done;
+  match state with Core.Halted -> 0 | Core.Running | Core.Trapped _ -> 1
+
+let () =
+  let origin = ref 0 in
+  let mode = ref `List in
+  let path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: rest ->
+      mode := `List;
+      parse rest
+    | "--run" :: rest ->
+      mode := `Run;
+      parse rest
+    | "--origin" :: v :: rest ->
+      origin := int_of_string v;
+      parse rest
+    | p :: rest ->
+      path := Some p;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !path with
+  | None ->
+    prerr_endline "usage: ra_asm [--origin N] (--list | --run) <file.s | ->";
+    exit 2
+  | Some p ->
+    (match Asm.assemble ~origin:!origin (read_source p) with
+    | Error e ->
+      Format.eprintf "error: %a@." Asm.pp_error e;
+      exit 1
+    | Ok program ->
+      (match !mode with
+      | `List ->
+        print_string (Asm.listing program);
+        Printf.printf "; %d bytes at 0x%06x\n" (Asm.size_bytes program) program.Asm.origin
+      | `Run -> exit (run_program program)))

@@ -1,0 +1,231 @@
+(* ra_cli: command-line front end for the prover-side attestation
+   library.
+
+     ra_cli attest  --spec trustlite-base --rounds 3 --ram-kb 64
+     ra_cli attack  --scenario roam-clock --defended
+     ra_cli costs
+     ra_cli table2
+
+   The heavy lifting lives in the libraries; this binary is argument
+   parsing and printing. *)
+
+open Cmdliner
+open Ra_core
+module Device = Ra_mcu.Device
+module Timing = Ra_mcu.Timing
+module Energy = Ra_mcu.Energy
+
+let spec_of_name name =
+  List.find_opt (fun s -> s.Architecture.spec_name = name) Architecture.all_specs
+
+let spec_names =
+  String.concat ", " (List.map (fun s -> s.Architecture.spec_name) Architecture.all_specs)
+
+(* ---- attest ---- *)
+
+let run_attest spec_name rounds ram_kb =
+  match spec_of_name spec_name with
+  | None ->
+    Printf.eprintf "unknown spec %s (available: %s)\n" spec_name spec_names;
+    1
+  | Some spec ->
+    let session = Session.create ~spec ~ram_size:(ram_kb * 1024) () in
+    Session.advance_time session ~seconds:1.0;
+    Printf.printf "spec: %s, attested memory: %d KB\n\n" spec_name ram_kb;
+    for i = 1 to rounds do
+      Session.advance_time session ~seconds:1.0;
+      match Session.attest_round session with
+      | Some verdict -> Format.printf "round %d: %a@." i Verifier.pp_verdict verdict
+      | None -> Format.printf "round %d: no response (request rejected)@." i
+    done;
+    let device = Session.device session in
+    Printf.printf "\nprover work: %.3f ms, energy: %.6f J\n"
+      (Timing.ms_of_cycles (Ra_mcu.Cpu.work_cycles (Device.cpu device)))
+      (Energy.consumed_joules (Device.energy device));
+    0
+
+let attest_cmd =
+  let spec =
+    Arg.(value & opt string "trustlite-base" & info [ "spec" ] ~docv:"SPEC"
+           ~doc:(Printf.sprintf "Architecture: %s." spec_names))
+  in
+  let rounds = Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds to run.") in
+  let ram = Arg.(value & opt int 64 & info [ "ram-kb" ] ~docv:"KB" ~doc:"Attested RAM size.") in
+  Cmd.v (Cmd.info "attest" ~doc:"Run benign attestation rounds against a prover")
+    Term.(const run_attest $ spec $ rounds $ ram)
+
+(* ---- attack ---- *)
+
+let scenarios =
+  [
+    ("roam-counter", fun defended -> Experiment.roam_counter_rollback ~defended);
+    ("roam-clock", fun defended -> Experiment.roam_clock_rollback ~defended);
+    ("roam-clock-hw", fun _ -> Experiment.roam_clock_rollback_hw ());
+    ("roam-idt", fun defended -> Experiment.roam_idt_freeze ~defended);
+    ("roam-key", fun defended -> Experiment.roam_key_extraction ~defended);
+    ("roam-lockdown", fun defended -> Experiment.roam_mpu_lockdown ~defended);
+  ]
+
+let run_attack scenario defended =
+  if scenario = "all" then begin
+    List.iter (fun o -> Format.printf "%a@." Experiment.pp_roam_outcome o)
+      (Experiment.roaming_matrix ());
+    0
+  end
+  else
+    match List.assoc_opt scenario scenarios with
+    | Some f ->
+      Format.printf "%a@." Experiment.pp_roam_outcome (f defended);
+      0
+    | None ->
+      Printf.eprintf "unknown scenario %s (available: all, %s)\n" scenario
+        (String.concat ", " (List.map fst scenarios));
+      1
+
+let attack_cmd =
+  let scenario =
+    Arg.(value & opt string "all" & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Attack scenario (or 'all').")
+  in
+  let defended =
+    Arg.(value & flag & info [ "defended" ] ~doc:"Run with the protection in place.")
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"Run a roaming-adversary scenario")
+    Term.(const run_attack $ scenario $ defended)
+
+(* ---- table2 ---- *)
+
+let run_table2 () =
+  let matrix = Experiment.table2 () in
+  Printf.printf "%-10s %-10s %-10s %-12s\n" "attack" "nonces" "counter" "timestamps";
+  List.iter
+    (fun (attack, cells) ->
+      Printf.printf "%-10s" (Experiment.attack_name attack);
+      List.iter
+        (fun (_, ok) -> Printf.printf " %-10s" (if ok then "mitigated" else "-"))
+        cells;
+      Printf.printf "\n")
+    matrix;
+  Printf.printf "matches paper: %b\n" (matrix = Experiment.expected_table2);
+  0
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Regenerate Table 2 by simulation")
+    Term.(const run_table2 $ const ())
+
+(* ---- costs ---- *)
+
+let run_costs () =
+  let open Ra_hwcost in
+  Format.printf "baseline: %a@." Synthesis.pp_totals Synthesis.baseline;
+  List.iter
+    (fun o -> Format.printf "%a@." Synthesis.pp_overhead o)
+    [ Synthesis.upgrade_64bit_clock; Synthesis.upgrade_32bit_clock; Synthesis.upgrade_sw_clock ];
+  0
+
+let costs_cmd =
+  Cmd.v (Cmd.info "costs" ~doc:"Hardware cost of prover protection (Table 3 / §6.3)")
+    Term.(const run_costs $ const ())
+
+(* ---- auth-cost ---- *)
+
+let run_auth_cost () =
+  Printf.printf "%-24s %14s %16s\n" "scheme" "cold (ms)" "precomputed (ms)";
+  List.iter
+    (fun scheme ->
+      Printf.printf "%-24s %14.3f %16.3f\n"
+        (Format.asprintf "%a" Timing.pp_auth_scheme scheme)
+        (Timing.request_auth_ms scheme)
+        (Timing.request_auth_ms ~precomputed_key_schedule:true scheme))
+    [ Timing.Auth_hmac_sha1; Timing.Auth_aes128_cbc_mac; Timing.Auth_speck64_cbc_mac;
+      Timing.Auth_ecdsa_verify ];
+  0
+
+let auth_cost_cmd =
+  Cmd.v (Cmd.info "auth-cost" ~doc:"Request-authentication cost comparison (§4.1)")
+    Term.(const run_auth_cost $ const ())
+
+(* ---- fleet ---- *)
+
+let run_fleet n sweeps =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else begin
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let fleet = Fleet.create ~ram_size:4096 ~names () in
+    for s = 1 to sweeps do
+      Fleet.advance fleet ~seconds:10.0;
+      let _ = Fleet.sweep fleet in
+      Printf.printf "sweep %d done\n" s
+    done;
+    Printf.printf "%-12s %-12s %s\n" "device" "health" "sweeps";
+    List.iter
+      (fun (name, health, sweeps) ->
+        Format.printf "%-12s %-12s %d@." name
+          (Format.asprintf "%a" Fleet.pp_health health)
+          sweeps)
+      (Fleet.summary fleet);
+    0
+  end
+
+let fleet_cmd =
+  let n = Arg.(value & opt int 5 & info [ "size" ] ~docv:"N" ~doc:"Fleet size.") in
+  let sweeps = Arg.(value & opt int 2 & info [ "sweeps" ] ~docv:"S" ~doc:"Sweeps to run.") in
+  Cmd.v (Cmd.info "fleet" ~doc:"Sweep a fleet of provers (future work 1)")
+    Term.(const run_fleet $ n $ sweeps)
+
+(* ---- lattice ---- *)
+
+let run_lattice () =
+  let ok = ref 0 in
+  List.iter
+    (fun (config, _predicted, observed, agree) ->
+      if agree then incr ok;
+      Format.printf "%-36s %-42s %s@."
+        (Format.asprintf "%a" Analysis.pp_config config)
+        (Format.asprintf "%a" Analysis.pp_exposure observed)
+        (if agree then "ok" else "MISMATCH"))
+    (Analysis.exhaustive_check ());
+  Printf.printf "%d/16 lattice points agree with the paper's argument\n" !ok;
+  if !ok = 16 then 0 else 1
+
+let lattice_cmd =
+  Cmd.v (Cmd.info "lattice" ~doc:"Exhaustive protection-lattice check (§5/§6.2)")
+    Term.(const run_lattice $ const ())
+
+(* ---- inspect ---- *)
+
+let run_inspect spec_name =
+  match spec_of_name spec_name with
+  | None ->
+    Printf.eprintf "unknown spec %s (available: %s)\n" spec_name spec_names;
+    1
+  | Some spec ->
+    let session = Session.create ~spec ~ram_size:(16 * 1024) () in
+    Session.advance_time session ~seconds:5.0;
+    let _ = Session.attest_round session in
+    print_string (Ra_mcu.Hexdump.device_report (Session.device session));
+    Printf.printf "\nfirst 64 bytes of attested RAM:\n%s"
+      (Ra_mcu.Hexdump.dump
+         (Device.memory (Session.device session))
+         ~addr:(Device.attested_base (Session.device session))
+         ~len:64);
+    0
+
+let inspect_cmd =
+  let spec =
+    Arg.(value & opt string "trustlite-sw-clock" & info [ "spec" ] ~docv:"SPEC"
+           ~doc:(Printf.sprintf "Architecture: %s." spec_names))
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print a device-state report after one round")
+    Term.(const run_inspect $ spec)
+
+let main =
+  Cmd.group
+    (Cmd.info "ra_cli" ~version:"1.0.0"
+       ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/dos_battery.ml: Adversary Architecture Code_attest Int64 Message Printf Ra_core Ra_mcu Session

@@ -1,0 +1,1 @@
+examples/interpreted_anchor.ml: Auth Code_attest Format Freshness Isa_anchor Printf Ra_core Ra_isa Ra_mcu Ra_net String Verifier

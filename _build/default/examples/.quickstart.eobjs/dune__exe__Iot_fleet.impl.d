@@ -1,0 +1,1 @@
+examples/iot_fleet.ml: Adversary Code_attest Format List Message Printf Ra_core Ra_mcu Session Verifier

@@ -1,0 +1,1 @@
+examples/isa_attest.ml: Asm Char Core Format List Printf Ra_isa Ra_mcu String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Ra_core Ra_mcu Ra_net Session Verifier

@@ -1,0 +1,1 @@
+examples/roaming_adversary.ml: Adversary Architecture Code_attest Format List Printf Ra_core Ra_mcu Ra_net Session Verifier

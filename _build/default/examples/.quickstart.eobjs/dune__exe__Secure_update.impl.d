@@ -1,0 +1,1 @@
+examples/secure_update.ml: Auth Clock_sync Format Freshness Message Printf Ra_core Ra_mcu Ra_net Service Session String

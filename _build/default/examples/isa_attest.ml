@@ -1,0 +1,124 @@
+(* Execution-aware memory access control at true instruction granularity:
+   an interpreted Code_attest routine (assembly, in ROM) sums the key
+   into a keyed checksum over RAM, while interpreted malware (in flash)
+   tries to read the key directly and is trapped by the EA-MPU — with the
+   fault attributed to the *program counter region* that issued the load,
+   exactly the EA-MAC mechanism of §6.1.
+
+   Run with: dune exec examples/isa_attest.exe *)
+
+module Device = Ra_mcu.Device
+module Memory = Ra_mcu.Memory
+module Ea_mpu = Ra_mcu.Ea_mpu
+module Cpu = Ra_mcu.Cpu
+open Ra_isa
+
+let assemble_or_die ~origin src =
+  match Asm.assemble ~origin src with
+  | Ok p -> p
+  | Error e -> Format.kasprintf failwith "assembly failed: %a" Asm.pp_error e
+
+(* Code_attest (interpreted): keyed additive checksum.
+     inputs:  r1 = region base, r2 = region limit
+     output:  r3 = checksum
+   Reads the first 4 key bytes — allowed only because the PC is inside
+   rom_attest when the loads execute. *)
+let code_attest_src key_addr =
+  Printf.sprintf
+    {|
+    entry:
+      mov r3, #0
+      mov r4, #0x%x    ; K_attest location (EA-MPU guarded)
+      loadb r5, [r4]
+      add r3, r5
+      loadb r5, [r4+1]
+      add r3, r5
+    sweep:
+      loadb r5, [r1]
+      add r3, r5
+      add r1, #1
+      cmp r1, r2
+      jnz sweep
+      ret
+    |}
+    key_addr
+
+(* malware (interpreted, in flash): tries to exfiltrate the key *)
+let malware_src key_addr =
+  Printf.sprintf {|
+      mov r1, #0x%x
+      load r2, [r1]    ; direct key read from app code
+      halt
+    |} key_addr
+
+let () =
+  let attest_entry = 0x001000 (* base of rom_attest *) in
+  let key = String.init 20 (fun i -> Char.chr (0x30 + i)) ^ String.make 40 '\x00' in
+  let code_attest =
+    assemble_or_die ~origin:attest_entry (code_attest_src 0x004000)
+  in
+  let device =
+    Device.create ~ram_size:4096
+      ~rom_images:[ (Device.region_attest, Asm.to_bytes code_attest) ]
+      ~key ()
+  in
+  (* install protection and lock, as secure boot would *)
+  Ea_mpu.program (Device.mpu device) (Device.rule_protect_key device);
+  Ea_mpu.lock (Device.mpu device);
+  Memory.write_bytes (Device.memory device) (Device.attested_base device) "hello";
+
+  (* a benign caller in flash invokes the anchor at its entry point *)
+  let caller =
+    assemble_or_die ~origin:0x010000
+      (Printf.sprintf {|
+        mov r1, #0x%x
+        mov r2, #0x%x
+        call 0x%x
+        halt
+      |}
+         (Device.attested_base device)
+         (Device.attested_base device + 5)
+         attest_entry)
+  in
+  Memory.write_bytes (Device.memory device) 0x010000 (Asm.to_bytes caller);
+
+  let core = Core.create (Device.cpu device) ~pc:0x010000 ~sp:(Device.attested_base device + 4096) in
+  Core.allow_entries core ~region:Device.region_attest [ attest_entry ];
+  let state, steps = Core.run core in
+  Format.printf "== trusted sweep ==@.";
+  Format.printf "state: %a after %d instructions@." Core.pp_state state steps;
+  let expected =
+    Char.code key.[0] + Char.code key.[1]
+    + String.fold_left (fun acc c -> acc + Char.code c) 0 "hello"
+  in
+  Format.printf "keyed checksum r3 = %d (expected %d)@." (Core.reg core 3) expected;
+
+  (* malware in flash tries the same key load *)
+  Format.printf "@.== malware attempts a direct key read ==@.";
+  let malware = assemble_or_die ~origin:0x010100 (malware_src 0x004000) in
+  Memory.write_bytes (Device.memory device) 0x010100 (Asm.to_bytes malware);
+  let evil = Core.create (Device.cpu device) ~pc:0x010100 ~sp:(Device.attested_base device + 4096) in
+  let state, _ = Core.run evil in
+  Format.printf "state: %a@." Core.pp_state state;
+
+  (* malware jumps into the middle of Code_attest, past the entry point *)
+  Format.printf "@.== malware jumps past the anchor's entry point ==@.";
+  let hijack =
+    assemble_or_die ~origin:0x010200
+      (Printf.sprintf {|
+        mov r1, #0x%x
+        mov r2, #0x%x
+        call 0x%x      ; NOT the entry point
+        halt
+      |}
+         (Device.attested_base device)
+         (Device.attested_base device + 5)
+         (attest_entry + 10))
+  in
+  Memory.write_bytes (Device.memory device) 0x010200 (Asm.to_bytes hijack);
+  let hijacker = Core.create (Device.cpu device) ~pc:0x010200 ~sp:(Device.attested_base device + 4096) in
+  Core.allow_entries hijacker ~region:Device.region_attest [ attest_entry ];
+  let state, _ = Core.run hijacker in
+  Format.printf "state: %a@." Core.pp_state state;
+  Format.printf "@.EA-MPU fault log: %d software access(es) denied@."
+    (List.length (Cpu.faults (Device.cpu device)))

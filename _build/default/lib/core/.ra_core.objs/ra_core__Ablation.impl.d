@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Float Format Freshness Int64 List Message Ra_crypto Ra_mcu Ra_net String

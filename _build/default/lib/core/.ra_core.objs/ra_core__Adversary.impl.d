@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Auth Float Format Int64 List Message Option Printf Ra_crypto Ra_mcu Ra_net Session String Verifier

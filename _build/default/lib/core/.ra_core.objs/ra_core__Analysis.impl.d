@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Adversary Architecture Format Freshness List Ra_mcu Session

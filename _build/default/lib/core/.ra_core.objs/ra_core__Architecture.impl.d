@@ -1,0 +1,1 @@
+lib/core/architecture.ml: Code_attest Freshness List Printf Ra_mcu String

@@ -1,0 +1,1 @@
+lib/core/architecture.mli: Code_attest Freshness Ra_mcu

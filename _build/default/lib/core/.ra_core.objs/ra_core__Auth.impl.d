@@ -1,0 +1,1 @@
+lib/core/auth.ml: Message Ra_crypto Ra_mcu String

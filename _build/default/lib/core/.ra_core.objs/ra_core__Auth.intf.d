@@ -1,0 +1,1 @@
+lib/core/auth.mli: Message Ra_crypto Ra_mcu

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Adversary Architecture Code_attest Float Format Freshness List Message Ra_crypto Ra_mcu Session String Verifier

@@ -1,0 +1,1 @@
+lib/core/clock_sync.ml: Auth Char Format Int64 Message Ra_crypto Ra_mcu Ra_net String

@@ -1,0 +1,1 @@
+lib/core/clock_sync.mli: Format Message Ra_mcu Ra_net

@@ -1,0 +1,1 @@
+lib/core/code_attest.ml: Auth Format Freshness List Message Ra_mcu String

@@ -1,0 +1,1 @@
+lib/core/code_attest.mli: Format Freshness Message Ra_mcu

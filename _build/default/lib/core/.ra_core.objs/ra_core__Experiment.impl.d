@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Adversary Architecture Code_attest Format Freshness Int64 List Message Option Printf Ra_mcu Ra_net Session Verifier

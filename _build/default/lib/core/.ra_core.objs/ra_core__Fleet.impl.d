@@ -1,0 +1,1 @@
+lib/core/fleet.ml: Architecture Format Hashtbl List Session Verifier

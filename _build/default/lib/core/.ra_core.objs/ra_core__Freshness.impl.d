@@ -1,0 +1,1 @@
+lib/core/freshness.ml: Format Int64 List Message Ra_mcu String

@@ -1,0 +1,1 @@
+lib/core/freshness.mli: Format Message Ra_mcu

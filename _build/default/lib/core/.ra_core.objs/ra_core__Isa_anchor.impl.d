@@ -1,0 +1,1 @@
+lib/core/isa_anchor.ml: Auth Code_attest Freshness Int64 List Message Ra_isa Ra_mcu String

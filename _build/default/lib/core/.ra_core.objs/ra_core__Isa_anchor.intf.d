@@ -1,0 +1,1 @@
+lib/core/isa_anchor.mli: Code_attest Freshness Message Ra_mcu

@@ -1,0 +1,1 @@
+lib/core/message.ml: Char Format Int64 Ra_crypto String

@@ -1,0 +1,1 @@
+lib/core/service.ml: Auth Format Freshness Int64 Message Option Ra_crypto Ra_mcu String

@@ -1,0 +1,1 @@
+lib/core/session.ml: Architecture Clock_sync Code_attest Freshness Hashtbl Int64 List Message Ra_mcu Ra_net Service String Verifier

@@ -1,0 +1,1 @@
+lib/core/session.mli: Architecture Code_attest Message Ra_mcu Ra_net Service Verifier

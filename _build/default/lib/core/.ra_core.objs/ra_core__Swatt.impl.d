@@ -1,0 +1,1 @@
+lib/core/swatt.ml: Bytes Char Int64 Ra_crypto Ra_mcu String

@@ -1,0 +1,1 @@
+lib/core/swatt.mli: Ra_mcu

@@ -1,0 +1,1 @@
+lib/core/trustlet.ml: Hashtbl List Option Ra_isa Ra_mcu

@@ -1,0 +1,1 @@
+lib/core/trustlet.mli: Ra_isa Ra_mcu

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Auth Format Int64 Message Option Ra_crypto Ra_mcu Ra_net String

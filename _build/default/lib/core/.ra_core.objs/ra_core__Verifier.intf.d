@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Format Message Ra_mcu Ra_net

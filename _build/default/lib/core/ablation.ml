@@ -1,0 +1,54 @@
+module Device = Ra_mcu.Device
+module Path = Ra_net.Path
+module Prng = Ra_crypto.Prng
+
+type point = {
+  window_ms : int64;
+  trials : int;
+  false_rejects : int;
+  exposure_ms : int64;
+}
+
+let false_reject_rate p =
+  if p.trials = 0 then 0.0 else float_of_int p.false_rejects /. float_of_int p.trials
+
+let key = String.make 60 'k'
+
+let run_window ~trials ~path ~window_ms ~prng =
+  let device = Device.create ~ram_size:1024 ~key () in
+  (* prover time is supplied directly: the sweep isolates the window
+     decision from clock drift (clock-sync handles drift separately) *)
+  let now = ref 0L in
+  let state =
+    Freshness.init ~now_ms_fn:(fun () -> !now) device
+      (Freshness.Timestamp { window_ms })
+  in
+  let false_rejects = ref 0 in
+  let send_time = ref 0L in
+  for _ = 1 to trials do
+    (* genuine requests spaced 10 s apart; one-way delay = rtt/2 *)
+    send_time := Int64.add !send_time 10_000L;
+    let delay_ms = Path.sample_rtt_ms path prng /. 2.0 in
+    now := Int64.add !send_time (Int64.of_float delay_ms);
+    (match
+       Ra_mcu.Cpu.with_context (Device.cpu device) Device.region_attest (fun () ->
+           Freshness.check_and_update state (Message.F_timestamp !send_time))
+     with
+    | Ok () -> ()
+    | Error (Freshness.Delayed_timestamp _) -> incr false_rejects
+    | Error e ->
+      invalid_arg
+        (Format.asprintf "Ablation: unexpected reject %a" Freshness.pp_reject e))
+  done;
+  { window_ms; trials; false_rejects = !false_rejects; exposure_ms = window_ms }
+
+let timestamp_window_sweep ?(trials = 500) ~path ~windows ~seed () =
+  List.map
+    (fun window_ms ->
+      (* a fresh stream per window keeps points independent *)
+      let prng = Prng.create (Int64.add seed window_ms) in
+      run_window ~trials ~path ~window_ms ~prng)
+    windows
+
+let recommended_window_ms ~path =
+  Int64.of_float (Float.ceil (Path.max_rtt_ms path /. 2.0))

@@ -1,0 +1,41 @@
+(** Design-choice ablation for the timestamp freshness policy: the
+    acceptance window.
+
+    §4.2 requires "sufficiently inter-spaced genuine attestation
+    requests" and synchronized clocks; in practice the prover must also
+    tolerate network delivery delay, so it accepts timestamps up to
+    [window] old — and every millisecond of window is a millisecond an
+    intercepted request stays replayable (the delay attack the window is
+    supposed to stop). This module quantifies both sides:
+
+    - {e false rejects}: genuine requests whose one-way network delay
+      exceeded the window;
+    - {e exposure}: the window itself — how stale a withheld genuine
+      request can be and still be accepted.
+
+    The sweep runs real {!Freshness} checks against delays sampled from a
+    {!Ra_net.Path} model, deterministically from the seed. *)
+
+type point = {
+  window_ms : int64;
+  trials : int;
+  false_rejects : int; (* genuine but late -> rejected *)
+  exposure_ms : int64; (* replayable staleness = the window *)
+}
+
+val false_reject_rate : point -> float
+
+val timestamp_window_sweep :
+  ?trials:int ->
+  path:Ra_net.Path.t ->
+  windows:int64 list ->
+  seed:int64 ->
+  unit ->
+  point list
+(** For each window: [trials] genuine requests (default 500), each
+    stamped by the verifier, delayed by half a sampled round-trip, and
+    evaluated by a prover-side timestamp policy with that window. *)
+
+val recommended_window_ms : path:Ra_net.Path.t -> int64
+(** The smallest window that never false-rejects on this path: the
+    path's maximum one-way delay, rounded up. *)

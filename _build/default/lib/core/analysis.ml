@@ -1,0 +1,91 @@
+module Device = Ra_mcu.Device
+
+type config = { p_key : bool; p_counter : bool; p_clock : bool; p_lock : bool }
+
+type exposure = {
+  key_extractable : bool;
+  counter_rollbackable : bool;
+  clock_rollbackable : bool;
+}
+
+let all_configs =
+  let bools = [ false; true ] in
+  List.concat_map
+    (fun p_key ->
+      List.concat_map
+        (fun p_counter ->
+          List.concat_map
+            (fun p_clock ->
+              List.map (fun p_lock -> { p_key; p_counter; p_clock; p_lock }) bools)
+            bools)
+        bools)
+    bools
+
+let predict config =
+  if not config.p_lock then
+    (* malware clears the rule table before tampering *)
+    { key_extractable = true; counter_rollbackable = true; clock_rollbackable = true }
+  else
+    {
+      key_extractable = not config.p_key;
+      counter_rollbackable = not config.p_counter;
+      clock_rollbackable = not config.p_clock;
+    }
+
+let spec_of config =
+  {
+    Architecture.trustlite_sw_clock with
+    Architecture.spec_name = "lattice";
+    policy = Freshness.Counter;
+    protect_key = config.p_key;
+    protect_counter = config.p_counter;
+    protect_clock_msb = config.p_clock;
+    protect_idt = config.p_clock;
+    protect_irq_ctrl = config.p_clock;
+    lock_mpu = config.p_lock;
+  }
+
+let observe config =
+  let session = Session.create ~spec:(spec_of config) ~ram_size:2048 () in
+  Session.advance_time session ~seconds:60.0;
+  let report =
+    Adversary.compromise session
+      ~tampers:
+        [
+          Adversary.Try_mpu_reconfig (* the unlocked-table gambit, first *);
+          Adversary.Try_key_read;
+          Adversary.Try_counter_write 0L;
+          Adversary.Try_clock_set_back_ms 30_000L;
+        ]
+  in
+  let ok tamper =
+    List.exists
+      (fun (t, result) -> t = tamper && Adversary.tamper_result_ok result)
+      report.Adversary.attempts
+  in
+  {
+    key_extractable = ok Adversary.Try_key_read;
+    counter_rollbackable = ok (Adversary.Try_counter_write 0L);
+    clock_rollbackable = ok (Adversary.Try_clock_set_back_ms 30_000L);
+  }
+
+let exhaustive_check () =
+  List.map
+    (fun config ->
+      let predicted = predict config in
+      let observed = observe config in
+      (config, predicted, observed, predicted = observed))
+    all_configs
+
+let pp_config fmt c =
+  Format.fprintf fmt "key:%c counter:%c clock:%c lock:%c"
+    (if c.p_key then 'Y' else '-')
+    (if c.p_counter then 'Y' else '-')
+    (if c.p_clock then 'Y' else '-')
+    (if c.p_lock then 'Y' else '-')
+
+let pp_exposure fmt e =
+  Format.fprintf fmt "key:%s counter:%s clock:%s"
+    (if e.key_extractable then "EXPOSED" else "safe")
+    (if e.counter_rollbackable then "EXPOSED" else "safe")
+    (if e.clock_rollbackable then "EXPOSED" else "safe")

@@ -1,0 +1,42 @@
+(** Request-authentication schemes (§4.1): the verifier proves to the
+    prover that an attestation request is genuine, with symmetric MACs
+    (HMAC-SHA1, AES-128 CBC-MAC, Speck 64/128 CBC-MAC) or a public-key
+    signature (ECDSA over secp160r1 — the option §4.1 rules out as itself
+    DoS-grade expensive, included for the cost comparison).
+
+    Key blob layout on the prover ({!prover_key_blob}): 20 bytes of
+    symmetric K_attest followed by the verifier's 40-byte public key
+    (x||y, zero when unused); K_attest always exists because the
+    attestation *response* is authenticated symmetrically. *)
+
+type scheme = Ra_mcu.Timing.auth_scheme
+
+type verifier_secret =
+  | Vs_symmetric of string (* shared K_attest *)
+  | Vs_ecdsa of Ra_crypto.Ecdsa.keypair
+
+val k_attest_len : int (* 20 *)
+val public_len : int (* 40 *)
+val blob_len : int (* 60 *)
+
+val prover_key_blob : sym_key:string -> public:Ra_crypto.Ec.point option -> string
+(** @raise Invalid_argument if [sym_key] is not 20 bytes. *)
+
+val blob_sym_key : string -> string
+val blob_public : string -> Ra_crypto.Ec.point option
+(** [None] if the public-key slot is all zeros or not a curve point. *)
+
+val point_to_bytes : Ra_crypto.Ec.point -> string
+val point_of_bytes : string -> Ra_crypto.Ec.point option
+
+val tag_request : scheme -> verifier_secret -> body:string -> Message.auth_tag
+(** Compute the tag the verifier attaches.
+    @raise Invalid_argument on a scheme/secret mismatch. *)
+
+val verify_request : scheme -> key_blob:string -> body:string -> Message.auth_tag -> bool
+(** The prover-side check, given the raw key blob read from protected
+    storage. Wrong-scheme tags verify as [false]. *)
+
+val response_report : sym_key:string -> body:string -> memory_image:string -> string
+(** The attestation report: HMAC-SHA1 under K_attest over the response
+    body and the measured memory. *)

@@ -1,0 +1,194 @@
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+module Energy = Ra_mcu.Energy
+module Prng = Ra_crypto.Prng
+
+type attack_mix = { p_flood : float; p_replay : float; p_infect : float }
+
+let quiet = { p_flood = 0.0; p_replay = 0.0; p_infect = 0.0 }
+let hostile = { p_flood = 0.2; p_replay = 0.3; p_infect = 0.05 }
+
+type config = {
+  devices : int;
+  days : int;
+  sweeps_per_day : int;
+  mix : attack_mix;
+  seed : int64;
+  ram_size : int;
+  spec : Architecture.spec;
+}
+
+let default_config =
+  {
+    devices = 8;
+    days = 7;
+    sweeps_per_day = 4;
+    mix = hostile;
+    seed = 2016L;
+    ram_size = 2048;
+    spec =
+      {
+        (Architecture.with_policy Architecture.trustlite_base Freshness.Counter) with
+        Architecture.spec_name = "campaign";
+        clock_impl = Device.Clock_none;
+      };
+  }
+
+type report = {
+  device_days : int;
+  sweeps : int;
+  trusted_verdicts : int;
+  compromised_verdicts : int;
+  infections : int;
+  missed_infections : int;
+  floods : int;
+  flood_requests_rejected : int;
+  flood_requests_attested : int;
+  replays : int;
+  replays_rejected : int;
+  total_energy_joules : float;
+  max_device_energy_joules : float;
+}
+
+type device_state = {
+  session : Session.t;
+  mutable infected : bool;
+  mutable clean_prefix : string; (* bytes to restore on remediation *)
+}
+
+let marker = "CAMPAIGN-IMPLANT"
+
+let validate cfg =
+  if cfg.devices <= 0 || cfg.days <= 0 || cfg.sweeps_per_day <= 0 then
+    invalid_arg "Campaign.run: dimensions must be positive";
+  let ok p = p >= 0.0 && p <= 1.0 in
+  if not (ok cfg.mix.p_flood && ok cfg.mix.p_replay && ok cfg.mix.p_infect) then
+    invalid_arg "Campaign.run: probabilities must be in [0,1]"
+
+let attestations session =
+  (Code_attest.stats (Session.anchor session)).Code_attest.attestations_performed
+
+let rejected session =
+  (Code_attest.stats (Session.anchor session)).Code_attest.requests_rejected
+
+let run cfg =
+  validate cfg;
+  let prng = Prng.create cfg.seed in
+  let fleet =
+    List.init cfg.devices (fun _ ->
+        let session = Session.create ~spec:cfg.spec ~ram_size:cfg.ram_size () in
+        { session; infected = false; clean_prefix = "" })
+  in
+  let totals =
+    ref
+      {
+        device_days = cfg.devices * cfg.days;
+        sweeps = 0;
+        trusted_verdicts = 0;
+        compromised_verdicts = 0;
+        infections = 0;
+        missed_infections = 0;
+        floods = 0;
+        flood_requests_rejected = 0;
+        flood_requests_attested = 0;
+        replays = 0;
+        replays_rejected = 0;
+        total_energy_joules = 0.0;
+        max_device_energy_joules = 0.0;
+      }
+  in
+  let sweep_gap = 86_400.0 /. float_of_int cfg.sweeps_per_day in
+  let event_probability p = Prng.float prng 1.0 < p in
+  let infect d =
+    if not d.infected then begin
+      let device = Session.device d.session in
+      let base = Device.attested_base device in
+      d.clean_prefix <-
+        Ra_mcu.Memory.read_bytes (Device.memory device) base (String.length marker);
+      Cpu.store_bytes (Device.cpu device) base marker;
+      d.infected <- true;
+      totals := { !totals with infections = !totals.infections + 1 }
+    end
+  in
+  let remediate d =
+    if d.infected then begin
+      let device = Session.device d.session in
+      Cpu.store_bytes (Device.cpu device) (Device.attested_base device) d.clean_prefix;
+      d.infected <- false
+    end
+  in
+  let flood d =
+    let before_rej = rejected d.session and before_att = attestations d.session in
+    let bogus = Adversary.forge_request d.session ~freshness:Message.F_none () in
+    Adversary.flood d.session ~count:100 bogus;
+    totals :=
+      {
+        !totals with
+        floods = !totals.floods + 1;
+        flood_requests_rejected =
+          !totals.flood_requests_rejected + (rejected d.session - before_rej);
+        flood_requests_attested =
+          !totals.flood_requests_attested + (attestations d.session - before_att);
+      }
+  in
+  let replay d =
+    match Adversary.recorded_requests d.session with
+    | [] -> ()
+    | recorded ->
+      let req = List.nth recorded (Prng.int prng (List.length recorded)) in
+      let before = attestations d.session in
+      Adversary.replay d.session req;
+      totals :=
+        {
+          !totals with
+          replays = !totals.replays + 1;
+          replays_rejected =
+            (!totals.replays_rejected + if attestations d.session = before then 1 else 0);
+        }
+  in
+  let sweep d =
+    let verdict = Session.attest_round d.session in
+    totals := { !totals with sweeps = !totals.sweeps + 1 };
+    (match verdict with
+    | Some Verifier.Trusted ->
+      totals := { !totals with trusted_verdicts = !totals.trusted_verdicts + 1 };
+      if d.infected then
+        totals := { !totals with missed_infections = !totals.missed_infections + 1 }
+    | Some Verifier.Untrusted_state | Some Verifier.Invalid_response ->
+      totals := { !totals with compromised_verdicts = !totals.compromised_verdicts + 1 };
+      remediate d (* the operator reflashes flagged devices *)
+    | None -> ())
+  in
+  for _day = 1 to cfg.days do
+    List.iter
+      (fun d ->
+        for _slot = 1 to cfg.sweeps_per_day do
+          Session.advance_time d.session ~seconds:sweep_gap;
+          if event_probability cfg.mix.p_infect then infect d;
+          if event_probability cfg.mix.p_flood then flood d;
+          if event_probability cfg.mix.p_replay then replay d;
+          sweep d
+        done)
+      fleet
+  done;
+  let energies =
+    List.map
+      (fun d -> Energy.consumed_joules (Device.energy (Session.device d.session)))
+      fleet
+  in
+  {
+    !totals with
+    total_energy_joules = List.fold_left ( +. ) 0.0 energies;
+    max_device_energy_joules = List.fold_left Float.max 0.0 energies;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>%d device-days, %d sweeps: %d trusted, %d flagged (%d infections planted, %d \
+     missed)@,\
+     %d floods: %d requests rejected, %d attested@,\
+     %d replays: %d rejected@,\
+     energy: %.4f J total, %.4f J worst device@]"
+    r.device_days r.sweeps r.trusted_verdicts r.compromised_verdicts r.infections
+    r.missed_infections r.floods r.flood_requests_rejected r.flood_requests_attested
+    r.replays r.replays_rejected r.total_energy_joules r.max_device_energy_joules

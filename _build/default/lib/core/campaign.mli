@@ -1,0 +1,58 @@
+(** Long-horizon deployment campaigns: a fleet of provers swept
+    periodically while a configurable adversarial load plays out —
+    the paper's future-work "trial deployment" as a Monte-Carlo
+    simulation. Deterministic from the seed.
+
+    Each campaign day, every device is swept; between sweeps the
+    adversary (per the mix probabilities) floods devices with bogus
+    requests, replays recorded ones, or infects a device with resident
+    malware (which the next sweep should flag). The report aggregates
+    protocol and resource outcomes across the whole deployment. *)
+
+type attack_mix = {
+  p_flood : float; (* per device-day probability of a 100-request flood *)
+  p_replay : float; (* per device-day probability of a replay attempt *)
+  p_infect : float; (* per device-day probability of resident infection *)
+}
+
+val quiet : attack_mix
+(** No adversary. *)
+
+val hostile : attack_mix
+(** 20 % flood, 30 % replay, 5 % infection per device-day. *)
+
+type config = {
+  devices : int;
+  days : int;
+  sweeps_per_day : int;
+  mix : attack_mix;
+  seed : int64;
+  ram_size : int;
+  spec : Architecture.spec;
+}
+
+val default_config : config
+(** 8 trustlite-base devices (counter policy), 7 days, 4 sweeps/day,
+    {!hostile} mix, 2 KB attested RAM. *)
+
+type report = {
+  device_days : int;
+  sweeps : int;
+  trusted_verdicts : int;
+  compromised_verdicts : int; (* sweeps that flagged an infected device *)
+  infections : int; (* infections the adversary planted *)
+  missed_infections : int; (* infections present at sweep but not flagged *)
+  floods : int;
+  flood_requests_rejected : int;
+  flood_requests_attested : int; (* DoS amplification; 0 when protected *)
+  replays : int;
+  replays_rejected : int;
+  total_energy_joules : float;
+  max_device_energy_joules : float;
+}
+
+val run : config -> report
+(** @raise Invalid_argument on non-positive dimensions or probabilities
+    outside [0,1]. *)
+
+val pp_report : Format.formatter -> report -> unit

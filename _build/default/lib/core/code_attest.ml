@@ -1,0 +1,117 @@
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+module Timing = Ra_mcu.Timing
+
+type reject =
+  | Bad_auth
+  | Not_fresh of Freshness.reject
+  | Anchor_fault of Cpu.fault
+
+type stats = {
+  requests_seen : int;
+  requests_rejected : int;
+  attestations_performed : int;
+}
+
+type t = {
+  device : Device.t;
+  scheme : Timing.auth_scheme option;
+  freshness : Freshness.state;
+  precomputed_key_schedule : bool;
+  mutable stats : stats;
+}
+
+(* Modeled instruction cost of the bookkeeping around the crypto
+   (parsing, comparisons, the freshness branch). Negligible next to the
+   Table 1 costs, but not zero. *)
+let bookkeeping_cycles = 200L
+
+let install device ~scheme ~policy ?(precomputed_key_schedule = false) () =
+  {
+    device;
+    scheme;
+    freshness = Freshness.init device policy;
+    precomputed_key_schedule;
+    stats = { requests_seen = 0; requests_rejected = 0; attestations_performed = 0 };
+  }
+
+let device t = t.device
+let freshness t = t.freshness
+let scheme t = t.scheme
+let stats t = t.stats
+
+let cpu t = Device.cpu t.device
+
+let read_key_blob t =
+  Cpu.load_bytes (cpu t) (Device.key_addr t.device) (Device.key_len t.device)
+
+let read_attested_memory t =
+  String.concat ""
+    (List.map
+       (fun (base, len) -> Cpu.load_bytes (cpu t) base len)
+       (Device.attested_ranges t.device))
+
+let measure_memory t =
+  Cpu.with_context (cpu t) Device.region_attest (fun () -> read_attested_memory t)
+
+let authenticate t (req : Message.attreq) =
+  match t.scheme with
+  | None -> Ok () (* unauthenticated baseline: trust anything *)
+  | Some scheme ->
+    Cpu.consume_cycles (cpu t)
+      (Timing.request_auth_cycles ~precomputed_key_schedule:t.precomputed_key_schedule
+         scheme);
+    let key_blob = read_key_blob t in
+    let body = Message.request_body ~challenge:req.challenge ~freshness:req.freshness in
+    if Auth.verify_request scheme ~key_blob ~body req.tag then Ok () else Error Bad_auth
+
+let attest t (req : Message.attreq) =
+  let len = Device.attested_total_len t.device in
+  Cpu.consume_cycles (cpu t) (Timing.memory_mac_cycles ~bytes_len:len);
+  let image = read_attested_memory t in
+  let resp =
+    {
+      Message.echo_challenge = req.challenge;
+      echo_freshness = req.freshness;
+      report = "";
+    }
+  in
+  let body = Message.response_body resp in
+  let key = Auth.blob_sym_key (read_key_blob t) in
+  { resp with Message.report = Auth.response_report ~sym_key:key ~body ~memory_image:image }
+
+let bump_seen t = t.stats <- { t.stats with requests_seen = t.stats.requests_seen + 1 }
+
+let bump_rejected t =
+  t.stats <- { t.stats with requests_rejected = t.stats.requests_rejected + 1 }
+
+let bump_attested t =
+  t.stats <-
+    { t.stats with attestations_performed = t.stats.attestations_performed + 1 }
+
+let handle_request t req =
+  bump_seen t;
+  let run () =
+    Cpu.consume_cycles (cpu t) bookkeeping_cycles;
+    match authenticate t req with
+    | Error e -> Error e
+    | Ok () ->
+      (match Freshness.check_and_update t.freshness req.Message.freshness with
+      | Error e -> Error (Not_fresh e)
+      | Ok () -> Ok (attest t req))
+  in
+  let result =
+    try Cpu.with_context (cpu t) Device.region_attest run
+    with Cpu.Protection_fault fault -> Error (Anchor_fault fault)
+  in
+  (match result with
+  | Ok _ -> bump_attested t
+  | Error _ -> bump_rejected t);
+  result
+
+let pp_reject fmt = function
+  | Bad_auth -> Format.pp_print_string fmt "authentication failed"
+  | Not_fresh r -> Format.fprintf fmt "not fresh: %a" Freshness.pp_reject r
+  | Anchor_fault f ->
+    Format.fprintf fmt "trust anchor denied access at 0x%06x (context %s)"
+      f.Cpu.fault_addr f.Cpu.fault_code

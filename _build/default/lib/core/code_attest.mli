@@ -1,0 +1,51 @@
+(** The trust anchor on the prover: the paper's [Code_attest].
+
+    It is the only code allowed to read K_attest and the only code
+    allowed to write counter_R — when the EA-MPU rules of §6.2 are in
+    place. All its memory accesses run in the ["rom_attest"] execution
+    context through {!Ra_mcu.Cpu}, so if an architecture forgets a rule
+    (or malware disabled the MPU before lockdown), the consequences are
+    real in the simulation too.
+
+    Cycle/energy cost: handling a request charges the Table-1-calibrated
+    cycle cost of the authentication check; an accepted request
+    additionally charges the full memory-MAC sweep (§3.1, ≈754 ms for
+    512 KB). Both are visible on the device's battery. *)
+
+type reject =
+  | Bad_auth
+  | Not_fresh of Freshness.reject
+  | Anchor_fault of Ra_mcu.Cpu.fault
+      (* the anchor itself was denied access — broken configuration *)
+
+type stats = {
+  requests_seen : int;
+  requests_rejected : int;
+  attestations_performed : int;
+}
+
+type t
+
+val install :
+  Ra_mcu.Device.t ->
+  scheme:Ra_mcu.Timing.auth_scheme option ->
+  policy:Freshness.policy ->
+  ?precomputed_key_schedule:bool ->
+  unit ->
+  t
+(** [scheme = None] models the unauthenticated baseline: every request —
+    genuine or bogus — triggers a full attestation. *)
+
+val device : t -> Ra_mcu.Device.t
+val freshness : t -> Freshness.state
+val scheme : t -> Ra_mcu.Timing.auth_scheme option
+val stats : t -> stats
+
+val handle_request : t -> Message.attreq -> (Message.attresp, reject) result
+(** Process one attestation request end to end. *)
+
+val measure_memory : t -> string
+(** The raw attested-memory image as [Code_attest] reads it (for tests
+    and for provisioning the verifier's reference image). *)
+
+val pp_reject : Format.formatter -> reject -> unit

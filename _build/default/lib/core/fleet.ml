@@ -1,0 +1,78 @@
+type health = Healthy | Compromised | Unresponsive | Unknown
+
+type member = {
+  name : string;
+  session : Session.t;
+  mutable health : health;
+  mutable sweeps : int;
+}
+
+type t = { members : member list }
+
+let member_name m = m.name
+let member_session m = m.session
+let member_health m = m.health
+let sweeps_of m = m.sweeps
+
+let stagger_seconds = 1.0
+
+let create ?(spec = Architecture.trustlite_base) ?ram_size ~names () =
+  if names = [] then invalid_arg "Fleet.create: no members";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then invalid_arg "Fleet.create: duplicate member name";
+      Hashtbl.replace seen n ())
+    names;
+  {
+    members =
+      List.map
+        (fun name ->
+          { name; session = Session.create ~spec ?ram_size (); health = Unknown; sweeps = 0 })
+        names;
+  }
+
+let members t = t.members
+
+let find t name =
+  match List.find_opt (fun m -> m.name = name) t.members with
+  | Some m -> m
+  | None -> raise Not_found
+
+let advance t ~seconds =
+  List.iter (fun m -> Session.advance_time m.session ~seconds) t.members
+
+let classify = function
+  | Some Verifier.Trusted -> Healthy
+  | Some Verifier.Untrusted_state | Some Verifier.Invalid_response -> Compromised
+  | None -> Unresponsive
+
+let sweep_member m =
+  let verdict = Session.attest_round m.session in
+  m.health <- classify verdict;
+  m.sweeps <- m.sweeps + 1;
+  verdict
+
+let sweep_one t name = sweep_member (find t name)
+
+let sweep t =
+  List.map
+    (fun m ->
+      advance t ~seconds:stagger_seconds;
+      (m.name, sweep_member m))
+    t.members
+
+let summary t = List.map (fun m -> (m.name, m.health, m.sweeps)) t.members
+
+let compromised t =
+  List.filter_map
+    (fun m -> match m.health with
+      | Compromised -> Some m.name
+      | Healthy | Unresponsive | Unknown -> None)
+    t.members
+
+let pp_health fmt = function
+  | Healthy -> Format.pp_print_string fmt "healthy"
+  | Compromised -> Format.pp_print_string fmt "COMPROMISED"
+  | Unresponsive -> Format.pp_print_string fmt "unresponsive"
+  | Unknown -> Format.pp_print_string fmt "unknown"

@@ -1,0 +1,55 @@
+(** Fleet management — the paper's future-work item 1 ("trial-deploy
+    proposed methods in the context of connected devices, such as
+    Internet of Things").
+
+    One verifier operates many provers: periodic sweeps, a per-device
+    health ledger derived from attestation verdicts, and staggered sweep
+    scheduling so a large fleet does not synchronize its 754 ms
+    attestation bursts (which would turn the *verifier's own schedule*
+    into the §3.1 availability problem). *)
+
+type health =
+  | Healthy (* latest sweep: trusted *)
+  | Compromised (* latest sweep: untrusted state / invalid response *)
+  | Unresponsive (* latest sweep produced no response *)
+  | Unknown (* never swept *)
+
+type member
+
+val member_name : member -> string
+val member_session : member -> Session.t
+val member_health : member -> health
+val sweeps_of : member -> int
+
+type t
+
+val create : ?spec:Architecture.spec -> ?ram_size:int -> names:string list -> unit -> t
+(** One independent prover world per name (default spec:
+    {!Architecture.trustlite_base}).
+    @raise Invalid_argument on duplicate or empty names. *)
+
+val members : t -> member list
+
+val find : t -> string -> member
+(** @raise Not_found *)
+
+val advance : t -> seconds:float -> unit
+(** Let time pass everywhere. *)
+
+val sweep_one : t -> string -> Verifier.verdict option
+(** Attest one device now and update its ledger. *)
+
+val sweep : t -> (string * Verifier.verdict option) list
+(** Attest every device, staggered by {!stagger_seconds} of simulated
+    time between consecutive devices. *)
+
+val stagger_seconds : float
+(** 1 s between consecutive devices in a sweep. *)
+
+val summary : t -> (string * health * int) list
+(** (name, current health, sweeps performed) for every member. *)
+
+val compromised : t -> string list
+(** Names currently flagged. *)
+
+val pp_health : Format.formatter -> health -> unit

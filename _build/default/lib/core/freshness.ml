@@ -1,0 +1,119 @@
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+module Clock = Ra_mcu.Clock
+
+type policy =
+  | No_freshness
+  | Nonce_history of { max_entries : int option }
+  | Counter
+  | Timestamp of { window_ms : int64 }
+
+type reject =
+  | Missing_field
+  | Wrong_field
+  | Replayed_nonce
+  | Stale_counter of { got : int64; stored : int64 }
+  | Stale_or_reordered_timestamp of { got : int64; last : int64 }
+  | Delayed_timestamp of { got : int64; now : int64; window : int64 }
+  | Future_timestamp of { got : int64; now : int64; window : int64 }
+
+type state = {
+  device : Device.t;
+  policy : policy;
+  cell_addr : int;
+  now_ms_fn : (unit -> int64) option;
+  mutable nonces : string list; (* newest first *)
+  mutable nonce_count : int;
+}
+
+let init ?cell_addr ?now_ms_fn device policy =
+  (match policy with
+  | Timestamp _ when Device.clock device = None && now_ms_fn = None ->
+    invalid_arg "Freshness.init: timestamp policy requires a clock"
+  | Timestamp _ | No_freshness | Nonce_history _ | Counter -> ());
+  let cell_addr =
+    match cell_addr with Some a -> a | None -> Device.counter_addr device
+  in
+  { device; policy; cell_addr; now_ms_fn; nonces = []; nonce_count = 0 }
+
+let policy t = t.policy
+
+let prover_now_ms t =
+  match t.now_ms_fn with
+  | Some f -> f ()
+  | None ->
+    (match Device.clock t.device with
+    | None -> 0L
+    | Some clock -> Int64.of_float (Clock.seconds clock *. 1000.0))
+
+let cell_addr t = t.cell_addr
+let load_cell t = Cpu.load_u64 (Device.cpu t.device) (cell_addr t)
+let store_cell t v = Cpu.store_u64 (Device.cpu t.device) (cell_addr t) v
+
+let check_nonce t max_entries nonce =
+  if List.mem nonce t.nonces then Error Replayed_nonce
+  else begin
+    t.nonces <- nonce :: t.nonces;
+    t.nonce_count <- t.nonce_count + 1;
+    (match max_entries with
+    | Some cap when t.nonce_count > cap ->
+      (* bounded non-volatile memory: evict the oldest entry *)
+      (match List.rev t.nonces with
+      | [] -> ()
+      | _oldest :: rest_oldest_first ->
+        t.nonces <- List.rev rest_oldest_first;
+        t.nonce_count <- t.nonce_count - 1)
+    | Some _ | None -> ());
+    Ok ()
+  end
+
+let check_counter t c =
+  let stored = load_cell t in
+  if Int64.unsigned_compare c stored > 0 then begin
+    store_cell t c;
+    Ok ()
+  end
+  else Error (Stale_counter { got = c; stored })
+
+let check_timestamp t window ts =
+  let now = prover_now_ms t in
+  let last = load_cell t in
+  if Int64.compare ts last <= 0 then
+    Error (Stale_or_reordered_timestamp { got = ts; last })
+  else if Int64.compare (Int64.sub now ts) window > 0 then
+    Error (Delayed_timestamp { got = ts; now; window })
+  else if Int64.compare (Int64.sub ts now) window > 0 then
+    Error (Future_timestamp { got = ts; now; window })
+  else begin
+    store_cell t ts;
+    Ok ()
+  end
+
+let check_and_update t field =
+  match (t.policy, field) with
+  | No_freshness, _ -> Ok ()
+  | Nonce_history { max_entries }, Message.F_nonce n -> check_nonce t max_entries n
+  | Counter, Message.F_counter c -> check_counter t c
+  | Timestamp { window_ms }, Message.F_timestamp ts -> check_timestamp t window_ms ts
+  | (Nonce_history _ | Counter | Timestamp _), Message.F_none -> Error Missing_field
+  | ( (Nonce_history _ | Counter | Timestamp _),
+      (Message.F_nonce _ | Message.F_counter _ | Message.F_timestamp _) ) ->
+    Error Wrong_field
+
+let history_bytes t = List.fold_left (fun acc n -> acc + String.length n) 0 t.nonces
+let history_length t = t.nonce_count
+
+let pp_reject fmt = function
+  | Missing_field -> Format.pp_print_string fmt "missing freshness field"
+  | Wrong_field -> Format.pp_print_string fmt "freshness field of wrong kind"
+  | Replayed_nonce -> Format.pp_print_string fmt "replayed nonce"
+  | Stale_counter { got; stored } ->
+    Format.fprintf fmt "stale counter (got %Ld, stored %Ld)" got stored
+  | Stale_or_reordered_timestamp { got; last } ->
+    Format.fprintf fmt "stale/reordered timestamp (got %Ld, last %Ld)" got last
+  | Delayed_timestamp { got; now; window } ->
+    Format.fprintf fmt "delayed timestamp (got %Ld, prover now %Ld, window %Ld)" got now
+      window
+  | Future_timestamp { got; now; window } ->
+    Format.fprintf fmt "future timestamp (got %Ld, prover now %Ld, window %Ld)" got now
+      window

@@ -1,0 +1,61 @@
+(** Prover-side freshness policies (§4.2) and their state.
+
+    - {b Nonce history}: remember every nonce ever accepted. Detects
+      replay only, and the history consumes non-volatile memory without
+      bound — both §4.2 objections are observable here ([history_bytes],
+      and bounded histories evict, re-enabling replay of evicted nonces).
+    - {b Counter}: accept only strictly increasing counters; 8 bytes of
+      non-volatile state ([counter_R]), read/written through the MPU so
+      the roaming adversary's rollback is mediated.
+    - {b Timestamp}: accept timestamps newer than the last accepted one
+      and within a window of the prover's clock; requires a real-time
+      clock, detects replay, reorder *and* delay.
+
+    The 8-byte non-volatile cell at [Device.counter_addr] stores the
+    counter, or the last-accepted timestamp under the timestamp policy. *)
+
+type policy =
+  | No_freshness
+  | Nonce_history of { max_entries : int option } (* None = unbounded *)
+  | Counter
+  | Timestamp of { window_ms : int64 }
+
+type reject =
+  | Missing_field (* request lacks the field the policy needs *)
+  | Wrong_field (* field of another policy's type *)
+  | Replayed_nonce
+  | Stale_counter of { got : int64; stored : int64 }
+  | Stale_or_reordered_timestamp of { got : int64; last : int64 }
+  | Delayed_timestamp of { got : int64; now : int64; window : int64 }
+  | Future_timestamp of { got : int64; now : int64; window : int64 }
+
+type state
+
+val init :
+  ?cell_addr:int -> ?now_ms_fn:(unit -> int64) -> Ra_mcu.Device.t -> policy -> state
+(** [cell_addr] overrides where the 8-byte freshness cell lives (several
+    services can coexist, each with its own cell — see [Service]);
+    [now_ms_fn] overrides the prover's time source (used by [Clock_sync]
+    to supply an offset-corrected clock).
+    @raise Invalid_argument for a timestamp policy on a clock-less device
+    when no [now_ms_fn] is given. *)
+
+val policy : state -> policy
+
+val prover_now_ms : state -> int64
+(** The prover's own idea of wall-clock time, read from its (attackable)
+    on-device clock. 0 for clock-less devices. *)
+
+val check_and_update : state -> Message.freshness_field -> (unit, reject) result
+(** Evaluate a request's freshness field and, on acceptance, persist the
+    new state (counter / last timestamp / nonce history). Must be called
+    in the trust anchor's execution context: counter writes go through
+    the EA-MPU. *)
+
+val history_bytes : state -> int
+(** Non-volatile bytes the nonce history currently occupies (0 for the
+    other policies beyond their fixed 8-byte cell). *)
+
+val history_length : state -> int
+
+val pp_reject : Format.formatter -> reject -> unit

@@ -1,0 +1,84 @@
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+module Memory = Ra_mcu.Memory
+module Timing = Ra_mcu.Timing
+module Sha1_asm = Ra_isa.Sha1_asm
+
+(* the routine is position-assembled for the canonical device map *)
+let rom_origin = 0x001000
+
+let scratch_addr device = Device.anchor_scratch_addr device
+
+let rom_image () = Sha1_asm.code_bytes ~origin:rom_origin ~scratch_addr:0x800400
+
+type t = {
+  device : Device.t;
+  sha : Sha1_asm.t;
+  scheme : Timing.auth_scheme option;
+  freshness : Freshness.state;
+  mutable mac_cycles : int64;
+}
+
+let install device ~scheme ~policy =
+  if scratch_addr device <> 0x800400 then
+    invalid_arg "Isa_anchor.install: unexpected anchor-scratch location";
+  let image = rom_image () in
+  let present =
+    Memory.read_bytes (Device.memory device) rom_origin (String.length image)
+  in
+  if not (String.equal image present) then
+    invalid_arg
+      "Isa_anchor.install: rom_attest does not hold the SHA-1 routine (pass \
+       rom_images at Device.create)";
+  let sha = Sha1_asm.attach ~origin:rom_origin ~scratch_addr:(scratch_addr device) in
+  { device; sha; scheme; freshness = Freshness.init device policy; mac_cycles = 0L }
+
+let cpu t = Device.cpu t.device
+
+let read_key_blob t =
+  Cpu.load_bytes (cpu t) (Device.key_addr t.device) (Device.key_len t.device)
+
+let measure_memory t =
+  Cpu.with_context (cpu t) Device.region_attest (fun () ->
+      String.concat ""
+        (List.map
+           (fun (base, len) -> Cpu.load_bytes (cpu t) base len)
+           (Device.attested_ranges t.device)))
+
+let last_mac_cycles t = t.mac_cycles
+
+let attest t (req : Message.attreq) =
+  let resp =
+    { Message.echo_challenge = req.challenge; echo_freshness = req.freshness; report = "" }
+  in
+  let body = Message.response_body resp in
+  let key = Auth.blob_sym_key (read_key_blob t) in
+  let segments =
+    Sha1_asm.Bytes body
+    :: List.map (fun (base, len) -> Sha1_asm.Range (base, len)) (Device.attested_ranges t.device)
+  in
+  let before = Cpu.cycles (cpu t) in
+  let report = Sha1_asm.hmac_segments t.sha (cpu t) ~key segments in
+  t.mac_cycles <- Int64.sub (Cpu.cycles (cpu t)) before;
+  { resp with Message.report }
+
+let authenticate t (req : Message.attreq) =
+  match t.scheme with
+  | None -> Ok ()
+  | Some scheme ->
+    Cpu.consume_cycles (cpu t) (Timing.request_auth_cycles scheme);
+    let key_blob = read_key_blob t in
+    let body = Message.request_body ~challenge:req.challenge ~freshness:req.freshness in
+    if Auth.verify_request scheme ~key_blob ~body req.tag then Ok ()
+    else Error Code_attest.Bad_auth
+
+let handle_request t req =
+  try
+    Cpu.with_context (cpu t) Device.region_attest (fun () ->
+        match authenticate t req with
+        | Error e -> Error e
+        | Ok () ->
+          (match Freshness.check_and_update t.freshness req.Message.freshness with
+          | Error e -> Error (Code_attest.Not_fresh e)
+          | Ok () -> Ok (attest t req)))
+  with Cpu.Protection_fault fault -> Error (Code_attest.Anchor_fault fault)

@@ -1,0 +1,49 @@
+(** A trust anchor whose attestation report is computed by the
+    {e interpreted} SHA-1 routine ({!Ra_isa.Sha1_asm}) residing in the
+    [rom_attest] region: the measurement sweep reads every attested byte
+    through the EA-MPU with the PC inside [Code_attest]'s region, and
+    the resulting HMAC is bit-identical to the host-crypto anchor's — so
+    the standard {!Verifier} accepts it unchanged.
+
+    Differences from {!Code_attest}:
+    - the memory-MAC cost is not charged from the Table-1 model; it is
+      whatever the interpreted routine actually executes (reported by
+      {!last_mac_cycles} — a few× the real core's cost, same order);
+    - the device must be created with the SHA-1 routine as a
+      [rom_images] entry for {!Ra_mcu.Device.region_attest} and a free
+      RAM scratch area (see {!install}).
+
+    This is the closest this repository gets to SMART's actual shape: a
+    ROM routine, a key readable only by that ROM's PC range, and a MAC
+    computed instruction by instruction. *)
+
+type t
+
+val rom_image : unit -> string
+(** The SHA-1 routine's code bytes, to pass as
+    [(Ra_mcu.Device.region_attest, rom_image ())] in [rom_images].
+    The routine is position-assembled for the standard device map. *)
+
+val scratch_addr : Ra_mcu.Device.t -> int
+(** Where the routine's working memory lives: the top
+    [Ra_isa.Sha1_asm.scratch_bytes] of attested RAM. *)
+
+val install :
+  Ra_mcu.Device.t ->
+  scheme:Ra_mcu.Timing.auth_scheme option ->
+  policy:Freshness.policy ->
+  t
+(** Bind the anchor to a device whose [rom_attest] holds {!rom_image}.
+    @raise Invalid_argument if the ROM content does not match (the
+    routine would execute garbage). *)
+
+val handle_request : t -> Message.attreq -> (Message.attresp, Code_attest.reject) result
+(** Same contract as {!Code_attest.handle_request}; the report is
+    computed by interpreted code. *)
+
+val measure_memory : t -> string
+(** The attested image (for provisioning the verifier), read through the
+    interpreted copy path. *)
+
+val last_mac_cycles : t -> int64
+(** Cycles the most recent interpreted measurement consumed. *)

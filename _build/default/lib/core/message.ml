@@ -1,0 +1,184 @@
+type freshness_field =
+  | F_none
+  | F_nonce of string
+  | F_counter of int64
+  | F_timestamp of int64
+
+type auth_tag =
+  | Tag_none
+  | Tag_hmac_sha1 of string
+  | Tag_aes_cbc_mac of string
+  | Tag_speck_cbc_mac of string
+  | Tag_ecdsa of string
+
+type attreq = {
+  challenge : string;
+  freshness : freshness_field;
+  tag : auth_tag;
+}
+
+type attresp = {
+  echo_challenge : string;
+  echo_freshness : freshness_field;
+  report : string;
+}
+
+type wire =
+  | Request of attreq
+  | Response of attresp
+  | Sync_request of { verifier_time_ms : int64; sync_counter : int64; sync_tag : string }
+  | Sync_response of { acked_counter : int64; ack_tag : string }
+  | Service_request of {
+      command_name : string;
+      payload : string;
+      service_freshness : freshness_field;
+      service_tag : auth_tag;
+    }
+  | Service_ack of { acked_command : string; ack_report : string }
+
+let u64_be v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
+
+let lv s = u64_be (Int64.of_int (String.length s)) ^ s
+
+let freshness_bytes = function
+  | F_none -> "F0"
+  | F_nonce n -> "F1" ^ lv n
+  | F_counter c -> "F2" ^ u64_be c
+  | F_timestamp t -> "F3" ^ u64_be t
+
+let request_body ~challenge ~freshness = "REQ" ^ lv challenge ^ freshness_bytes freshness
+
+let response_body r = "RSP" ^ lv r.echo_challenge ^ freshness_bytes r.echo_freshness
+
+let tag_bytes = function
+  | Tag_none -> "T0"
+  | Tag_hmac_sha1 s -> "T1" ^ lv s
+  | Tag_aes_cbc_mac s -> "T2" ^ lv s
+  | Tag_speck_cbc_mac s -> "T3" ^ lv s
+  | Tag_ecdsa s -> "T4" ^ lv s
+
+let wire_to_bytes = function
+  | Request r ->
+    "Q" ^ lv r.challenge ^ freshness_bytes r.freshness ^ tag_bytes r.tag
+  | Response r -> "P" ^ lv r.echo_challenge ^ freshness_bytes r.echo_freshness ^ lv r.report
+  | Sync_request { verifier_time_ms; sync_counter; sync_tag } ->
+    "S" ^ u64_be verifier_time_ms ^ u64_be sync_counter ^ lv sync_tag
+  | Sync_response { acked_counter; ack_tag } -> "A" ^ u64_be acked_counter ^ lv ack_tag
+  | Service_request { command_name; payload; service_freshness; service_tag } ->
+    "V" ^ lv command_name ^ lv payload
+    ^ freshness_bytes service_freshness
+    ^ tag_bytes service_tag
+  | Service_ack { acked_command; ack_report } -> "K" ^ lv acked_command ^ lv ack_report
+
+(* --- total parser: a cursor over the frame; any violation aborts --- *)
+
+exception Malformed
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.data then raise Malformed
+
+let take c n =
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let take_u64 c =
+  let s = take c 8 in
+  let v = ref 0L in
+  String.iter
+    (fun ch -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code ch)))
+    s;
+  !v
+
+let take_lv c =
+  let len = Int64.to_int (take_u64 c) in
+  if len < 0 || len > String.length c.data then raise Malformed;
+  take c len
+
+let take_freshness c =
+  match take c 2 with
+  | "F0" -> F_none
+  | "F1" -> F_nonce (take_lv c)
+  | "F2" -> F_counter (take_u64 c)
+  | "F3" -> F_timestamp (take_u64 c)
+  | _ -> raise Malformed
+
+let take_tag c =
+  match take c 2 with
+  | "T0" -> Tag_none
+  | "T1" -> Tag_hmac_sha1 (take_lv c)
+  | "T2" -> Tag_aes_cbc_mac (take_lv c)
+  | "T3" -> Tag_speck_cbc_mac (take_lv c)
+  | "T4" -> Tag_ecdsa (take_lv c)
+  | _ -> raise Malformed
+
+let wire_of_bytes data =
+  let c = { data; pos = 0 } in
+  try
+    let wire =
+      match take c 1 with
+      | "Q" ->
+        let challenge = take_lv c in
+        let freshness = take_freshness c in
+        let tag = take_tag c in
+        Request { challenge; freshness; tag }
+      | "P" ->
+        let echo_challenge = take_lv c in
+        let echo_freshness = take_freshness c in
+        let report = take_lv c in
+        Response { echo_challenge; echo_freshness; report }
+      | "S" ->
+        let verifier_time_ms = take_u64 c in
+        let sync_counter = take_u64 c in
+        let sync_tag = take_lv c in
+        Sync_request { verifier_time_ms; sync_counter; sync_tag }
+      | "A" ->
+        let acked_counter = take_u64 c in
+        let ack_tag = take_lv c in
+        Sync_response { acked_counter; ack_tag }
+      | "V" ->
+        let command_name = take_lv c in
+        let payload = take_lv c in
+        let service_freshness = take_freshness c in
+        let service_tag = take_tag c in
+        Service_request { command_name; payload; service_freshness; service_tag }
+      | "K" ->
+        let acked_command = take_lv c in
+        let ack_report = take_lv c in
+        Service_ack { acked_command; ack_report }
+      | _ -> raise Malformed
+    in
+    if c.pos <> String.length data then None (* trailing garbage *) else Some wire
+  with Malformed -> None
+
+let wire_size w = String.length (wire_to_bytes w)
+
+let pp_freshness fmt = function
+  | F_none -> Format.pp_print_string fmt "none"
+  | F_nonce n -> Format.fprintf fmt "nonce=%s" (Ra_crypto.Hexutil.to_hex n)
+  | F_counter c -> Format.fprintf fmt "counter=%Ld" c
+  | F_timestamp t -> Format.fprintf fmt "timestamp=%Ldms" t
+
+let pp_tag fmt = function
+  | Tag_none -> Format.pp_print_string fmt "unauthenticated"
+  | Tag_hmac_sha1 _ -> Format.pp_print_string fmt "hmac-sha1"
+  | Tag_aes_cbc_mac _ -> Format.pp_print_string fmt "aes-cbc-mac"
+  | Tag_speck_cbc_mac _ -> Format.pp_print_string fmt "speck-cbc-mac"
+  | Tag_ecdsa _ -> Format.pp_print_string fmt "ecdsa"
+
+let pp_attreq fmt r =
+  Format.fprintf fmt "attreq{%a, %a}" pp_freshness r.freshness pp_tag r.tag
+
+let pp_wire fmt = function
+  | Request r -> pp_attreq fmt r
+  | Response _ -> Format.pp_print_string fmt "attresp"
+  | Sync_request { verifier_time_ms; sync_counter; _ } ->
+    Format.fprintf fmt "sync_req{t=%Ldms, c=%Ld}" verifier_time_ms sync_counter
+  | Sync_response { acked_counter; _ } ->
+    Format.fprintf fmt "sync_resp{c=%Ld}" acked_counter
+  | Service_request { command_name; _ } -> Format.fprintf fmt "svc_req{%s}" command_name
+  | Service_ack { acked_command; _ } -> Format.fprintf fmt "svc_ack{%s}" acked_command

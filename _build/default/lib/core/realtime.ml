@@ -1,0 +1,154 @@
+type anchor_mode = Non_interruptible | Interruptible
+
+type config = {
+  task_period_ms : float;
+  task_wcet_ms : float;
+  attestation_ms : float;
+  anchor_mode : anchor_mode;
+  horizon_ms : float;
+  request_times_ms : float list;
+}
+
+type report = {
+  task_jobs : int;
+  deadline_misses : int;
+  attestations_completed : int;
+  attestations_pending : int;
+  mean_attestation_latency_ms : float;
+  max_attestation_latency_ms : float;
+  busy_fraction : float;
+}
+
+type job = {
+  release : float;
+  deadline : float option; (* None for attestation jobs *)
+  mutable remaining : float;
+  mutable finished : float option;
+}
+
+let validate cfg =
+  if cfg.task_period_ms <= 0.0 then invalid_arg "Realtime: period must be positive";
+  if cfg.task_wcet_ms <= 0.0 then invalid_arg "Realtime: wcet must be positive";
+  if cfg.attestation_ms < 0.0 then invalid_arg "Realtime: attestation cost negative";
+  if cfg.horizon_ms <= 0.0 then invalid_arg "Realtime: horizon must be positive";
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  if List.exists (fun t -> t < 0.0) cfg.request_times_ms || not (sorted cfg.request_times_ms)
+  then invalid_arg "Realtime: request times must be sorted and non-negative"
+
+(* only jobs whose deadline lies inside the horizon — a job cut off by
+   the end of the simulation is not a deadline miss *)
+let task_jobs_of cfg =
+  let count = int_of_float ((cfg.horizon_ms /. cfg.task_period_ms) +. 1e-9) in
+  List.init count (fun k ->
+      let release = float_of_int k *. cfg.task_period_ms in
+      {
+        release;
+        deadline = Some (release +. cfg.task_period_ms);
+        remaining = cfg.task_wcet_ms;
+        finished = None;
+      })
+
+let attestation_jobs_of cfg =
+  List.map
+    (fun t -> { release = t; deadline = None; remaining = cfg.attestation_ms; finished = None })
+    cfg.request_times_ms
+
+(* Fixed-priority preemptive scheduling of two FIFO streams. [high] and
+   [low] are job lists sorted by release. Event-driven: at each step run
+   the ready highest-priority job until it completes or the next release
+   arrives. *)
+let schedule ~horizon high low =
+  let next_release jobs now =
+    List.fold_left
+      (fun acc j ->
+        if j.finished = None && j.release > now then
+          Some (match acc with None -> j.release | Some a -> Float.min a j.release)
+        else acc)
+      None jobs
+  in
+  let ready jobs now =
+    List.find_opt (fun j -> j.finished = None && j.release <= now) jobs
+  in
+  let busy = ref 0.0 in
+  let rec loop now =
+    if now >= horizon then ()
+    else begin
+      let current =
+        match ready high now with Some j -> Some j | None -> ready low now
+      in
+      match current with
+      | None ->
+        (* idle until the next release of either stream *)
+        (match (next_release high now, next_release low now) with
+        | None, None -> ()
+        | Some a, None | None, Some a -> loop (Float.min a horizon)
+        | Some a, Some b -> loop (Float.min (Float.min a b) horizon))
+      | Some job ->
+        (* a high-priority release can preempt a low-priority job *)
+        let preemption =
+          if List.memq job low then next_release high now else None
+        in
+        let until =
+          let completion = now +. job.remaining in
+          let t = match preemption with None -> completion | Some p -> Float.min completion p in
+          Float.min t horizon
+        in
+        let ran = until -. now in
+        job.remaining <- job.remaining -. ran;
+        busy := !busy +. ran;
+        if job.remaining <= 1e-9 then job.finished <- Some until;
+        loop until
+    end
+  in
+  loop 0.0;
+  !busy
+
+let simulate cfg =
+  validate cfg;
+  let tasks = task_jobs_of cfg in
+  let attests = attestation_jobs_of cfg in
+  let high, low =
+    match cfg.anchor_mode with
+    | Non_interruptible -> (attests, tasks)
+    | Interruptible -> (tasks, attests)
+  in
+  let busy = schedule ~horizon:cfg.horizon_ms high low in
+  let deadline_misses =
+    List.length
+      (List.filter
+         (fun j ->
+           match (j.deadline, j.finished) with
+           | Some d, Some f -> f > d +. 1e-9
+           | Some _, None -> true (* never finished: missed *)
+           | None, (Some _ | None) -> false)
+         tasks)
+  in
+  let latencies =
+    List.filter_map
+      (fun j -> Option.map (fun f -> f -. j.release) j.finished)
+      attests
+  in
+  let completed = List.length latencies in
+  {
+    task_jobs = List.length tasks;
+    deadline_misses;
+    attestations_completed = completed;
+    attestations_pending = List.length attests - completed;
+    mean_attestation_latency_ms =
+      (if completed = 0 then 0.0
+       else List.fold_left ( +. ) 0.0 latencies /. float_of_int completed);
+    max_attestation_latency_ms = List.fold_left Float.max 0.0 latencies;
+    busy_fraction = busy /. cfg.horizon_ms;
+  }
+
+let periodic_requests ~every_ms ~horizon_ms =
+  if every_ms <= 0.0 then invalid_arg "Realtime.periodic_requests";
+  let rec build t acc = if t >= horizon_ms then List.rev acc else build (t +. every_ms) (t :: acc) in
+  build 0.0 []
+
+let miss_rate r =
+  if r.task_jobs = 0 then 0.0
+  else float_of_int r.deadline_misses /. float_of_int r.task_jobs

@@ -1,0 +1,50 @@
+(** Real-time co-existence of attestation and the prover's primary task
+    (§3.1: "current low-end device attestation techniques assume that
+    attestation runs without interruption. Thus, gratuitous (malicious)
+    invocation of attestation can be detrimental to the execution of
+    prover's main (even critical) functions").
+
+    A fixed-priority preemptive scheduler with two demand streams on one
+    CPU: a periodic control task (implicit deadline = period) and
+    attestation jobs. Under a SMART-style non-interruptible anchor the
+    anchor outranks the task (its ROM code runs with interrupts
+    disabled); under a TyTAN-style interruptible anchor the task outranks
+    the anchor and attestation is computed in the gaps.
+
+    This quantifies both §3.1 (an attestation flood starves a critical
+    task) and the TyTAN trade-off (the task stays schedulable, the
+    attestation latency grows). *)
+
+type anchor_mode =
+  | Non_interruptible (* SMART: attestation cannot be preempted *)
+  | Interruptible (* TyTAN: the real-time task preempts the anchor *)
+
+type config = {
+  task_period_ms : float;
+  task_wcet_ms : float; (* per-job execution demand *)
+  attestation_ms : float; (* one attestation's execution demand *)
+  anchor_mode : anchor_mode;
+  horizon_ms : float;
+  request_times_ms : float list; (* attestation request arrivals *)
+}
+
+type report = {
+  task_jobs : int;
+  deadline_misses : int;
+  attestations_completed : int;
+  attestations_pending : int; (* unfinished at the horizon *)
+  mean_attestation_latency_ms : float; (* completion - arrival; 0 if none *)
+  max_attestation_latency_ms : float;
+  busy_fraction : float; (* CPU utilization over the horizon *)
+}
+
+val simulate : config -> report
+(** @raise Invalid_argument on non-positive periods/costs or an
+    unsorted/negative request list. *)
+
+val periodic_requests : every_ms:float -> horizon_ms:float -> float list
+(** Arrival times [0, every, 2*every, ...] below the horizon — a
+    malicious flood or an aggressive verifier schedule. *)
+
+val miss_rate : report -> float
+(** Fraction of task jobs that missed their deadline. *)

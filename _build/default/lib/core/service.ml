@@ -1,0 +1,189 @@
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+module Timing = Ra_mcu.Timing
+module Ea_mpu = Ra_mcu.Ea_mpu
+module C = Ra_crypto
+
+type command =
+  | Secure_erase
+  | Code_update of { image : string }
+  | Ping
+
+type request = {
+  command : command;
+  freshness : Message.freshness_field;
+  tag : Message.auth_tag;
+}
+
+type ack = { acked_command : string; ack_report : string }
+
+type reject =
+  | Service_bad_auth
+  | Service_not_fresh of Freshness.reject
+  | Service_fault of Cpu.fault
+
+type stats = { invocations : int; rejections : int }
+
+type t = {
+  device : Device.t;
+  scheme : Timing.auth_scheme option;
+  freshness : Freshness.state;
+  mutable stats : stats;
+}
+
+let service_cell_offset = 24
+
+let rule_protect_service_state device =
+  {
+    Ea_mpu.rule_name = "service_state";
+    data_base = Device.counter_addr device + service_cell_offset;
+    data_size = 8;
+    read_by = Ea_mpu.Anyone;
+    write_by = Ea_mpu.Code_in [ Device.region_attest ];
+  }
+
+let install device ~scheme ~policy =
+  {
+    device;
+    scheme;
+    freshness =
+      Freshness.init ~cell_addr:(Device.counter_addr device + service_cell_offset)
+        device policy;
+    stats = { invocations = 0; rejections = 0 };
+  }
+
+let stats t = t.stats
+
+let command_name = function
+  | Secure_erase -> "secure-erase"
+  | Code_update _ -> "code-update"
+  | Ping -> "ping"
+
+let request_body command freshness =
+  let payload =
+    match command with
+    | Secure_erase -> "ERASE"
+    | Code_update { image } -> "UPDATE" ^ image
+    | Ping -> "PING"
+  in
+  "SVC" ^ command_name command ^ "|" ^ payload ^ Message.freshness_bytes freshness
+
+let make_request ~sym_key ~scheme ~freshness command =
+  let tag =
+    match scheme with
+    | None -> Message.Tag_none
+    | Some scheme ->
+      Auth.tag_request scheme (Auth.Vs_symmetric sym_key)
+        ~body:(request_body command freshness)
+  in
+  { command; freshness; tag }
+
+let cpu t = Device.cpu t.device
+
+let key_blob t = Cpu.load_bytes (cpu t) (Device.key_addr t.device) (Device.key_len t.device)
+
+(* Modeled costs of the service bodies: a RAM write per erased byte and a
+   flash word program (slow: 20 cycles/word here) per 4 image bytes. *)
+let erase_cycles len = Int64.of_int (2 * len)
+let update_cycles len = Int64.of_int (20 * ((len + 3) / 4))
+
+let execute t command =
+  match command with
+  | Ping -> "pong"
+  | Secure_erase ->
+    let base = Device.attested_base t.device in
+    let len = Device.attested_len t.device in
+    Cpu.consume_cycles (cpu t) (erase_cycles len);
+    let chunk = 4096 in
+    let zeros = String.make chunk '\x00' in
+    let rec wipe off =
+      if off < len then begin
+        let n = min chunk (len - off) in
+        Cpu.store_bytes (cpu t) (base + off) (String.sub zeros 0 n);
+        wipe (off + n)
+      end
+    in
+    wipe 0;
+    "erased"
+  | Code_update { image } ->
+    let region = Ra_mcu.Memory.region_named (Device.memory t.device) Device.region_app in
+    if String.length image > region.Ra_mcu.Region.size then "image too large"
+    else begin
+      Cpu.consume_cycles (cpu t) (update_cycles (String.length image));
+      Cpu.store_bytes (cpu t) region.Ra_mcu.Region.base image;
+      "updated to " ^ C.Hexutil.to_hex (C.Sha256.digest image)
+    end
+
+let handle t req =
+  let run () =
+    Cpu.consume_cycles (cpu t) 200L;
+    let authenticated =
+      match t.scheme with
+      | None -> true
+      | Some scheme ->
+        Cpu.consume_cycles (cpu t) (Timing.request_auth_cycles scheme);
+        Auth.verify_request scheme ~key_blob:(key_blob t)
+          ~body:(request_body req.command req.freshness)
+          req.tag
+    in
+    if not authenticated then Error Service_bad_auth
+    else
+      match Freshness.check_and_update t.freshness req.freshness with
+      | Error e -> Error (Service_not_fresh e)
+      | Ok () ->
+        let result = execute t req.command in
+        let key = Auth.blob_sym_key (key_blob t) in
+        Ok
+          {
+            acked_command = command_name req.command;
+            ack_report = C.Hmac.mac C.Hmac.sha1 ~key ("ACK" ^ result);
+          }
+  in
+  let result =
+    try Cpu.with_context (cpu t) Device.region_attest run
+    with Cpu.Protection_fault fault -> Error (Service_fault fault)
+  in
+  (match result with
+  | Ok _ -> t.stats <- { t.stats with invocations = t.stats.invocations + 1 }
+  | Error _ -> t.stats <- { t.stats with rejections = t.stats.rejections + 1 });
+  result
+
+let command_payload = function
+  | Secure_erase -> ""
+  | Code_update { image } -> image
+  | Ping -> ""
+
+let request_to_wire req =
+  Message.Service_request
+    {
+      command_name = command_name req.command;
+      payload = command_payload req.command;
+      service_freshness = req.freshness;
+      service_tag = req.tag;
+    }
+
+let request_of_wire = function
+  | Message.Service_request { command_name; payload; service_freshness; service_tag }
+    ->
+    let command =
+      match command_name with
+      | "secure-erase" -> Some Secure_erase
+      | "code-update" -> Some (Code_update { image = payload })
+      | "ping" -> Some Ping
+      | _ -> None
+    in
+    Option.map
+      (fun command -> { command; freshness = service_freshness; tag = service_tag })
+      command
+  | Message.Request _ | Message.Response _ | Message.Sync_request _
+  | Message.Sync_response _ | Message.Service_ack _ ->
+    None
+
+let ack_to_wire ack =
+  Message.Service_ack { acked_command = ack.acked_command; ack_report = ack.ack_report }
+
+let pp_reject fmt = function
+  | Service_bad_auth -> Format.pp_print_string fmt "service authentication failed"
+  | Service_not_fresh r -> Format.fprintf fmt "service not fresh: %a" Freshness.pp_reject r
+  | Service_fault f ->
+    Format.fprintf fmt "service denied access at 0x%06x" f.Cpu.fault_addr

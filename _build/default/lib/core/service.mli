@@ -1,0 +1,77 @@
+(** Future-work item 3 of the paper: "generalize proposed techniques to
+    other network protocols (beyond attestation) to mitigate DoS attacks
+    on other security services on embedded devices".
+
+    Any request/response service on the prover can be wrapped in the same
+    envelope the attestation protocol uses — verifier authentication
+    (§4.1) plus a freshness policy (§4.2) whose state lives in protected
+    memory — so that bogus or replayed invocations are rejected before
+    the expensive service body runs. Secure memory erasure and code
+    update are the examples the paper's introduction names. *)
+
+type command =
+  | Secure_erase (* zero the attested RAM *)
+  | Code_update of { image : string } (* install new application code *)
+  | Ping (* cheap liveness check *)
+
+type request = {
+  command : command;
+  freshness : Message.freshness_field;
+  tag : Message.auth_tag;
+}
+
+type ack = {
+  acked_command : string; (* name echo *)
+  ack_report : string; (* HMAC under K_attest over the result *)
+}
+
+type reject =
+  | Service_bad_auth
+  | Service_not_fresh of Freshness.reject
+  | Service_fault of Ra_mcu.Cpu.fault
+
+type stats = { invocations : int; rejections : int }
+
+type t
+
+val service_cell_offset : int
+(** NVRAM byte offset of the service's own freshness cell (disjoint from
+    attestation's and clock-sync's cells). *)
+
+val rule_protect_service_state : Ra_mcu.Device.t -> Ra_mcu.Ea_mpu.rule
+
+val install :
+  Ra_mcu.Device.t ->
+  scheme:Ra_mcu.Timing.auth_scheme option ->
+  policy:Freshness.policy ->
+  t
+
+val stats : t -> stats
+
+val command_name : command -> string
+
+val request_body : command -> Message.freshness_field -> string
+(** What the request tag covers. *)
+
+val make_request :
+  sym_key:string ->
+  scheme:Ra_mcu.Timing.auth_scheme option ->
+  freshness:Message.freshness_field ->
+  command ->
+  request
+(** Verifier-side construction (symmetric schemes). *)
+
+val handle : t -> request -> (ack, reject) result
+(** Authenticate, check freshness, then execute the command body with its
+    modeled cycle cost (erase: one write per byte; update: one flash word
+    program per 4 bytes; ping: bookkeeping only). *)
+
+val request_to_wire : request -> Message.wire
+(** Serialize for the channel (frame type [V]). *)
+
+val request_of_wire : Message.wire -> request option
+(** [None] for non-service frames or unknown command names. *)
+
+val ack_to_wire : ack -> Message.wire
+
+val pp_reject : Format.formatter -> reject -> unit

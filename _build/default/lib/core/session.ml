@@ -1,0 +1,237 @@
+module Simtime = Ra_net.Simtime
+module Trace = Ra_net.Trace
+module Channel = Ra_net.Channel
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+
+type t = {
+  time : Simtime.t;
+  trace : Trace.t;
+  channel : string Channel.t;
+  verifier : Verifier.t;
+  prover : Architecture.prover;
+  clock_sync : Clock_sync.t option;
+  service : Service.t;
+  sym_key : string;
+  pending : (string, Message.attreq) Hashtbl.t; (* challenge -> request *)
+  mutable verdicts : (float * Verifier.verdict) list; (* newest first *)
+  mutable sync_counter : int64;
+  mutable sync_acks : int;
+  mutable service_counter : int64;
+  mutable service_acks : string list;
+}
+
+let default_sym_key = "K_attest_0123456789." (* 20 bytes *)
+
+let freshness_kind_of_policy = function
+  | Freshness.No_freshness -> Verifier.Fk_none
+  | Freshness.Nonce_history _ -> Verifier.Fk_nonce
+  | Freshness.Counter -> Verifier.Fk_counter
+  | Freshness.Timestamp _ -> Verifier.Fk_timestamp
+
+let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
+    ?ram_seed ?ram_size () =
+  let time = Simtime.create () in
+  let trace = Trace.create time in
+  let channel = Channel.create time trace in
+  (* The verifier needs its ECDSA public key inside the prover's blob, so
+     build the verifier first with a placeholder reference image. *)
+  let verifier =
+    Verifier.create ~scheme:spec.Architecture.scheme
+      ~freshness_kind:(freshness_kind_of_policy spec.Architecture.policy)
+      ~sym_key ~time ~reference_image:"" ()
+  in
+  let prover =
+    Architecture.build ?ram_seed ?ram_size
+      ~key_blob:(Verifier.prover_key_blob verifier)
+      spec
+  in
+  Verifier.set_reference_image verifier (Code_attest.measure_memory prover.anchor);
+  let clock_sync =
+    match Ra_mcu.Device.clock prover.Architecture.device with
+    | Some _ -> Some (Clock_sync.install prover.Architecture.device)
+    | None -> None
+  in
+  let service =
+    Service.install prover.Architecture.device ~scheme:spec.Architecture.scheme
+      ~policy:Freshness.Counter
+  in
+  let t =
+    {
+      time;
+      trace;
+      channel;
+      verifier;
+      prover;
+      clock_sync;
+      service;
+      sym_key;
+      pending = Hashtbl.create 8;
+      verdicts = [];
+      sync_counter = 0L;
+      sync_acks = 0;
+      service_counter = 0L;
+      service_acks = [];
+    }
+  in
+  (* Prover side: parse the frame (total parser -- malformed input is
+     dropped with a trace record, the radio cost is still paid), run the
+     trust anchor, keep wall time in lock-step with consumed device
+     cycles, answer on the wire. *)
+  Channel.on_receive channel Channel.Prover_side (fun frame ->
+      match Message.wire_of_bytes frame with
+      | None ->
+        Ra_mcu.Energy.consume_radio
+          (Device.energy prover.Architecture.device)
+          ~bytes:(String.length frame);
+        Trace.record trace "prover: malformed frame dropped"
+      | Some wire ->
+      (* the radio burns energy on every received frame, bogus or not *)
+      Ra_mcu.Energy.consume_radio
+        (Device.energy prover.Architecture.device)
+        ~bytes:(Message.wire_size wire);
+      match wire with
+      | Message.Request req ->
+        let cpu = Device.cpu prover.Architecture.device in
+        let before = Cpu.elapsed_seconds cpu in
+        let result = Code_attest.handle_request prover.Architecture.anchor req in
+        let spent = Cpu.elapsed_seconds cpu -. before in
+        Simtime.advance_by time spent;
+        (match result with
+        | Ok resp ->
+          Trace.recordf trace "prover: attested (%.3f ms of work)" (spent *. 1000.0);
+          Ra_mcu.Energy.consume_radio
+            (Device.energy prover.Architecture.device)
+            ~bytes:(Message.wire_size (Message.Response resp));
+          Channel.send channel ~src:Channel.Prover_side
+            (Message.wire_to_bytes (Message.Response resp))
+        | Error reject ->
+          Trace.recordf trace "prover: rejected request: %a" Code_attest.pp_reject
+            reject)
+      | Message.Sync_request _ as sync_req ->
+        (match t.clock_sync with
+        | None -> Trace.record trace "prover: no clock, sync ignored"
+        | Some sync ->
+          (match Clock_sync.handle sync sync_req with
+          | Ok ack ->
+            Trace.record trace "prover: clock synchronized";
+            Channel.send channel ~src:Channel.Prover_side (Message.wire_to_bytes ack)
+          | Error reject ->
+            Trace.recordf trace "prover: sync rejected: %a" Clock_sync.pp_reject reject))
+      | Message.Service_request _ as svc_frame ->
+        (match Service.request_of_wire svc_frame with
+        | None -> Trace.record trace "prover: unknown service command dropped"
+        | Some svc_req ->
+          (match Service.handle t.service svc_req with
+          | Ok ack ->
+            Trace.recordf trace "prover: service %s executed" ack.Service.acked_command;
+            Channel.send channel ~src:Channel.Prover_side
+              (Message.wire_to_bytes (Service.ack_to_wire ack))
+          | Error reject ->
+            Trace.recordf trace "prover: service rejected: %a" Service.pp_reject reject))
+      | Message.Sync_response _ | Message.Response _ | Message.Service_ack _ ->
+        Trace.record trace "prover: ignored non-request message");
+  Channel.on_receive channel Channel.Verifier_side (fun frame ->
+      match Message.wire_of_bytes frame with
+      | None -> Trace.record trace "verifier: malformed frame dropped"
+      | Some wire ->
+      match wire with
+      | Message.Response resp ->
+        (match Hashtbl.find_opt t.pending resp.Message.echo_challenge with
+        | None -> Trace.record trace "verifier: unsolicited response ignored"
+        | Some req ->
+          Hashtbl.remove t.pending resp.Message.echo_challenge;
+          let verdict = Verifier.check_response verifier ~request:req resp in
+          t.verdicts <- (Simtime.now time, verdict) :: t.verdicts;
+          Trace.recordf trace "verifier: verdict %a" Verifier.pp_verdict verdict)
+      | Message.Sync_response _ as ack ->
+        if Clock_sync.check_sync_ack ~sym_key:t.sym_key ~counter:t.sync_counter ack then begin
+          t.sync_acks <- t.sync_acks + 1;
+          Trace.record trace "verifier: sync acknowledged"
+        end
+        else Trace.record trace "verifier: bad sync ack ignored"
+      | Message.Service_ack { acked_command; _ } ->
+        t.service_acks <- acked_command :: t.service_acks;
+        Trace.recordf trace "verifier: service %s acknowledged" acked_command
+      | Message.Request _ | Message.Sync_request _ | Message.Service_request _ ->
+        Trace.record trace "verifier: ignored non-response message");
+  t
+
+let time t = t.time
+let trace t = t.trace
+let channel t = t.channel
+let verifier t = t.verifier
+let prover t = t.prover
+let anchor t = t.prover.Architecture.anchor
+let device t = t.prover.Architecture.device
+let verdicts t = List.rev t.verdicts
+
+let send_request t =
+  let req = Verifier.make_request t.verifier in
+  Hashtbl.replace t.pending req.Message.challenge req;
+  Channel.send t.channel ~src:Channel.Verifier_side
+    (Message.wire_to_bytes (Message.Request req));
+  req
+
+let deliver_to_prover t req =
+  Channel.deliver t.channel ~dst:Channel.Prover_side
+    (Message.wire_to_bytes (Message.Request req))
+
+let deliver_frame_to_prover t frame =
+  Channel.deliver t.channel ~dst:Channel.Prover_side frame
+
+let deliver_next_to_prover t = Channel.forward_next t.channel ~dst:Channel.Prover_side
+
+let deliver_next_to_verifier t =
+  Channel.forward_next t.channel ~dst:Channel.Verifier_side
+
+let attest_round t =
+  let before = List.length t.verdicts in
+  let _req = send_request t in
+  let _ = deliver_next_to_prover t in
+  (* drain the prover->verifier direction until this round's verdict
+     lands or the wire is empty — under a DoS flood the sweep's response
+     queues behind the attacker's junk *)
+  let rec drain () =
+    if List.length t.verdicts = before && deliver_next_to_verifier t then drain ()
+  in
+  drain ();
+  if List.length t.verdicts > before then Some (snd (List.nth t.verdicts 0)) else None
+
+let sync_round t =
+  t.sync_counter <- Int64.add t.sync_counter 1L;
+  let req = Clock_sync.make_sync_request ~sym_key:t.sym_key ~time:t.time
+      ~counter:t.sync_counter
+  in
+  let before = t.sync_acks in
+  Channel.send t.channel ~src:Channel.Verifier_side (Message.wire_to_bytes req);
+  let _ = deliver_next_to_prover t in
+  let rec drain () =
+    if t.sync_acks = before && deliver_next_to_verifier t then drain ()
+  in
+  drain ();
+  t.sync_acks > before
+
+let service_round t command =
+  t.service_counter <- Int64.add t.service_counter 1L;
+  let req =
+    Service.make_request ~sym_key:t.sym_key ~scheme:(Verifier.scheme t.verifier)
+      ~freshness:(Message.F_counter t.service_counter)
+      command
+  in
+  let before = List.length t.service_acks in
+  Channel.send t.channel ~src:Channel.Verifier_side
+    (Message.wire_to_bytes (Service.request_to_wire req));
+  let _ = deliver_next_to_prover t in
+  let rec drain () =
+    if List.length t.service_acks = before && deliver_next_to_verifier t then drain ()
+  in
+  drain ();
+  List.length t.service_acks > before
+
+let prover_wall_ms t =
+  match t.clock_sync with None -> 0L | Some sync -> Clock_sync.now_ms sync
+
+let advance_time t ~seconds =
+  Simtime.advance_by t.time seconds;
+  Device.idle t.prover.Architecture.device ~seconds

@@ -1,0 +1,74 @@
+(** Wiring of one verifier and one prover over a Dolev-Yao channel, with
+    simulated time kept consistent: while the prover's trust anchor
+    burns cycles, the shared wall clock advances by the same amount, so
+    timestamps, delays and battery drain all line up.
+
+    The channel delivers nothing by itself — call {!attest_round} for a
+    benign exchange (the "adversary" forwards promptly) or drive the
+    channel by hand / through {!Adversary} for attacks. *)
+
+type t
+
+val create :
+  ?spec:Architecture.spec ->
+  ?sym_key:string ->
+  ?ram_seed:int64 ->
+  ?ram_size:int ->
+  unit ->
+  t
+(** Build a fresh world: simulated time at 0, booted prover (default
+    {!Architecture.trustlite_base}), verifier provisioned with the
+    matching key blob and the prover's actual memory image as reference. *)
+
+val time : t -> Ra_net.Simtime.t
+val trace : t -> Ra_net.Trace.t
+val channel : t -> string Ra_net.Channel.t
+(** The wire carries serialized frames ({!Message.wire_to_bytes}); both
+    endpoints parse with the total {!Message.wire_of_bytes} and drop
+    malformed frames (paying the radio cost). *)
+
+val verifier : t -> Verifier.t
+val prover : t -> Architecture.prover
+val anchor : t -> Code_attest.t
+val device : t -> Ra_mcu.Device.t
+
+val verdicts : t -> (float * Verifier.verdict) list
+(** Every response verdict the verifier reached, with its time,
+    chronological order. *)
+
+val send_request : t -> Message.attreq
+(** Verifier builds and sends a request (lands on the wire only). *)
+
+val deliver_to_prover : t -> Message.attreq -> unit
+(** Push a request into the prover; the trust anchor runs, time and
+    energy advance, any response goes onto the wire. *)
+
+val deliver_frame_to_prover : t -> string -> unit
+(** Deliver raw bytes — replayed recordings, fuzz, garbage. *)
+
+val deliver_next_to_prover : t -> bool
+(** Forward the oldest undelivered verifier→prover message. *)
+
+val deliver_next_to_verifier : t -> bool
+
+val attest_round : t -> Verifier.verdict option
+(** One benign end-to-end round; [None] if the prover sent no response
+    (rejected request). *)
+
+val sync_round : t -> bool
+(** One authenticated clock-synchronization exchange (future-work
+    item 2) over the same channel; [true] when the verifier receives a
+    valid acknowledgement. Always [false] on clock-less provers. *)
+
+val service_round : t -> Service.command -> bool
+(** One authenticated service invocation (future-work item 3) over the
+    channel: secure erase, code update or ping; [true] on a received
+    acknowledgement. The service layer uses its own freshness cell with
+    a counter policy and the session's symmetric key. *)
+
+val prover_wall_ms : t -> int64
+(** The prover's offset-corrected wall-clock (0 without a clock). *)
+
+val advance_time : t -> seconds:float -> unit
+(** Let wall-clock time pass for everyone: the network clock and the
+    prover's sleeping device. *)

@@ -1,0 +1,106 @@
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+module C = Ra_crypto
+
+type params = {
+  iterations : int;
+  cycles_per_access : int;
+  cheat_extra_cycles : int;
+  slack_factor : float;
+}
+
+let default_params =
+  { iterations = 0 (* resolved per-device: 3x memory size *);
+    cycles_per_access = 12;
+    cheat_extra_cycles = 3;
+    slack_factor = 1.05 }
+
+type outcome = Accepted | Rejected_wrong_checksum | Rejected_too_slow
+
+type verification = {
+  outcome : outcome;
+  checksum_ok : bool;
+  honest_ms : float;
+  measured_ms : float;
+  budget_ms : float;
+}
+
+let resolve_iterations params device =
+  if params.iterations > 0 then params.iterations else 3 * Device.attested_len device
+
+(* Nonce-seeded pseudorandom walk folded into SHA-1. The walk itself
+   reads through the MPU-mediated path in the *untrusted* context: there
+   is no trust anchor in software-based attestation. *)
+let walk ~read device ~nonce ~iterations =
+  let seed =
+    String.fold_left (fun acc c -> Int64.add (Int64.mul acc 131L) (Int64.of_int (Char.code c)))
+      7L nonce
+  in
+  let prng = C.Prng.create seed in
+  let base = Device.attested_base device in
+  let len = Device.attested_len device in
+  let ctx = C.Sha1.init () in
+  C.Sha1.feed ctx nonce;
+  let buf = Bytes.create 1 in
+  for _ = 1 to iterations do
+    let addr = base + C.Prng.int prng len in
+    Bytes.set buf 0 (Char.chr (read addr));
+    C.Sha1.feed ctx (Bytes.to_string buf)
+  done;
+  C.Sha1.finalize ctx
+
+let checksum device ~nonce ~iterations =
+  let cpu = Device.cpu device in
+  Cpu.consume_cycles cpu (Int64.of_int (iterations * 12));
+  walk ~read:(fun addr -> Cpu.load_byte cpu addr) device ~nonce ~iterations
+
+let ms_of_cycles_at hz cycles = Int64.to_float cycles *. 1000.0 /. float_of_int hz
+
+let attest ?(cheating = false) ~params ~jitter_ms ~reference ~prover nonce =
+  let iterations = resolve_iterations params prover in
+  (* verifier's expected value, from its reference image (free for us;
+     the verifier is a powerful machine) *)
+  let ref_mem = Device.memory reference in
+  let expected =
+    walk ~read:(Ra_mcu.Memory.read_byte ref_mem) reference ~nonce ~iterations
+  in
+  (* prover-side computation, with real cycle charging *)
+  let cpu = Device.cpu prover in
+  let before = Cpu.cycles cpu in
+  let response =
+    if cheating then begin
+      (* the malware keeps a pristine shadow of the pages it modified and
+         redirects the walk there: correct checksum, slower *)
+      let pristine = Ra_mcu.Memory.read_bytes ref_mem (Device.attested_base reference)
+          (Device.attested_len reference)
+      in
+      Cpu.consume_cycles cpu
+        (Int64.of_int (iterations * (params.cycles_per_access + params.cheat_extra_cycles)));
+      walk
+        ~read:(fun addr -> Char.code pristine.[addr - Device.attested_base prover])
+        prover ~nonce ~iterations
+    end
+    else begin
+      Cpu.consume_cycles cpu (Int64.of_int (iterations * params.cycles_per_access));
+      Cpu.with_context cpu Device.region_untrusted (fun () ->
+          walk ~read:(fun addr -> Cpu.load_byte cpu addr) prover ~nonce ~iterations)
+    end
+  in
+  let hz = Cpu.clock_hz cpu in
+  let honest_ms =
+    ms_of_cycles_at hz (Int64.of_int (iterations * params.cycles_per_access))
+  in
+  let compute_ms = ms_of_cycles_at hz (Int64.sub (Cpu.cycles cpu) before) in
+  let measured_ms = compute_ms +. jitter_ms in
+  let budget_ms = honest_ms *. params.slack_factor in
+  let checksum_ok = C.Hexutil.equal_ct expected response in
+  let outcome =
+    if not checksum_ok then Rejected_wrong_checksum
+    else if measured_ms > budget_ms then Rejected_too_slow
+    else Accepted
+  in
+  { outcome; checksum_ok; honest_ms; measured_ms; budget_ms }
+
+let detection_margin_ms ~params ~memory_bytes ~hz =
+  let iterations = if params.iterations > 0 then params.iterations else 3 * memory_bytes in
+  float_of_int (iterations * params.cheat_extra_cycles) *. 1000.0 /. float_of_int hz

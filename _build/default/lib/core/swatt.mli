@@ -1,0 +1,65 @@
+(** A SWATT/Pioneer-style {e software-based} attestation baseline
+    (paper §2, refs [32, 33]): no trust anchor, no key protection — the
+    verifier sends a nonce, the prover computes a pseudorandom-walk
+    checksum over its memory, and the verifier checks both the value and
+    the {e response time}, because a cheating prover that redirects
+    checksum reads around its malware pays a per-access time penalty.
+
+    The paper dismisses this approach for networked provers: "all current
+    software-only techniques … only work if the verifier communicates
+    directly to the prover, with no intermediate hops". This module makes
+    that argument quantitative: the cheater's overhead is a fixed number
+    of cycles, so once network round-trip jitter exceeds it, the timing
+    check must either miss cheaters or reject honest provers. The bench
+    sweeps jitter to show the crossover. *)
+
+type params = {
+  iterations : int; (* pseudorandom accesses per attestation *)
+  cycles_per_access : int; (* honest per-iteration cost *)
+  cheat_extra_cycles : int; (* per-access penalty of the redirection check *)
+  slack_factor : float; (* accepted time = honest time * slack *)
+}
+
+val default_params : params
+(** 3·n accesses for an n-byte memory (the SWATT coupon-collector rule of
+    thumb scaled down), 12 cycles/access honest, +3 cycles/access when
+    cheating, 5 % timing slack. *)
+
+type outcome =
+  | Accepted
+  | Rejected_wrong_checksum
+  | Rejected_too_slow
+
+type verification = {
+  outcome : outcome;
+  checksum_ok : bool;
+  honest_ms : float; (* reference execution time *)
+  measured_ms : float; (* prover time + network jitter *)
+  budget_ms : float; (* acceptance threshold *)
+}
+
+val checksum : Ra_mcu.Device.t -> nonce:string -> iterations:int -> string
+(** The prover-side computation: a nonce-seeded pseudorandom walk over
+    the attested memory folded into a SHA-1 state, charged to the device
+    at [cycles_per_access = 12] per touch. Runs in the untrusted context
+    — software-based attestation has no protected code region. *)
+
+val attest :
+  ?cheating:bool ->
+  params:params ->
+  jitter_ms:float ->
+  reference:Ra_mcu.Device.t ->
+  prover:Ra_mcu.Device.t ->
+  string (* nonce *) ->
+  verification
+(** One attestation: the verifier computes the expected checksum on its
+    [reference] device image and times the [prover]. [cheating] makes the
+    prover compute over a pristine shadow copy (so the checksum matches
+    the reference even if its real memory is infected) at
+    [cheat_extra_cycles] per access. [jitter_ms] is added to the measured
+    time — the network the paper says this scheme cannot survive. *)
+
+val detection_margin_ms :
+  params:params -> memory_bytes:int -> hz:int -> float
+(** The cheater's total time penalty: the jitter level beyond which
+    timing-based attestation stops working. *)

@@ -1,0 +1,71 @@
+module Device = Ra_mcu.Device
+module Memory = Ra_mcu.Memory
+module Region = Ra_mcu.Region
+module Ea_mpu = Ra_mcu.Ea_mpu
+
+type spec = {
+  trustlet_name : string;
+  code_region : string;
+  data_base : int;
+  data_size : int;
+  entry_points : int list;
+  shared_read : bool;
+}
+
+type t = { device : Device.t; mutable specs : spec list }
+
+let create device = { device; specs = [] }
+
+let rule_of spec =
+  {
+    Ea_mpu.rule_name = "trustlet:" ^ spec.trustlet_name;
+    data_base = spec.data_base;
+    data_size = spec.data_size;
+    read_by =
+      (if spec.shared_read then Ea_mpu.Anyone else Ea_mpu.Code_in [ spec.code_region ]);
+    write_by = Ea_mpu.Code_in [ spec.code_region ];
+  }
+
+let ranges_overlap a b =
+  a.data_base < b.data_base + b.data_size && b.data_base < a.data_base + a.data_size
+
+let validate t spec =
+  if spec.data_size <= 0 then invalid_arg "Trustlet.register: empty data range";
+  (match Memory.region_of_addr (Device.memory t.device) spec.data_base with
+  | Some _ -> ()
+  | None -> invalid_arg "Trustlet.register: data range unmapped");
+  (try ignore (Memory.region_named (Device.memory t.device) spec.code_region)
+   with Not_found -> invalid_arg "Trustlet.register: unknown code region");
+  let code = Memory.region_named (Device.memory t.device) spec.code_region in
+  List.iter
+    (fun entry ->
+      if not (Region.contains code entry) then
+        invalid_arg "Trustlet.register: entry point outside the code region")
+    spec.entry_points;
+  List.iter
+    (fun existing ->
+      if existing.trustlet_name = spec.trustlet_name then
+        invalid_arg "Trustlet.register: duplicate name";
+      if ranges_overlap existing spec then
+        invalid_arg "Trustlet.register: data ranges overlap")
+    t.specs
+
+let register t spec =
+  validate t spec;
+  Ea_mpu.program (Device.mpu t.device) (rule_of spec);
+  t.specs <- t.specs @ [ spec ]
+
+let registered t = t.specs
+
+let bind_core t core =
+  (* several trustlets may share a code region; their entry sets merge *)
+  let by_region = Hashtbl.create 4 in
+  List.iter
+    (fun spec ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_region spec.code_region) in
+      Hashtbl.replace by_region spec.code_region (existing @ spec.entry_points))
+    t.specs;
+  Hashtbl.iter (fun region entries -> Ra_isa.Core.allow_entries core ~region entries)
+    by_region
+
+let lockdown t = Ea_mpu.lock (Device.mpu t.device)

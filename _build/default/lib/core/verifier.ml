@@ -1,0 +1,98 @@
+module C = Ra_crypto
+module Timing = Ra_mcu.Timing
+module Simtime = Ra_net.Simtime
+
+type freshness_kind = Fk_none | Fk_nonce | Fk_counter | Fk_timestamp
+
+type verdict = Trusted | Untrusted_state | Invalid_response
+
+type t = {
+  scheme : Timing.auth_scheme option;
+  freshness_kind : freshness_kind;
+  sym_key : string;
+  ecdsa : C.Ecdsa.keypair option;
+  time : Simtime.t;
+  drbg : C.Drbg.t;
+  mutable counter : int64;
+  mutable reference_image : string;
+}
+
+let create ~scheme ~freshness_kind ~sym_key ?(ecdsa_seed = "verifier") ~time
+    ~reference_image () =
+  if String.length sym_key <> Auth.k_attest_len then
+    invalid_arg "Verifier.create: sym_key must be 20 bytes";
+  let ecdsa =
+    match scheme with
+    | Some Timing.Auth_ecdsa_verify ->
+      Some (C.Ecdsa.generate_keypair C.Ec.secp160r1 ~seed:ecdsa_seed)
+    | Some
+        ( Timing.Auth_hmac_sha1 | Timing.Auth_aes128_cbc_mac
+        | Timing.Auth_speck64_cbc_mac )
+    | None ->
+      None
+  in
+  {
+    scheme;
+    freshness_kind;
+    sym_key;
+    ecdsa;
+    time;
+    drbg = C.Drbg.create ~personalization:"verifier-challenges" ~seed:sym_key ();
+    counter = 0L;
+    reference_image;
+  }
+
+let prover_key_blob t =
+  Auth.prover_key_blob ~sym_key:t.sym_key
+    ~public:(Option.map (fun kp -> kp.C.Ecdsa.public) t.ecdsa)
+
+let scheme t = t.scheme
+let next_counter_value t = Int64.add t.counter 1L
+
+let now_ms t = Int64.of_float (Simtime.now t.time *. 1000.0)
+
+let make_freshness t =
+  match t.freshness_kind with
+  | Fk_none -> Message.F_none
+  | Fk_nonce -> Message.F_nonce (C.Drbg.generate t.drbg 16)
+  | Fk_counter ->
+    t.counter <- Int64.add t.counter 1L;
+    Message.F_counter t.counter
+  | Fk_timestamp -> Message.F_timestamp (now_ms t)
+
+let make_request t =
+  let challenge = C.Drbg.generate t.drbg 16 in
+  let freshness = make_freshness t in
+  let body = Message.request_body ~challenge ~freshness in
+  let tag =
+    match t.scheme with
+    | None -> Message.Tag_none
+    | Some scheme ->
+      let secret =
+        match t.ecdsa with
+        | Some kp -> Auth.Vs_ecdsa kp
+        | None -> Auth.Vs_symmetric t.sym_key
+      in
+      Auth.tag_request scheme secret ~body
+  in
+  { Message.challenge; freshness; tag }
+
+let check_response t ~request (resp : Message.attresp) =
+  if
+    resp.Message.echo_challenge <> request.Message.challenge
+    || resp.Message.echo_freshness <> request.Message.freshness
+  then Invalid_response
+  else begin
+    let body = Message.response_body resp in
+    let expected =
+      Auth.response_report ~sym_key:t.sym_key ~body ~memory_image:t.reference_image
+    in
+    if C.Hexutil.equal_ct expected resp.Message.report then Trusted else Untrusted_state
+  end
+
+let set_reference_image t image = t.reference_image <- image
+
+let pp_verdict fmt = function
+  | Trusted -> Format.pp_print_string fmt "trusted"
+  | Untrusted_state -> Format.pp_print_string fmt "untrusted state"
+  | Invalid_response -> Format.pp_print_string fmt "invalid response"

@@ -1,0 +1,45 @@
+(** The verifier: issues authenticated, fresh attestation requests and
+    validates the prover's reports against a known-good reference image
+    of the prover's memory. *)
+
+type freshness_kind = Fk_none | Fk_nonce | Fk_counter | Fk_timestamp
+
+type verdict =
+  | Trusted (* report matches the reference state *)
+  | Untrusted_state (* authentic-looking response, wrong memory *)
+  | Invalid_response (* echo mismatch / malformed *)
+
+type t
+
+val create :
+  scheme:Ra_mcu.Timing.auth_scheme option ->
+  freshness_kind:freshness_kind ->
+  sym_key:string ->
+  ?ecdsa_seed:string ->
+  time:Ra_net.Simtime.t ->
+  reference_image:string ->
+  unit ->
+  t
+(** [sym_key] is the 20-byte K_attest shared with the prover. The ECDSA
+    keypair (for [Auth_ecdsa_verify]) is derived deterministically from
+    [ecdsa_seed] (default ["verifier"]).
+    @raise Invalid_argument on a bad key length. *)
+
+val prover_key_blob : t -> string
+(** The blob to provision into the prover's protected key storage. *)
+
+val scheme : t -> Ra_mcu.Timing.auth_scheme option
+val next_counter_value : t -> int64
+(** The counter the next request will carry (monotonically increasing). *)
+
+val make_request : t -> Message.attreq
+(** Build the next request: fresh challenge, freshness field per
+    [freshness_kind] (counter incremented, timestamp = current simulated
+    time), authenticated per [scheme]. *)
+
+val check_response : t -> request:Message.attreq -> Message.attresp -> verdict
+
+val set_reference_image : t -> string -> unit
+(** Update the known-good state (e.g. after an authorized code update). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Char Format Hexutil List Stdlib String

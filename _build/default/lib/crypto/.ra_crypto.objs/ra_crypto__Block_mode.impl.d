@@ -1,0 +1,1 @@
+lib/crypto/block_mode.ml: Aes Buffer Char Hexutil List Simon Speck String

@@ -1,0 +1,1 @@
+lib/crypto/ecdsa.mli: Bignum Ec

@@ -1,0 +1,1 @@
+lib/crypto/hexutil.ml: Bytes Char List String

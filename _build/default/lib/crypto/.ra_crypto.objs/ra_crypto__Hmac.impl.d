@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Hexutil Sha1 Sha256 String

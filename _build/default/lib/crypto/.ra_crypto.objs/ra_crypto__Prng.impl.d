@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/simon.ml: Array Char String

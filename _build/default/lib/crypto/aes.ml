@@ -1,0 +1,168 @@
+(* Byte-oriented AES-128: 4x4 state, table-driven S-boxes, xtime-based
+   MixColumns. Clarity over speed; host throughput is still far beyond the
+   simulated 24 MHz MCU this models. *)
+
+let block_size = 16
+let key_size = 16
+let rounds = 10
+
+let sbox =
+  [| 0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b;
+     0xfe; 0xd7; 0xab; 0x76; 0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0;
+     0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0; 0xb7; 0xfd; 0x93; 0x26;
+     0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+     0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2;
+     0xeb; 0x27; 0xb2; 0x75; 0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0;
+     0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84; 0x53; 0xd1; 0x00; 0xed;
+     0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+     0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f;
+     0x50; 0x3c; 0x9f; 0xa8; 0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5;
+     0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2; 0xcd; 0x0c; 0x13; 0xec;
+     0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+     0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14;
+     0xde; 0x5e; 0x0b; 0xdb; 0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c;
+     0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79; 0xe7; 0xc8; 0x37; 0x6d;
+     0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+     0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f;
+     0x4b; 0xbd; 0x8b; 0x8a; 0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e;
+     0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e; 0xe1; 0xf8; 0x98; 0x11;
+     0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+     0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f;
+     0xb0; 0x54; 0xbb; 0x16 |]
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+type key = { enc : int array array }
+(* enc.(r) is round key r as 16 bytes in column order. *)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let expand k =
+  if String.length k <> key_size then invalid_arg "Aes.expand: need 16 bytes";
+  (* 44 words of 4 bytes *)
+  let w = Array.make 44 [||] in
+  for i = 0 to 3 do
+    w.(i) <-
+      [| Char.code k.[4 * i]; Char.code k.[(4 * i) + 1];
+         Char.code k.[(4 * i) + 2]; Char.code k.[(4 * i) + 3] |]
+  done;
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* rotword + subword + rcon *)
+      let t0 = temp.(0) in
+      temp.(0) <- sbox.(temp.(1)) lxor rcon.((i / 4) - 1);
+      temp.(1) <- sbox.(temp.(2));
+      temp.(2) <- sbox.(temp.(3));
+      temp.(3) <- sbox.(t0)
+    end;
+    w.(i) <- Array.init 4 (fun j -> w.(i - 4).(j) lxor temp.(j))
+  done;
+  let enc =
+    Array.init (rounds + 1) (fun r ->
+        Array.init 16 (fun i -> w.((4 * r) + (i / 4)).(i mod 4)))
+  in
+  { enc }
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2 land 0xff
+
+let gmul a b =
+  (* GF(2^8) multiply via shift-and-add; [a] is data, [b] a small constant. *)
+  let acc = ref 0 in
+  let a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+(* State layout: state.(4*col + row), matching the key schedule above. *)
+
+let shift_rows state =
+  let s r c = state.((4 * c) + r) in
+  let out = Array.make 16 0 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      out.((4 * c) + r) <- s r ((c + r) mod 4)
+    done
+  done;
+  Array.blit out 0 state 0 16
+
+let inv_shift_rows state =
+  let s r c = state.((4 * c) + r) in
+  let out = Array.make 16 0 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      out.((4 * c) + r) <- s r ((c - r + 4) mod 4)
+    done
+  done;
+  Array.blit out 0 state 0 16
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1)
+    and a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    state.((4 * c) + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1)
+    and a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    state.((4 * c) + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    state.((4 * c) + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    state.((4 * c) + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let sub_bytes state table =
+  for i = 0 to 15 do
+    state.(i) <- table.(state.(i))
+  done
+
+let of_string s = Array.init 16 (fun i -> Char.code s.[i])
+let to_string a = String.init 16 (fun i -> Char.chr a.(i))
+
+let encrypt_block k pt =
+  if String.length pt <> block_size then invalid_arg "Aes.encrypt_block";
+  let st = of_string pt in
+  add_round_key st k.enc.(0);
+  for r = 1 to rounds - 1 do
+    sub_bytes st sbox;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st k.enc.(r)
+  done;
+  sub_bytes st sbox;
+  shift_rows st;
+  add_round_key st k.enc.(rounds);
+  to_string st
+
+let decrypt_block k ct =
+  if String.length ct <> block_size then invalid_arg "Aes.decrypt_block";
+  let st = of_string ct in
+  add_round_key st k.enc.(rounds);
+  for r = rounds - 1 downto 1 do
+    inv_shift_rows st;
+    sub_bytes st inv_sbox;
+    add_round_key st k.enc.(r);
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  sub_bytes st inv_sbox;
+  add_round_key st k.enc.(0);
+  to_string st

@@ -1,0 +1,36 @@
+(** Generic block-cipher modes: CBC encryption (with PKCS#7 padding) and
+    CBC-MAC. §3.1 of the paper notes a prover MAC is "usually implemented
+    as either a CBC-based function based on a block cipher (such as AES)
+    or a keyed hash function"; this module provides the former for both
+    AES-128 and Speck 64/128. *)
+
+type cipher = {
+  block_size : int;
+  encrypt : string -> string; (* one block *)
+  decrypt : string -> string; (* one block *)
+}
+(** A block cipher with its key already expanded. *)
+
+val aes : Aes.key -> cipher
+val speck : Speck.key -> cipher
+val simon : Simon.key -> cipher
+
+val pad_pkcs7 : int -> string -> string
+(** Pad to a multiple of the block size; always adds at least one byte. *)
+
+val unpad_pkcs7 : string -> string option
+(** [None] if the padding is malformed. *)
+
+val cbc_encrypt : cipher -> iv:string -> string -> string
+(** PKCS#7-padded CBC encryption.
+    @raise Invalid_argument if [iv] is not one block. *)
+
+val cbc_decrypt : cipher -> iv:string -> string -> string option
+(** Inverse of {!cbc_encrypt}; [None] on bad length or padding. *)
+
+val cbc_mac : cipher -> string -> string
+(** Length-prepended CBC-MAC (zero IV): prefixing the message length makes
+    plain CBC-MAC secure for variable-length messages. Tag is one block. *)
+
+val cbc_mac_verify : cipher -> msg:string -> tag:string -> bool
+(** Constant-time tag check. *)

@@ -1,0 +1,47 @@
+type key = { aes : Aes.key; k1 : string; k2 : string }
+
+let block = 16
+
+(* doubling in GF(2^128) with the x^128 + x^7 + x^2 + x + 1 polynomial *)
+let dbl s =
+  let out = Bytes.create block in
+  let carry = ref 0 in
+  for i = block - 1 downto 0 do
+    let v = (Char.code s.[i] lsl 1) lor !carry in
+    Bytes.set out i (Char.chr (v land 0xff));
+    carry := (v lsr 8) land 1
+  done;
+  if Char.code s.[0] land 0x80 <> 0 then
+    Bytes.set out (block - 1)
+      (Char.chr (Char.code (Bytes.get out (block - 1)) lxor 0x87));
+  Bytes.to_string out
+
+let derive aes =
+  let l = Aes.encrypt_block aes (String.make block '\x00') in
+  let k1 = dbl l in
+  { aes; k1; k2 = dbl k1 }
+
+let mac key msg =
+  let len = String.length msg in
+  let full_blocks, last, last_complete =
+    if len = 0 then (0, "", false)
+    else begin
+      let q = (len + block - 1) / block in
+      let last_len = len - ((q - 1) * block) in
+      (q - 1, String.sub msg ((q - 1) * block) last_len, last_len = block)
+    end
+  in
+  let final =
+    if last_complete then Hexutil.xor last key.k1
+    else begin
+      let padded = last ^ "\x80" ^ String.make (block - String.length last - 1) '\x00' in
+      Hexutil.xor padded key.k2
+    end
+  in
+  let state = ref (String.make block '\x00') in
+  for i = 0 to full_blocks - 1 do
+    state := Aes.encrypt_block key.aes (Hexutil.xor !state (String.sub msg (i * block) block))
+  done;
+  Aes.encrypt_block key.aes (Hexutil.xor !state final)
+
+let verify key ~msg ~tag = Hexutil.equal_ct (mac key msg) tag

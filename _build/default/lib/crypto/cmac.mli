@@ -1,0 +1,16 @@
+(** AES-CMAC (OMAC1, RFC 4493): the standardized fix of raw CBC-MAC for
+    variable-length messages, using GF(2^128)-doubled subkeys instead of
+    the length prefix {!Block_mode.cbc_mac} uses. Both are "CBC-based
+    functions" in the sense of the paper's §3.1; this one interoperates
+    with other implementations. *)
+
+type key
+
+val derive : Aes.key -> key
+(** Derive the CMAC subkeys from an expanded AES-128 key. *)
+
+val mac : key -> string -> string
+(** 16-byte tag over an arbitrary-length message. *)
+
+val verify : key -> msg:string -> tag:string -> bool
+(** Constant-time comparison. *)

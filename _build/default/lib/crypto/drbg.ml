@@ -1,0 +1,37 @@
+(* HMAC-DRBG with SHA-256: state is (K, V); update/generate follow
+   SP 800-90A §10.1.2 (no prediction resistance, no explicit reseed
+   counter enforcement — our seeds are test/simulation inputs). *)
+
+type t = { mutable k : string; mutable v : string }
+
+let hash = Hmac.sha256
+let hmac ~key msg = Hmac.mac hash ~key msg
+
+let update t provided =
+  t.k <- hmac ~key:t.k (t.v ^ "\x00" ^ provided);
+  t.v <- hmac ~key:t.k t.v;
+  if String.length provided > 0 then begin
+    t.k <- hmac ~key:t.k (t.v ^ "\x01" ^ provided);
+    t.v <- hmac ~key:t.k t.v
+  end
+
+let create ?(personalization = "") ~seed () =
+  let t =
+    {
+      k = String.make hash.Hmac.digest_size '\x00';
+      v = String.make hash.Hmac.digest_size '\x01';
+    }
+  in
+  update t (seed ^ personalization);
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- hmac ~key:t.k t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  Buffer.sub buf 0 n

@@ -1,0 +1,50 @@
+let hex_digit n = "0123456789abcdef".[n]
+
+let to_hex s =
+  let b = Bytes.create (2 * String.length s) in
+  String.iteri
+    (fun i c ->
+      let v = Char.code c in
+      Bytes.set b (2 * i) (hex_digit (v lsr 4));
+      Bytes.set b ((2 * i) + 1) (hex_digit (v land 0xf)))
+    s;
+  Bytes.unsafe_to_string b
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hexutil.of_hex: bad digit"
+
+let of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Hexutil.of_hex: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((nibble h.[2 * i] lsl 4) lor nibble h.[(2 * i) + 1]))
+
+let xor a b =
+  if String.length a <> String.length b then invalid_arg "Hexutil.xor";
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let equal_ct a b =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to String.length a - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end
+
+let chunks n s =
+  if n <= 0 then invalid_arg "Hexutil.chunks";
+  let len = String.length s in
+  let rec loop off acc =
+    if off >= len then List.rev acc
+    else
+      let size = min n (len - off) in
+      loop (off + size) (String.sub s off size :: acc)
+  in
+  loop 0 []

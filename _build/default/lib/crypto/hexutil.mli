@@ -1,0 +1,24 @@
+(** Byte-string helpers shared by the primitives: hex conversion, xor,
+    and constant-time comparison (MAC verification must not leak via
+    early-exit timing). *)
+
+val to_hex : string -> string
+(** [to_hex s] is the lowercase hexadecimal rendering of [s]. *)
+
+val of_hex : string -> string
+(** [of_hex h] decodes a hex string (case-insensitive, even length).
+    @raise Invalid_argument on malformed input. *)
+
+val xor : string -> string -> string
+(** [xor a b] is the byte-wise xor of two equal-length strings.
+    @raise Invalid_argument if lengths differ. *)
+
+val equal_ct : string -> string -> bool
+(** [equal_ct a b] compares in time independent of the position of the
+    first difference. Unequal lengths compare unequal (length may leak;
+    MAC lengths are public). *)
+
+val chunks : int -> string -> string list
+(** [chunks n s] splits [s] into [n]-byte pieces; the last piece may be
+    shorter. [chunks n ""] is [[]].
+    @raise Invalid_argument if [n <= 0]. *)

@@ -1,0 +1,20 @@
+let hash = Hmac.sha256
+let hash_len = 32
+
+let extract ?salt ~ikm () =
+  let salt = match salt with Some s -> s | None -> String.make hash_len '\x00' in
+  Hmac.mac hash ~key:salt ikm
+
+let expand ~prk ~info ~length =
+  if length <= 0 || length > 255 * hash_len then invalid_arg "Hkdf.expand: bad length";
+  let blocks = (length + hash_len - 1) / hash_len in
+  let buf = Buffer.create (blocks * hash_len) in
+  let prev = ref "" in
+  for i = 1 to blocks do
+    prev := Hmac.mac hash ~key:prk (!prev ^ info ^ String.make 1 (Char.chr i));
+    Buffer.add_string buf !prev
+  done;
+  Buffer.sub buf 0 length
+
+let derive ?salt ~ikm ~info ~length () =
+  expand ~prk:(extract ?salt ~ikm ()) ~info ~length

@@ -1,0 +1,18 @@
+(** HKDF (RFC 5869) over HMAC-SHA256: extract-then-expand key derivation.
+
+    Used for fleet provisioning: each prover's K_attest is derived from
+    the operator's master secret and the device identity, so the verifier
+    stores one secret and a compromise of one device (the roaming
+    adversary's Phase II against an unprotected key) does not leak its
+    siblings' keys. *)
+
+val extract : ?salt:string -> ikm:string -> unit -> string
+(** [extract ~salt ~ikm ()] is the 32-byte pseudorandom key
+    HMAC(salt, ikm); an absent salt means 32 zero bytes, per the RFC. *)
+
+val expand : prk:string -> info:string -> length:int -> string
+(** @raise Invalid_argument if [length] exceeds 255·32 bytes or is
+    non-positive. *)
+
+val derive : ?salt:string -> ikm:string -> info:string -> length:int -> unit -> string
+(** [expand (extract ...)] in one step. *)

@@ -1,0 +1,27 @@
+type hash = {
+  digest : string -> string;
+  digest_size : int;
+  block_size : int;
+}
+
+let sha1 =
+  { digest = Sha1.digest; digest_size = Sha1.digest_size; block_size = Sha1.block_size }
+
+let sha256 =
+  {
+    digest = Sha256.digest;
+    digest_size = Sha256.digest_size;
+    block_size = Sha256.block_size;
+  }
+
+let normalize_key h key =
+  let key = if String.length key > h.block_size then h.digest key else key in
+  key ^ String.make (h.block_size - String.length key) '\x00'
+
+let mac h ~key msg =
+  let key = normalize_key h key in
+  let ipad = Hexutil.xor key (String.make h.block_size '\x36') in
+  let opad = Hexutil.xor key (String.make h.block_size '\x5c') in
+  h.digest (opad ^ h.digest (ipad ^ msg))
+
+let verify h ~key ~msg ~tag = Hexutil.equal_ct (mac h ~key msg) tag

@@ -1,0 +1,21 @@
+(** HMAC (RFC 2104) over a pluggable hash.
+
+    §4.1 of the paper authenticates attestation requests with SHA1-HMAC;
+    the attestation *response* is likewise an HMAC over prover memory. *)
+
+type hash = {
+  digest : string -> string;
+  digest_size : int;
+  block_size : int;
+}
+(** First-class hash description so HMAC is generic over SHA-1/SHA-256. *)
+
+val sha1 : hash
+val sha256 : hash
+
+val mac : hash -> key:string -> string -> string
+(** [mac h ~key msg] is HMAC_h(key, msg). Keys longer than the hash block
+    are first hashed, as RFC 2104 requires. *)
+
+val verify : hash -> key:string -> msg:string -> tag:string -> bool
+(** Constant-time tag comparison. *)

@@ -1,0 +1,26 @@
+(** SHA-1 (FIPS 180-4), implemented from scratch.
+
+    The paper's Table 1 measures SHA1-HMAC on the prover, and §3.1 costs a
+    SHA1-HMAC over the prover's whole writable memory; this module is the
+    functional core of both. Streaming interface plus one-shot digest. *)
+
+type ctx
+(** Mutable hashing context. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes; may be called repeatedly. *)
+
+val finalize : ctx -> string
+(** Complete the hash and return the 20-byte digest. The context must not
+    be used afterwards. *)
+
+val digest : string -> string
+(** One-shot: [digest s = finalize (feed (init ()) s)]. *)
+
+val digest_size : int
+(** 20 bytes. *)
+
+val block_size : int
+(** 64 bytes — the size the per-block cost in Table 1 refers to. *)

@@ -1,0 +1,138 @@
+(* SHA-256 with the same streaming skeleton as {!Sha1}. *)
+
+let digest_size = 32
+let block_size = 64
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type ctx = {
+  state : int32 array;
+  buf : Bytes.t;
+  mutable buf_len : int;
+  mutable total : int64;
+}
+
+let init () =
+  {
+    state =
+      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0L;
+  }
+
+let rotr32 x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let shr32 x n = Int32.shift_right_logical x n
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let ( &% ) = Int32.logand
+
+let compress state block off =
+  let w = Array.make 64 0l in
+  for t = 0 to 15 do
+    let base = off + (4 * t) in
+    let b i = Int32.of_int (Char.code (Bytes.get block (base + i))) in
+    w.(t) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor
+           (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr32 w.(t - 15) 7 ^% rotr32 w.(t - 15) 18 ^% shr32 w.(t - 15) 3 in
+    let s1 = rotr32 w.(t - 2) 17 ^% rotr32 w.(t - 2) 19 ^% shr32 w.(t - 2) 10 in
+    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+  done;
+  let a = ref state.(0) and b = ref state.(1) and c = ref state.(2)
+  and d = ref state.(3) and e = ref state.(4) and f = ref state.(5)
+  and g = ref state.(6) and h = ref state.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr32 !e 6 ^% rotr32 !e 11 ^% rotr32 !e 25 in
+    let ch = (!e &% !f) ^% (Int32.lognot !e &% !g) in
+    let temp1 = !h +% s1 +% ch +% k.(t) +% w.(t) in
+    let s0 = rotr32 !a 2 ^% rotr32 !a 13 ^% rotr32 !a 22 in
+    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
+    let temp2 = s0 +% maj in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := temp1 +% temp2
+  done;
+  state.(0) <- state.(0) +% !a;
+  state.(1) <- state.(1) +% !b;
+  state.(2) <- state.(2) +% !c;
+  state.(3) <- state.(3) +% !d;
+  state.(4) <- state.(4) +% !e;
+  state.(5) <- state.(5) +% !f;
+  state.(6) <- state.(6) +% !g;
+  state.(7) <- state.(7) +% !h
+
+let feed t s =
+  let len = String.length s in
+  t.total <- Int64.add t.total (Int64.of_int len);
+  let pos = ref 0 in
+  if t.buf_len > 0 then begin
+    let take = min (block_size - t.buf_len) len in
+    Bytes.blit_string s 0 t.buf t.buf_len take;
+    t.buf_len <- t.buf_len + take;
+    pos := take;
+    if t.buf_len = block_size then begin
+      compress t.state t.buf 0;
+      t.buf_len <- 0
+    end
+  end;
+  while len - !pos >= block_size do
+    Bytes.blit_string s !pos t.buf 0 block_size;
+    compress t.state t.buf 0;
+    pos := !pos + block_size
+  done;
+  let rest = len - !pos in
+  if rest > 0 then begin
+    Bytes.blit_string s !pos t.buf t.buf_len rest;
+    t.buf_len <- t.buf_len + rest
+  end
+
+let finalize t =
+  let bits = Int64.mul t.total 8L in
+  Bytes.set t.buf t.buf_len '\x80';
+  t.buf_len <- t.buf_len + 1;
+  if t.buf_len > block_size - 8 then begin
+    Bytes.fill t.buf t.buf_len (block_size - t.buf_len) '\x00';
+    compress t.state t.buf 0;
+    t.buf_len <- 0
+  end;
+  Bytes.fill t.buf t.buf_len (block_size - 8 - t.buf_len) '\x00';
+  for i = 0 to 7 do
+    Bytes.set t.buf
+      (block_size - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done;
+  compress t.state t.buf 0;
+  String.init digest_size (fun i ->
+      let word = t.state.(i / 4) in
+      let shift = 8 * (3 - (i mod 4)) in
+      Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xFFl)))
+
+let digest s =
+  let t = init () in
+  feed t s;
+  finalize t

@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used by the secure-boot measurement (the boot ROM hashes the loaded
+    image and compares it to the reference digest) and available as an
+    alternative HMAC hash. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** 32-byte digest; the context must not be reused. *)
+
+val digest : string -> string
+
+val digest_size : int
+(** 32 bytes. *)
+
+val block_size : int
+(** 64 bytes. *)

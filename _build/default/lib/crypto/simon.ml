@@ -1,0 +1,59 @@
+(* Simon 64/128 per ePrint 2013/404: word size 32, 44 rounds, constant
+   sequence z3, m = 4 key words. *)
+
+let block_size = 8
+let key_size = 16
+let rounds = 44
+let mask = 0xFFFFFFFF
+
+(* z3, 62 bits *)
+let z3 = "11011011101011000110010111100000010010001010011100110100001111"
+
+type key = { rk : int array }
+
+let rol x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+let ror x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let word_of_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let le_of_word w = String.init 4 (fun i -> Char.chr ((w lsr (8 * i)) land 0xff))
+
+let expand k =
+  if String.length k <> key_size then invalid_arg "Simon.expand: need 16 bytes";
+  let rk = Array.make rounds 0 in
+  for i = 0 to 3 do
+    rk.(i) <- word_of_le k (4 * i)
+  done;
+  for i = 4 to rounds - 1 do
+    let tmp = ror rk.(i - 1) 3 lxor rk.(i - 3) in
+    let tmp = tmp lxor ror tmp 1 in
+    let z = if z3.[(i - 4) mod 62] = '1' then 1 else 0 in
+    rk.(i) <- mask land (lnot rk.(i - 4)) lxor tmp lxor z lxor 3
+  done;
+  { rk }
+
+let f x = (rol x 1 land rol x 8) lxor rol x 2
+
+let encrypt_block k pt =
+  if String.length pt <> block_size then invalid_arg "Simon.encrypt_block";
+  let y = ref (word_of_le pt 0) and x = ref (word_of_le pt 4) in
+  for i = 0 to rounds - 1 do
+    let tmp = !x in
+    x := !y lxor f !x lxor k.rk.(i);
+    y := tmp
+  done;
+  le_of_word !y ^ le_of_word !x
+
+let decrypt_block k ct =
+  if String.length ct <> block_size then invalid_arg "Simon.decrypt_block";
+  let y = ref (word_of_le ct 0) and x = ref (word_of_le ct 4) in
+  for i = rounds - 1 downto 0 do
+    let tmp = !y in
+    y := !x lxor f !y lxor k.rk.(i);
+    x := tmp
+  done;
+  le_of_word !y ^ le_of_word !x

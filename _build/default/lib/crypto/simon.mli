@@ -1,0 +1,23 @@
+(** Simon 64/128 lightweight block cipher — the sibling of Speck from the
+    paper's reference [4] (Beaulieu et al., "The SIMON and SPECK Families
+    of Lightweight Block Ciphers"): 64-bit blocks, 128-bit keys,
+    44 rounds. Simon is the hardware-leaning family member; it rounds out
+    the lightweight-MAC options for request authentication. Byte
+    conventions match {!Speck} (little-endian words, low word first). *)
+
+type key
+
+val block_size : int
+(** 8 bytes. *)
+
+val key_size : int
+(** 16 bytes. *)
+
+val expand : string -> key
+(** @raise Invalid_argument if the key is not 16 bytes. *)
+
+val encrypt_block : key -> string -> string
+(** @raise Invalid_argument on bad block length. *)
+
+val decrypt_block : key -> string -> string
+(** @raise Invalid_argument on bad block length. *)

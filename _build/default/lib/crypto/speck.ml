@@ -1,0 +1,65 @@
+(* Speck 64/128 as specified in ePrint 2013/404: word size 32, 27 rounds,
+   rotations alpha=8 beta=3. Words are little-endian within the block, and
+   the (y, x) word order follows the reference implementation, so the
+   published test vectors check out (see test suite). *)
+
+let block_size = 8
+let key_size = 16
+let rounds = 27
+let mask = 0xFFFFFFFF
+
+type key = { rk : int array }
+
+let ror x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+let rol x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let round_enc k (x, y) =
+  let x = (ror x 8 + y) land mask lxor k in
+  let y = rol y 3 lxor x in
+  (x, y)
+
+let round_dec k (x, y) =
+  let y = ror (y lxor x) 3 in
+  let x = rol (((x lxor k) - y) land mask) 8 in
+  (x, y)
+
+let word_of_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let le_of_word w =
+  String.init 4 (fun i -> Char.chr ((w lsr (8 * i)) land 0xff))
+
+let expand k =
+  if String.length k <> key_size then invalid_arg "Speck.expand: need 16 bytes";
+  (* key words: k0 is the low word, l0..l2 the rest *)
+  let k0 = word_of_le k 0 in
+  let l = Array.make (rounds + 2) 0 in
+  l.(0) <- word_of_le k 4;
+  l.(1) <- word_of_le k 8;
+  l.(2) <- word_of_le k 12;
+  let rk = Array.make rounds 0 in
+  rk.(0) <- k0;
+  for i = 0 to rounds - 2 do
+    l.(i + 3) <- ((rk.(i) + ror l.(i) 8) land mask) lxor i;
+    rk.(i + 1) <- rol rk.(i) 3 lxor l.(i + 3)
+  done;
+  { rk }
+
+let encrypt_block k pt =
+  if String.length pt <> block_size then invalid_arg "Speck.encrypt_block";
+  let y = word_of_le pt 0 and x = word_of_le pt 4 in
+  let x, y = Array.fold_left (fun st rk -> round_enc rk st) (x, y) k.rk in
+  le_of_word y ^ le_of_word x
+
+let decrypt_block k ct =
+  if String.length ct <> block_size then invalid_arg "Speck.decrypt_block";
+  let y = word_of_le ct 0 and x = word_of_le ct 4 in
+  let st = ref (x, y) in
+  for i = rounds - 1 downto 0 do
+    st := round_dec k.rk.(i) !st
+  done;
+  let x, y = !st in
+  le_of_word y ^ le_of_word x

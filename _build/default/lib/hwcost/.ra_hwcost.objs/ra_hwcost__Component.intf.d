@@ -1,0 +1,1 @@
+lib/hwcost/component.mli: Format

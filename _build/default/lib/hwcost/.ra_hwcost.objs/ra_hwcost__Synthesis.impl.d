@@ -1,0 +1,1 @@
+lib/hwcost/synthesis.ml: Component Format List

@@ -1,0 +1,1 @@
+lib/hwcost/synthesis.mli: Component Format

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Char Format Insn List Printf Ra_mcu String

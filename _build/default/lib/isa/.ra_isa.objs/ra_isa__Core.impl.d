@@ -1,0 +1,1 @@
+lib/isa/core.ml: Array Format Hashtbl Insn Int64 List Option Printf Ra_mcu

@@ -1,0 +1,1 @@
+lib/isa/core.mli: Format Ra_mcu

@@ -1,0 +1,1 @@
+lib/isa/irq.ml: Array Core Ra_mcu

@@ -1,0 +1,1 @@
+lib/isa/irq.mli: Core Ra_mcu

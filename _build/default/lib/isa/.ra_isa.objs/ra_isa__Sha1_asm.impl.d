@@ -1,0 +1,1 @@
+lib/isa/sha1_asm.ml: Asm Buffer Char Core Format Int64 List Printf Ra_mcu String

@@ -1,0 +1,1 @@
+lib/isa/sha1_asm.mli: Ra_mcu

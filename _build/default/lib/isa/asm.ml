@@ -1,0 +1,281 @@
+type program = {
+  origin : int;
+  instructions : Insn.t list;
+  labels : (string * int) list;
+}
+
+type error = { line : int; message : string }
+
+exception Fail of string
+
+(* ---- token-level helpers ---- *)
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let trim = String.trim
+
+let split_operands s =
+  (* split on commas, then trim *)
+  String.split_on_char ',' s |> List.map trim |> List.filter (fun s -> s <> "")
+
+let split_mnemonic line =
+  let line = trim line in
+  match String.index_opt line ' ' with
+  | None ->
+    (match String.index_opt line '\t' with
+    | None -> (String.lowercase_ascii line, "")
+    | Some i ->
+      ( String.lowercase_ascii (String.sub line 0 i),
+        trim (String.sub line i (String.length line - i)) ))
+  | Some i ->
+    ( String.lowercase_ascii (String.sub line 0 i),
+      trim (String.sub line i (String.length line - i)) )
+
+let parse_reg s =
+  let s = String.lowercase_ascii (trim s) in
+  if String.length s >= 2 && s.[0] = 'r' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some r when r >= 0 && r <= 15 -> r
+    | Some _ | None -> raise (Fail (Printf.sprintf "bad register %S" s))
+  else raise (Fail (Printf.sprintf "expected register, got %S" s))
+
+let parse_number s =
+  match int_of_string_opt s (* handles 0x..., 0b..., negatives *) with
+  | Some v -> v
+  | None -> raise (Fail (Printf.sprintf "bad number %S" s))
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let looks_like_label s = String.length s > 0 && String.for_all is_label_char s
+                         && not (s.[0] >= '0' && s.[0] <= '9')
+
+(* a value that may reference a label, resolved in pass two *)
+type value = Number of int | Label_ref of string
+
+let parse_value s =
+  let s = trim s in
+  if looks_like_label s then Label_ref s else Number (parse_number s)
+
+let parse_operand s =
+  let s = trim s in
+  if String.length s > 0 && s.[0] = '#' then
+    `Imm (parse_value (String.sub s 1 (String.length s - 1)))
+  else `Reg (parse_reg s)
+
+(* [rN], [rN+k], [rN-k] *)
+let parse_mem s =
+  let s = trim s in
+  let n = String.length s in
+  if n < 4 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    raise (Fail (Printf.sprintf "expected [reg+/-offset], got %S" s));
+  let inner = String.sub s 1 (n - 2) in
+  let plus = String.index_opt inner '+' in
+  let minus =
+    (* a '-' that is not the leading character of the register *)
+    match String.index_opt inner '-' with Some 0 -> None | x -> x
+  in
+  match (plus, minus) with
+  | Some i, _ ->
+    (parse_reg (String.sub inner 0 i),
+     parse_number (trim (String.sub inner (i + 1) (String.length inner - i - 1))))
+  | None, Some i ->
+    (parse_reg (String.sub inner 0 i),
+     - parse_number (trim (String.sub inner (i + 1) (String.length inner - i - 1))))
+  | None, None -> (parse_reg inner, 0)
+
+(* ---- statement parsing (pass one: values unresolved) ---- *)
+
+type stmt =
+  | S_label of string
+  | S_insn of pre_insn
+
+and pre_insn =
+  | P_simple of Insn.t (* fully resolved already *)
+  | P_alu of string * int * [ `Reg of int | `Imm of value ]
+  | P_jump of Insn.condition * value
+  | P_call of value
+
+let alu_of_name name d s =
+  let operand = match s with `Reg r -> Insn.Reg r | `Imm (Number v) -> Insn.Imm v
+    | `Imm (Label_ref _) -> raise (Fail "unresolved label")
+  in
+  match name with
+  | "mov" -> Insn.Mov (d, operand)
+  | "add" -> Insn.Add (d, operand)
+  | "sub" -> Insn.Sub (d, operand)
+  | "cmp" -> Insn.Cmp (d, operand)
+  | "and" -> Insn.And (d, operand)
+  | "or" -> Insn.Or (d, operand)
+  | "xor" -> Insn.Xor (d, operand)
+  | "shl" -> Insn.Shl (d, operand)
+  | "shr" -> Insn.Shr (d, operand)
+  | "rol" -> Insn.Rol (d, operand)
+  | _ -> raise (Fail (Printf.sprintf "unknown mnemonic %S" name))
+
+let jump_condition = function
+  | "jmp" -> Some Insn.Always
+  | "jz" -> Some Insn.If_zero
+  | "jnz" -> Some Insn.If_not_zero
+  | "jc" -> Some Insn.If_carry
+  | "jnc" -> Some Insn.If_not_carry
+  | "jn" -> Some Insn.If_negative
+  | _ -> None
+
+let parse_line line =
+  let body = trim (strip_comment line) in
+  if body = "" then []
+  else if String.length body > 1 && body.[String.length body - 1] = ':' then begin
+    let name = trim (String.sub body 0 (String.length body - 1)) in
+    if not (looks_like_label name) then raise (Fail (Printf.sprintf "bad label %S" name));
+    [ S_label name ]
+  end
+  else begin
+    let mnemonic, rest = split_mnemonic body in
+    let ops = split_operands rest in
+    match (mnemonic, ops) with
+    | "nop", [] -> [ S_insn (P_simple Insn.Nop) ]
+    | "halt", [] -> [ S_insn (P_simple Insn.Halt) ]
+    | "ret", [] -> [ S_insn (P_simple Insn.Ret) ]
+    | "push", [ r ] -> [ S_insn (P_simple (Insn.Push (parse_reg r))) ]
+    | "pop", [ r ] -> [ S_insn (P_simple (Insn.Pop (parse_reg r))) ]
+    | ("mov" | "add" | "sub" | "cmp" | "and" | "or" | "xor" | "shl" | "shr" | "rol"),
+      [ d; s ] ->
+      let d = parse_reg d in
+      (match parse_operand s with
+      | `Reg r -> [ S_insn (P_alu (mnemonic, d, `Reg r)) ]
+      | `Imm v -> [ S_insn (P_alu (mnemonic, d, `Imm v)) ])
+    | "load", [ d; m ] ->
+      let base, off = parse_mem m in
+      [ S_insn (P_simple (Insn.Load (parse_reg d, base, off))) ]
+    | "loadb", [ d; m ] ->
+      let base, off = parse_mem m in
+      [ S_insn (P_simple (Insn.Loadb (parse_reg d, base, off))) ]
+    | "store", [ m; s ] ->
+      let base, off = parse_mem m in
+      [ S_insn (P_simple (Insn.Store (base, parse_reg s, off))) ]
+    | "storeb", [ m; s ] ->
+      let base, off = parse_mem m in
+      [ S_insn (P_simple (Insn.Storeb (base, parse_reg s, off))) ]
+    | "call", [ target ] -> [ S_insn (P_call (parse_value target)) ]
+    | name, [ target ] when jump_condition name <> None ->
+      (match jump_condition name with
+      | Some cond -> [ S_insn (P_jump (cond, parse_value target)) ]
+      | None -> assert false)
+    | name, ops ->
+      raise
+        (Fail (Printf.sprintf "cannot parse %S with %d operand(s)" name (List.length ops)))
+  end
+
+(* conservative size estimate before label resolution: label immediates
+   always encode as 32-bit, so sizes are exact in pass one *)
+let pre_size = function
+  | P_simple insn -> Insn.size_words insn
+  | P_alu (_, _, `Reg _) -> 1
+  | P_alu (_, _, `Imm _) -> 3
+  | P_jump _ | P_call _ -> 3
+
+let resolve labels = function
+  | Number v -> v
+  | Label_ref name ->
+    (match List.assoc_opt name labels with
+    | Some addr -> addr
+    | None -> raise (Fail (Printf.sprintf "undefined label %S" name)))
+
+let finalize labels = function
+  | P_simple insn -> insn
+  | P_alu (name, d, `Reg r) -> alu_of_name name d (`Reg r)
+  | P_alu (name, d, `Imm v) -> alu_of_name name d (`Imm (Number (resolve labels v)))
+  | P_jump (cond, v) -> Insn.Jump (cond, resolve labels v)
+  | P_call v -> Insn.Call (resolve labels v)
+
+let assemble ~origin source =
+  let lines = String.split_on_char '\n' source in
+  try
+    (* pass one: parse, lay out, collect labels *)
+    let stmts =
+      List.concat
+        (List.mapi
+           (fun i line ->
+             try List.map (fun s -> (i + 1, s)) (parse_line line)
+             with Fail msg -> raise (Fail (Printf.sprintf "line %d: %s" (i + 1) msg)))
+           lines)
+    in
+    let _, labels, pre_rev =
+      List.fold_left
+        (fun (addr, labels, acc) (lineno, stmt) ->
+          match stmt with
+          | S_label name ->
+            if List.mem_assoc name labels then
+              raise (Fail (Printf.sprintf "line %d: duplicate label %S" lineno name));
+            (addr, (name, addr) :: labels, acc)
+          | S_insn pre -> (addr + (2 * pre_size pre), labels, (lineno, pre) :: acc))
+        (origin, [], []) stmts
+    in
+    let labels = List.rev labels in
+    let instructions =
+      List.rev_map
+        (fun (lineno, pre) ->
+          try finalize labels pre
+          with Fail msg -> raise (Fail (Printf.sprintf "line %d: %s" lineno msg)))
+        pre_rev
+    in
+    Ok { origin; instructions; labels }
+  with Fail message -> Error { line = 0; message }
+
+let to_bytes program =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun insn ->
+      List.iter
+        (fun w ->
+          Buffer.add_char buf (Char.chr (w land 0xff));
+          Buffer.add_char buf (Char.chr ((w lsr 8) land 0xff)))
+        (Insn.encode insn))
+    program.instructions;
+  Buffer.contents buf
+
+let load memory program =
+  Ra_mcu.Memory.write_bytes memory program.origin (to_bytes program)
+
+let label program name =
+  match List.assoc_opt name program.labels with
+  | Some addr -> addr
+  | None -> raise Not_found
+
+let size_bytes program = String.length (to_bytes program)
+
+let disassemble_bytes ~origin bytes =
+  let words = String.length bytes / 2 in
+  let fetch i = Char.code bytes.[2 * i] lor (Char.code bytes.[(2 * i) + 1] lsl 8) in
+  let rec loop at acc =
+    if at >= words then List.rev acc
+    else
+      match Insn.decode ~fetch ~at with
+      | insn, size when at + size <= words ->
+        loop (at + size) ((origin + (2 * at), insn) :: acc)
+      | _, _ -> List.rev acc
+      | exception Invalid_argument _ -> List.rev acc
+  in
+  loop 0 []
+
+let listing program =
+  let bytes = to_bytes program in
+  let buf = Buffer.create 256 in
+  let label_at addr =
+    List.filter_map (fun (n, a) -> if a = addr then Some n else None) program.labels
+  in
+  List.iter
+    (fun (addr, insn) ->
+      List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "%s:\n" n)) (label_at addr);
+      let words = Insn.encode insn in
+      let hex = String.concat " " (List.map (Printf.sprintf "%04x") words) in
+      Buffer.add_string buf
+        (Format.asprintf "  0x%06x  %-15s %a\n" addr hex Insn.pp insn))
+    (disassemble_bytes ~origin:program.origin bytes);
+  Buffer.contents buf
+
+let pp_error fmt e = Format.fprintf fmt "%s" e.message

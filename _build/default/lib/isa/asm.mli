@@ -1,0 +1,54 @@
+(** A small two-pass assembler for {!Insn}, so trust-anchor routines and
+    malware payloads can be written as readable programs rather than
+    instruction lists.
+
+    Syntax (one instruction or label per line, [;] starts a comment):
+
+    {v
+        ; r1 = base, r2 = accumulator
+        mov   r1, #0x100000
+        mov   r2, #0
+    loop:
+        loadb r3, [r1]       ; or [r1+4], [r1-2]
+        add   r2, r3
+        add   r1, #1
+        cmp   r1, r5
+        jnz   loop
+        halt
+    v}
+
+    Immediates are decimal or [0x]-hex, and may be [label] references
+    (resolved to the label's absolute byte address). Jump/call targets
+    may be labels or addresses. *)
+
+type program = {
+  origin : int; (* byte address of the first instruction *)
+  instructions : Insn.t list;
+  labels : (string * int) list; (* label -> absolute byte address *)
+}
+
+type error = { line : int; message : string }
+
+val assemble : origin:int -> string -> (program, error) result
+
+val to_bytes : program -> string
+(** Little-endian instruction stream, ready to place at [origin]. *)
+
+val load : Ra_mcu.Memory.t -> program -> unit
+(** Write the encoded program into device memory at its origin (raw
+    write — the external programmer). *)
+
+val label : program -> string -> int
+(** Absolute byte address of a label. @raise Not_found *)
+
+val size_bytes : program -> int
+
+val disassemble_bytes : origin:int -> string -> (int * Insn.t) list
+(** Decode an instruction stream sequentially; each element is
+    (absolute byte address, instruction). Stops at the first undecodable
+    word or when fewer than a full instruction's words remain. *)
+
+val listing : program -> string
+(** Human-readable listing: address, encoded words, mnemonic. *)
+
+val pp_error : Format.formatter -> error -> unit

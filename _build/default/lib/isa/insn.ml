@@ -1,0 +1,217 @@
+type reg = int
+
+type operand = Reg of reg | Imm of int
+
+type condition = Always | If_zero | If_not_zero | If_carry | If_not_carry | If_negative
+
+type t =
+  | Nop
+  | Halt
+  | Mov of reg * operand
+  | Add of reg * operand
+  | Sub of reg * operand
+  | Cmp of reg * operand
+  | And of reg * operand
+  | Or of reg * operand
+  | Xor of reg * operand
+  | Shl of reg * operand
+  | Shr of reg * operand
+  | Rol of reg * operand
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Loadb of reg * reg * int
+  | Storeb of reg * reg * int
+  | Jump of condition * int
+  | Call of int
+  | Ret
+  | Push of reg
+  | Pop of reg
+
+(* opcode map; class 0 uses the dst nibble as a sub-opcode *)
+let op_misc = 0 (* 0=nop 1=halt 2=ret *)
+let op_mov = 1
+let op_add = 2
+let op_sub = 3
+let op_cmp = 4
+let op_and = 5
+let op_or = 6
+let op_xor = 7
+let op_load = 8
+let op_store = 9
+let op_shift = 10 (* sub-op in mode bits [3:1]: 0 Shl, 1 Shr, 2 Rol *)
+let op_loadb = 11 (* mode bit 1 selects store *)
+let op_jump = 12
+let op_call = 13
+let op_push = 14
+let op_pop = 15
+
+let size_words = function
+  | Nop | Halt | Ret | Push _ | Pop _ -> 1
+  | Mov (_, Reg _) | Add (_, Reg _) | Sub (_, Reg _) | Cmp (_, Reg _)
+  | And (_, Reg _) | Or (_, Reg _) | Xor (_, Reg _) ->
+    1
+  | Load _ | Store _ | Loadb _ | Storeb _ -> 2
+  | Shl (_, Reg _) | Shr (_, Reg _) | Rol (_, Reg _) -> 1
+  | Shl (_, Imm _) | Shr (_, Imm _) | Rol (_, Imm _) -> 3
+  | Mov (_, Imm _) | Add (_, Imm _) | Sub (_, Imm _) | Cmp (_, Imm _)
+  | And (_, Imm _) | Or (_, Imm _) | Xor (_, Imm _) ->
+    3
+  | Jump _ | Call _ -> 3
+
+let check_reg r = if r < 0 || r > 15 then invalid_arg "Insn: register out of range"
+
+let check_offset off =
+  if off < -32768 || off > 32767 then invalid_arg "Insn: offset out of range"
+
+let check_addr a = if a < 0 || a > 0xFFFFFFFF then invalid_arg "Insn: address out of range"
+
+let word op dst src mode =
+  ((op land 0xF) lsl 12) lor ((dst land 0xF) lsl 8) lor ((src land 0xF) lsl 4)
+  lor (mode land 0xF)
+
+let imm_words v = [ v land 0xFFFF; (v lsr 16) land 0xFFFF ]
+
+let cond_code = function
+  | Always -> 0
+  | If_zero -> 1
+  | If_not_zero -> 2
+  | If_carry -> 3
+  | If_not_carry -> 4
+  | If_negative -> 5
+
+let cond_of_code = function
+  | 0 -> Always
+  | 1 -> If_zero
+  | 2 -> If_not_zero
+  | 3 -> If_carry
+  | 4 -> If_not_carry
+  | 5 -> If_negative
+  | _ -> invalid_arg "Insn.decode: bad condition"
+
+let alu_encode ?(mode_extra = 0) op dst operand =
+  check_reg dst;
+  match operand with
+  | Reg src ->
+    check_reg src;
+    [ word op dst src mode_extra ]
+  | Imm v ->
+    check_addr (v land 0xFFFFFFFF);
+    word op dst 0 (mode_extra lor 1) :: imm_words v
+
+let mem_encode ?(mode_extra = 0) op a b off =
+  check_reg a;
+  check_reg b;
+  check_offset off;
+  [ word op a b mode_extra; off land 0xFFFF ]
+
+let encode = function
+  | Nop -> [ word op_misc 0 0 0 ]
+  | Halt -> [ word op_misc 1 0 0 ]
+  | Ret -> [ word op_misc 2 0 0 ]
+  | Mov (d, s) -> alu_encode op_mov d s
+  | Add (d, s) -> alu_encode op_add d s
+  | Sub (d, s) -> alu_encode op_sub d s
+  | Cmp (d, s) -> alu_encode op_cmp d s
+  | And (d, s) -> alu_encode op_and d s
+  | Or (d, s) -> alu_encode op_or d s
+  | Xor (d, s) -> alu_encode op_xor d s
+  | Shl (d, s) -> alu_encode ~mode_extra:0 op_shift d s
+  | Shr (d, s) -> alu_encode ~mode_extra:2 op_shift d s
+  | Rol (d, s) -> alu_encode ~mode_extra:4 op_shift d s
+  | Load (d, base, off) -> mem_encode op_load d base off
+  | Store (base, s, off) -> mem_encode op_store base s off
+  | Loadb (d, base, off) -> mem_encode op_loadb d base off
+  | Storeb (base, s, off) -> mem_encode ~mode_extra:2 op_loadb base s off
+  | Jump (cond, target) ->
+    check_addr target;
+    word op_jump (cond_code cond) 0 0 :: imm_words target
+  | Call target ->
+    check_addr target;
+    word op_call 0 0 0 :: imm_words target
+  | Push r ->
+    check_reg r;
+    [ word op_push r 0 0 ]
+  | Pop r ->
+    check_reg r;
+    [ word op_pop r 0 0 ]
+
+let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let decode ~fetch ~at =
+  let w0 = fetch at in
+  let op = (w0 lsr 12) land 0xF in
+  let dst = (w0 lsr 8) land 0xF in
+  let src = (w0 lsr 4) land 0xF in
+  let mode = w0 land 0xF in
+  let imm32 () = fetch (at + 1) lor (fetch (at + 2) lsl 16) in
+  let alu make =
+    if mode land 1 = 1 then (make dst (Imm (imm32 ())), 3) else (make dst (Reg src), 1)
+  in
+  if op = op_misc then
+    match dst with
+    | 0 -> (Nop, 1)
+    | 1 -> (Halt, 1)
+    | 2 -> (Ret, 1)
+    | _ -> invalid_arg "Insn.decode: bad misc sub-opcode"
+  else if op = op_mov then alu (fun d s -> Mov (d, s))
+  else if op = op_add then alu (fun d s -> Add (d, s))
+  else if op = op_sub then alu (fun d s -> Sub (d, s))
+  else if op = op_cmp then alu (fun d s -> Cmp (d, s))
+  else if op = op_and then alu (fun d s -> And (d, s))
+  else if op = op_or then alu (fun d s -> Or (d, s))
+  else if op = op_xor then alu (fun d s -> Xor (d, s))
+  else if op = op_load then (Load (dst, src, sign16 (fetch (at + 1))), 2)
+  else if op = op_store then (Store (dst, src, sign16 (fetch (at + 1))), 2)
+  else if op = op_shift then begin
+    let make =
+      match (mode lsr 1) land 0x3 with
+      | 0 -> fun d s -> Shl (d, s)
+      | 1 -> fun d s -> Shr (d, s)
+      | 2 -> fun d s -> Rol (d, s)
+      | _ -> invalid_arg "Insn.decode: bad shift sub-opcode"
+    in
+    if mode land 1 = 1 then (make dst (Imm (imm32 ())), 3) else (make dst (Reg src), 1)
+  end
+  else if op = op_loadb then
+    if mode land 2 = 2 then (Storeb (dst, src, sign16 (fetch (at + 1))), 2)
+    else (Loadb (dst, src, sign16 (fetch (at + 1))), 2)
+  else if op = op_jump then (Jump (cond_of_code dst, imm32 ()), 3)
+  else if op = op_call then (Call (imm32 ()), 3)
+  else if op = op_push then (Push dst, 1)
+  else if op = op_pop then (Pop dst, 1)
+  else invalid_arg "Insn.decode: bad opcode"
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "r%d" r
+  | Imm v -> Format.fprintf fmt "#0x%x" v
+
+let pp_cond fmt = function
+  | Always -> Format.pp_print_string fmt "jmp"
+  | If_zero -> Format.pp_print_string fmt "jz"
+  | If_not_zero -> Format.pp_print_string fmt "jnz"
+  | If_carry -> Format.pp_print_string fmt "jc"
+  | If_not_carry -> Format.pp_print_string fmt "jnc"
+  | If_negative -> Format.pp_print_string fmt "jn"
+
+let pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Halt -> Format.pp_print_string fmt "halt"
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Mov (d, s) -> Format.fprintf fmt "mov r%d, %a" d pp_operand s
+  | Add (d, s) -> Format.fprintf fmt "add r%d, %a" d pp_operand s
+  | Sub (d, s) -> Format.fprintf fmt "sub r%d, %a" d pp_operand s
+  | Cmp (d, s) -> Format.fprintf fmt "cmp r%d, %a" d pp_operand s
+  | And (d, s) -> Format.fprintf fmt "and r%d, %a" d pp_operand s
+  | Or (d, s) -> Format.fprintf fmt "or r%d, %a" d pp_operand s
+  | Xor (d, s) -> Format.fprintf fmt "xor r%d, %a" d pp_operand s
+  | Shl (d, s) -> Format.fprintf fmt "shl r%d, %a" d pp_operand s
+  | Shr (d, s) -> Format.fprintf fmt "shr r%d, %a" d pp_operand s
+  | Rol (d, s) -> Format.fprintf fmt "rol r%d, %a" d pp_operand s
+  | Load (d, b, off) -> Format.fprintf fmt "load r%d, [r%d%+d]" d b off
+  | Store (b, s, off) -> Format.fprintf fmt "store [r%d%+d], r%d" b off s
+  | Loadb (d, b, off) -> Format.fprintf fmt "loadb r%d, [r%d%+d]" d b off
+  | Storeb (b, s, off) -> Format.fprintf fmt "storeb [r%d%+d], r%d" b off s
+  | Jump (c, t) -> Format.fprintf fmt "%a 0x%x" pp_cond c t
+  | Call t -> Format.fprintf fmt "call 0x%x" t
+  | Push r -> Format.fprintf fmt "push r%d" r
+  | Pop r -> Format.fprintf fmt "pop r%d" r

@@ -1,0 +1,67 @@
+(** The instruction set of the interpreted MCU core.
+
+    The paper's platforms (SMART's and TrustLite's cores, openMSP430 —
+    its reference [11] for the clock design) are small 16-bit machines;
+    the EA-MAC primitive is defined at the granularity of the *program
+    counter*. This module defines a compact load/store ISA in that
+    spirit, with a binary encoding so programs live in the device's real
+    memory map and the PC walks real addresses — which is what lets the
+    EA-MPU attribute every data access to the code region that issued it.
+
+    Shape: 16-bit instruction words, sixteen 32-bit registers
+    [r0]..[r15] (the device memory map is wider than 16 bits, as on
+    MSP430X). The PC and SP are architectural state of {!Core}, not
+    register-file entries, which keeps the encoding regular.
+
+    Encoding: a first word [[15:12] opcode | [11:8] dst | [7:4] src |
+    [3:0] mode], followed by 0–2 extension words: 32-bit immediates and
+    jump targets take two little-endian words, load/store offsets one
+    signed word. *)
+
+type reg = int
+(** Register index 0..15. *)
+
+type operand =
+  | Reg of reg
+  | Imm of int (* 32-bit immediate, two extension words *)
+
+type condition = Always | If_zero | If_not_zero | If_carry | If_not_carry | If_negative
+
+type t =
+  | Nop
+  | Halt
+  | Mov of reg * operand (* dst <- src *)
+  | Add of reg * operand
+  | Sub of reg * operand
+  | Cmp of reg * operand (* flags only *)
+  | And of reg * operand
+  | Or of reg * operand
+  | Xor of reg * operand
+  | Shl of reg * operand (* logical shift left, amount mod 32 *)
+  | Shr of reg * operand (* logical shift right *)
+  | Rol of reg * operand (* rotate left *)
+  | Load of reg * reg * int (* dst <- mem32[src + offset] *)
+  | Store of reg * reg * int (* mem32[dst + offset] <- src *)
+  | Loadb of reg * reg * int (* dst <- mem8[src + offset] *)
+  | Storeb of reg * reg * int (* mem8[dst + offset] <- src *)
+  | Jump of condition * int (* absolute byte address *)
+  | Call of int
+  | Ret
+  | Push of reg
+  | Pop of reg
+
+val size_words : t -> int
+(** 1, 2 or 3. *)
+
+val encode : t -> int list
+(** 16-bit words.
+    @raise Invalid_argument on out-of-range fields (registers 0..15,
+    offsets −32768..32767, addresses/immediates 32-bit). *)
+
+val decode : fetch:(int -> int) -> at:int -> t * int
+(** [decode ~fetch ~at] decodes the instruction whose first word is at
+    word-index [at]; [fetch i] must return the 16-bit word at word-index
+    [i]. Returns the instruction and its size in words.
+    @raise Invalid_argument on an illegal encoding. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+module Interrupt = Ra_mcu.Interrupt
+
+let install_handler core interrupt ~vector ~entry ?(max_steps = 10_000) () =
+  let completions = ref 0 in
+  Interrupt.register_handler interrupt ~entry_addr:entry
+    ~code_region:"interpreted-isr"
+    ~handler:(fun () ->
+      (* hardware context save *)
+      let saved_regs = Array.init 16 (Core.reg core) in
+      let saved_pc = Core.pc core in
+      let saved_sp = Core.sp core in
+      Core.force_pc core entry;
+      (match Core.run ~max_steps core with
+      | Core.Halted, _ -> incr completions
+      | (Core.Running | Core.Trapped _), _ -> () (* abandoned *));
+      (* hardware context restore *)
+      Array.iteri (Core.set_reg core) saved_regs;
+      Core.force_pc core saved_pc;
+      Core.force_sp core saved_sp);
+  Interrupt.set_vector_raw interrupt ~vector ~entry_addr:entry;
+  fun () -> !completions

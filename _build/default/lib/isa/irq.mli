@@ -1,0 +1,31 @@
+(** Interpreted interrupt handlers: binds an entry point in device memory
+    to a routine executed by {!Core} when the vector fires, with full
+    register-context save/restore (what ISR hardware does).
+
+    This closes the loop on Figure 1b: [Clock_LSB] wraps → the interrupt
+    controller consults the (tamperable, protectable) IDT → control
+    enters an *interpreted* [Code_clock] routine in ROM whose [store] to
+    [Clock_MSB] is mediated by the EA-MPU against the handler's PC
+    region. Handler routines terminate with [halt]; the dispatcher
+    restores the interrupted context. *)
+
+val install_handler :
+  Core.t ->
+  Ra_mcu.Interrupt.t ->
+  vector:int ->
+  entry:int ->
+  ?max_steps:int ->
+  unit ->
+  unit ->
+  int
+(** [install_handler core interrupt ~vector ~entry ()] registers the code
+    at [entry] as the handler for [vector] and points the IDT at it
+    (boot-time raw write). When the vector fires, the core's registers,
+    PC and SP are saved, the routine runs from [entry] (bounded by
+    [max_steps], default 10_000), and the context is restored. A handler
+    that traps (e.g. its store is denied by the MPU) is abandoned
+    silently — the interrupt's effect is simply lost, which is the
+    failure mode the paper's clock-freezing attack produces.
+
+    Returns a counter: calling it gives the number of activations that
+    ran to completion so far. *)

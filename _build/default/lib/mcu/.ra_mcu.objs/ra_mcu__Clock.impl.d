@@ -1,0 +1,1 @@
+lib/mcu/clock.ml: Cpu Int64 Interrupt Option

@@ -1,0 +1,1 @@
+lib/mcu/clock.mli: Cpu Interrupt

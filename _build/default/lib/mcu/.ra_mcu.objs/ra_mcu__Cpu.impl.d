@@ -1,0 +1,1 @@
+lib/mcu/cpu.ml: Ea_mpu Fun Int64 List Memory String

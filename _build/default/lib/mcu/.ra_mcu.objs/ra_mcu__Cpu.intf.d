@@ -1,0 +1,1 @@
+lib/mcu/cpu.mli: Ea_mpu Memory

@@ -1,0 +1,1 @@
+lib/mcu/device.ml: Clock Cpu Ea_mpu Energy Int64 Interrupt List Memory Printf Ra_crypto Region String Timing

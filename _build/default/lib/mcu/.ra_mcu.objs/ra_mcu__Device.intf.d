@@ -1,0 +1,1 @@
+lib/mcu/device.mli: Clock Cpu Ea_mpu Energy Interrupt Memory

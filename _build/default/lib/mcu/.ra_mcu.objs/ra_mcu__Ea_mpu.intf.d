@@ -1,0 +1,1 @@
+lib/mcu/ea_mpu.mli:

@@ -1,0 +1,1 @@
+lib/mcu/energy.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/mcu/hexdump.ml: Buffer Char Clock Cpu Device Ea_mpu Energy Format List Memory Printf Region String

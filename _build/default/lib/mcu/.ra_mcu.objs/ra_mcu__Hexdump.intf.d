@@ -1,0 +1,1 @@
+lib/mcu/hexdump.mli: Device Ea_mpu Memory

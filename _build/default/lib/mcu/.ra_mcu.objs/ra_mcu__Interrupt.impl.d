@@ -1,0 +1,1 @@
+lib/mcu/interrupt.ml: Cpu Hashtbl Memory

@@ -1,0 +1,1 @@
+lib/mcu/interrupt.mli: Cpu

@@ -1,0 +1,1 @@
+lib/mcu/memory.ml: Bytes Char Format Fun Hashtbl Int64 List Printf Region String

@@ -1,0 +1,1 @@
+lib/mcu/region.ml: Format

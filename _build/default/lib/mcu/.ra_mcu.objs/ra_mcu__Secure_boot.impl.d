@@ -1,0 +1,1 @@
+lib/mcu/secure_boot.ml: Cpu Ea_mpu Interrupt List Memory Ra_crypto Region String

@@ -1,0 +1,1 @@
+lib/mcu/secure_boot.mli: Cpu Ea_mpu Interrupt Memory

@@ -1,0 +1,1 @@
+lib/mcu/timing.ml: Float Format Int64

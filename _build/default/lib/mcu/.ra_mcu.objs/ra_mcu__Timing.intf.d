@@ -1,0 +1,1 @@
+lib/mcu/timing.mli: Format

@@ -1,0 +1,75 @@
+type who = Anyone | Code_in of string list | Nobody
+
+type rule = {
+  rule_name : string;
+  data_base : int;
+  data_size : int;
+  read_by : who;
+  write_by : who;
+}
+
+type mode = Read | Write
+
+exception Locked
+exception Capacity_exceeded
+
+type t = {
+  capacity : int;
+  mutable rules : rule list;
+  mutable locked : bool;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Ea_mpu.create: negative capacity";
+  { capacity; rules = []; locked = false }
+
+let capacity t = t.capacity
+let rules t = t.rules
+let rule_count t = List.length t.rules
+let is_locked t = t.locked
+
+let program t rule =
+  if t.locked then raise Locked;
+  if List.length t.rules >= t.capacity then raise Capacity_exceeded;
+  t.rules <- t.rules @ [ rule ]
+
+let clear t =
+  if t.locked then raise Locked;
+  t.rules <- []
+
+let lock t = t.locked <- true
+
+let covers rule addr = addr >= rule.data_base && addr < rule.data_base + rule.data_size
+
+let granted who ~code =
+  match who with
+  | Anyone -> true
+  | Code_in names -> List.mem code names
+  | Nobody -> false
+
+let permits rule ~code mode =
+  match mode with
+  | Read -> granted rule.read_by ~code
+  | Write -> granted rule.write_by ~code
+
+let check t ~code ~addr mode =
+  let covering = List.filter (fun r -> covers r addr) t.rules in
+  match covering with
+  | [] -> true (* unenrolled memory is unprotected *)
+  | rules -> List.exists (fun r -> permits r ~code mode) rules
+
+let check_range t ~code ~addr ~len mode =
+  (* The decision is constant between rule boundaries, so checking one
+     representative byte per segment suffices — this keeps whole-memory
+     attestation sweeps (512 KB) cheap. *)
+  if len <= 0 then invalid_arg "Ea_mpu.check_range: non-positive length";
+  let last = addr + len - 1 in
+  let boundaries =
+    List.concat_map
+      (fun r ->
+        let points = [ r.data_base; r.data_base + r.data_size ] in
+        List.filter (fun p -> p > addr && p <= last) points)
+      t.rules
+  in
+  let samples = addr :: boundaries in
+  List.for_all (fun a -> check t ~code ~addr:a mode) samples

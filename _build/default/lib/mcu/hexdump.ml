@@ -1,0 +1,88 @@
+let printable c = if Char.code c >= 0x20 && Char.code c < 0x7f then c else '.'
+
+let dump memory ~addr ~len =
+  let buf = Buffer.create (len * 4) in
+  let rec row off =
+    if off < len then begin
+      let n = min 16 (len - off) in
+      let bytes = Memory.read_bytes memory (addr + off) n in
+      Buffer.add_string buf (Printf.sprintf "%08x  " (addr + off));
+      for i = 0 to 15 do
+        if i < n then Buffer.add_string buf (Printf.sprintf "%02x " (Char.code bytes.[i]))
+        else Buffer.add_string buf "   ";
+        if i = 7 then Buffer.add_char buf ' '
+      done;
+      Buffer.add_string buf " |";
+      String.iter (fun c -> Buffer.add_char buf (printable c)) bytes;
+      Buffer.add_string buf "|\n";
+      row (off + 16)
+    end
+  in
+  row 0;
+  Buffer.contents buf
+
+let region_table memory =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %-6s %-22s %s\n" "region" "kind" "range" "size");
+  List.iter
+    (fun r ->
+      let kind = Format.asprintf "%a" Region.pp_kind r.Region.kind in
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %-6s 0x%06x .. 0x%06x   %6d B\n" r.Region.name kind
+           r.Region.base
+           (Region.limit r - 1)
+           r.Region.size))
+    (Memory.regions memory);
+  Buffer.contents buf
+
+let pp_who fmt = function
+  | Ea_mpu.Anyone -> Format.pp_print_string fmt "anyone"
+  | Ea_mpu.Nobody -> Format.pp_print_string fmt "nobody"
+  | Ea_mpu.Code_in regions ->
+    Format.pp_print_string fmt (String.concat "," regions)
+
+let rule_table mpu =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "EA-MPU: %d/%d rules, %s\n" (Ea_mpu.rule_count mpu)
+       (Ea_mpu.capacity mpu)
+       (if Ea_mpu.is_locked mpu then "LOCKED" else "unlocked"));
+  List.iter
+    (fun r ->
+      let who w = Format.asprintf "%a" pp_who w in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s 0x%06x+%-5d read:%-18s write:%s\n" r.Ea_mpu.rule_name
+           r.Ea_mpu.data_base r.Ea_mpu.data_size
+           (who r.Ea_mpu.read_by)
+           (who r.Ea_mpu.write_by)))
+    (Ea_mpu.rules mpu);
+  Buffer.contents buf
+
+let device_report device =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (region_table (Device.memory device));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (rule_table (Device.mpu device));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "counter_R: %Ld\n"
+       (Memory.read_u64 (Device.memory device) (Device.counter_addr device)));
+  (match Device.clock device with
+  | None -> Buffer.add_string buf "clock: none\n"
+  | Some clock ->
+    Buffer.add_string buf
+      (Printf.sprintf "clock: %s, %.3f s (resolution %.2e s)\n"
+         (match Clock.kind clock with
+         | Clock.Hw_counter -> "hardware counter"
+         | Clock.Sw_clock -> "SW-clock (LSB+MSB)")
+         (Clock.seconds clock) (Clock.resolution_seconds clock)));
+  let energy = Device.energy device in
+  Buffer.add_string buf
+    (Printf.sprintf "battery: %.6f J consumed, %.1f J remaining\n"
+       (Energy.consumed_joules energy) (Energy.remaining_joules energy));
+  Buffer.add_string buf
+    (Printf.sprintf "cpu: %Ld cycles total, %Ld executing\n"
+       (Cpu.cycles (Device.cpu device))
+       (Cpu.work_cycles (Device.cpu device)));
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Human-readable views of device state for the CLI and debugging:
+    classic hex+ASCII memory dumps and a whole-platform report (memory
+    map, EA-MPU rules, protected cells, clock, battery). *)
+
+val dump : Memory.t -> addr:int -> len:int -> string
+(** 16-byte rows: offset, hex bytes, printable ASCII. *)
+
+val region_table : Memory.t -> string
+(** One row per region: name, kind, range, size. *)
+
+val rule_table : Ea_mpu.t -> string
+(** The EA-MPU's programmed rules and lock state. *)
+
+val device_report : Device.t -> string
+(** The full platform: regions, rules, counter/clock/battery state. *)

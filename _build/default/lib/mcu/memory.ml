@@ -1,0 +1,84 @@
+exception Bus_fault of string
+
+type t = {
+  regions : Region.t list;
+  store : (string, Bytes.t) Hashtbl.t; (* region name -> backing bytes *)
+  mutable rom_sealed : bool;
+}
+
+let create regions =
+  let rec check = function
+    | [] -> ()
+    | r :: rest ->
+      List.iter
+        (fun r' ->
+          if Region.overlaps r r' then
+            invalid_arg
+              (Format.asprintf "Memory.create: %a overlaps %a" Region.pp r Region.pp r'))
+        rest;
+      check rest
+  in
+  check regions;
+  let store = Hashtbl.create 8 in
+  List.iter
+    (fun r -> Hashtbl.replace store r.Region.name (Bytes.make r.Region.size '\x00'))
+    regions;
+  { regions; store; rom_sealed = false }
+
+let regions t = t.regions
+
+let region_named t name =
+  match List.find_opt (fun r -> r.Region.name = name) t.regions with
+  | Some r -> r
+  | None -> raise Not_found
+
+let region_of_addr t addr = List.find_opt (fun r -> Region.contains r addr) t.regions
+
+let seal_rom t = t.rom_sealed <- true
+
+let locate t addr =
+  match region_of_addr t addr with
+  | Some r -> (r, Hashtbl.find t.store r.Region.name, addr - r.Region.base)
+  | None -> raise (Bus_fault (Printf.sprintf "no region at address 0x%06x" addr))
+
+let read_byte t addr =
+  let _, bytes, off = locate t addr in
+  Char.code (Bytes.get bytes off)
+
+let write_byte t addr v =
+  let r, bytes, off = locate t addr in
+  if t.rom_sealed && r.Region.kind = Region.Rom then
+    raise (Bus_fault (Printf.sprintf "ROM write at 0x%06x (%s)" addr r.Region.name));
+  Bytes.set bytes off (Char.chr (v land 0xff))
+
+let read_bytes t addr len = String.init len (fun i -> Char.chr (read_byte t (addr + i)))
+
+let write_bytes t addr s =
+  String.iteri (fun i c -> write_byte t (addr + i) (Char.code c)) s
+
+let read_u32 t addr =
+  read_byte t addr
+  lor (read_byte t (addr + 1) lsl 8)
+  lor (read_byte t (addr + 2) lsl 16)
+  lor (read_byte t (addr + 3) lsl 24)
+
+let write_u32 t addr v =
+  for i = 0 to 3 do
+    write_byte t (addr + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let copy_raw t ~base s =
+  let sealed = t.rom_sealed in
+  t.rom_sealed <- false;
+  Fun.protect
+    ~finally:(fun () -> t.rom_sealed <- sealed)
+    (fun () -> write_bytes t base s)
+
+let read_u64 t addr =
+  let lo = Int64.of_int (read_u32 t addr) in
+  let hi = Int64.of_int (read_u32 t (addr + 4)) in
+  Int64.logor (Int64.logand lo 0xFFFFFFFFL) (Int64.shift_left hi 32)
+
+let write_u64 t addr v =
+  write_u32 t addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
+  write_u32 t (addr + 4) (Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFFFFFFL))

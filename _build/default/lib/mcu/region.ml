@@ -1,0 +1,21 @@
+type kind = Rom | Ram | Flash | Mmio
+
+type t = { name : string; base : int; size : int; kind : kind }
+
+let make ~name ~base ~size ~kind =
+  if size <= 0 then invalid_arg "Region.make: size must be positive";
+  if base < 0 then invalid_arg "Region.make: base must be non-negative";
+  { name; base; size; kind }
+
+let limit r = r.base + r.size
+let contains r addr = addr >= r.base && addr < limit r
+let overlaps a b = a.base < limit b && b.base < limit a
+
+let pp_kind fmt = function
+  | Rom -> Format.pp_print_string fmt "ROM"
+  | Ram -> Format.pp_print_string fmt "RAM"
+  | Flash -> Format.pp_print_string fmt "Flash"
+  | Mmio -> Format.pp_print_string fmt "MMIO"
+
+let pp fmt r =
+  Format.fprintf fmt "%s[%a 0x%06x..0x%06x]" r.name pp_kind r.kind r.base (limit r - 1)

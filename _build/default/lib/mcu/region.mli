@@ -1,0 +1,29 @@
+(** Named address ranges of the simulated MCU's memory map (Figure 1 of
+    the paper: ROM holding [Code_attest] and the boot code, RAM, Flash
+    with application code, and memory-mapped I/O such as the EA-MPU's
+    configuration registers). *)
+
+type kind =
+  | Rom (* mask ROM: inherently write-protected *)
+  | Ram
+  | Flash
+  | Mmio (* memory-mapped peripheral registers *)
+
+type t = {
+  name : string;
+  base : int;
+  size : int;
+  kind : kind;
+}
+
+val make : name:string -> base:int -> size:int -> kind:kind -> t
+(** @raise Invalid_argument on non-positive size or negative base. *)
+
+val limit : t -> int
+(** One past the last valid address. *)
+
+val contains : t -> int -> bool
+val overlaps : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_kind : Format.formatter -> kind -> unit

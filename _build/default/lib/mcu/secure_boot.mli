@@ -1,0 +1,37 @@
+(** Secure boot (§6.2 "Secure Boot"): at reset, immutable boot code
+    measures the software image, compares it with a reference digest
+    provisioned in ROM, and only then runs the initialization that
+    programs the EA-MPU protection rules and locks the table. If the
+    adversary modified the image (e.g. to skip rule programming), boot is
+    refused; if the rules were programmed but the table not locked, any
+    later compromised software can simply reprogram them — which is the
+    gap secure boot closes. *)
+
+type image = { image_name : string; code : string }
+
+type config = {
+  reference_digest : string; (* SHA-256 of the trusted image *)
+  protection_rules : Ea_mpu.rule list;
+  lock_mpu : bool;
+  enable_interrupts : bool;
+}
+
+type outcome =
+  | Booted
+  | Rejected_bad_image of { expected : string; measured : string }
+
+val digest_image : image -> string
+(** SHA-256 measurement of the image contents. *)
+
+val install_image : Memory.t -> region:string -> image -> unit
+(** Load the image into the given region (raw write; this is the external
+    programmer / the adversary writing flash while the device is off).
+    @raise Invalid_argument if the image exceeds the region. *)
+
+val measure_region : Memory.t -> region:string -> image_len:int -> string
+(** What the boot ROM actually hashes: the first [image_len] bytes of the
+    region. *)
+
+val boot :
+  Cpu.t -> Interrupt.t option -> config -> region:string -> image_len:int -> outcome
+(** Run the boot sequence in the "rom_boot" execution context. *)

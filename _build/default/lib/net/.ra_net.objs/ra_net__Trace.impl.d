@@ -1,0 +1,1 @@
+lib/net/trace.ml: Format List Simtime String

@@ -1,0 +1,74 @@
+type side = Verifier_side | Prover_side
+
+type 'msg sent = { sent_at : float; src : side; payload : 'msg }
+
+type 'msg t = {
+  time : Simtime.t;
+  trace : Trace.t;
+  mutable transcript : 'msg sent list; (* newest first *)
+  mutable pending : 'msg sent list; (* newest first *)
+  mutable rx_verifier : ('msg -> unit) option;
+  mutable rx_prover : ('msg -> unit) option;
+}
+
+let pp_side fmt = function
+  | Verifier_side -> Format.pp_print_string fmt "verifier"
+  | Prover_side -> Format.pp_print_string fmt "prover"
+
+let create time trace =
+  { time; trace; transcript = []; pending = []; rx_verifier = None; rx_prover = None }
+
+let time t = t.time
+let trace t = t.trace
+
+let on_receive t side f =
+  match side with
+  | Verifier_side -> t.rx_verifier <- Some f
+  | Prover_side -> t.rx_prover <- Some f
+
+let send t ~src payload =
+  let entry = { sent_at = Simtime.now t.time; src; payload } in
+  t.transcript <- entry :: t.transcript;
+  t.pending <- entry :: t.pending;
+  Trace.recordf t.trace "net: %a sent a message" pp_side src
+
+let transcript t = List.rev t.transcript
+let undelivered t = List.rev t.pending
+
+let deliver t ~dst payload =
+  let rx = match dst with Verifier_side -> t.rx_verifier | Prover_side -> t.rx_prover in
+  match rx with
+  | None -> Trace.recordf t.trace "net: delivery to %a lost (no receiver)" pp_side dst
+  | Some f ->
+    Trace.recordf t.trace "net: delivered to %a" pp_side dst;
+    f payload
+
+let take_oldest t ~src =
+  match List.rev t.pending with
+  | [] -> None
+  | oldest_first ->
+    let rec split acc = function
+      | [] -> None
+      | e :: rest when e.src = src -> Some (e, List.rev_append acc rest)
+      | e :: rest -> split (e :: acc) rest
+    in
+    (match split [] oldest_first with
+    | None -> None
+    | Some (e, remaining_oldest_first) ->
+      t.pending <- List.rev remaining_oldest_first;
+      Some e)
+
+let forward_next t ~dst =
+  let src = match dst with Verifier_side -> Prover_side | Prover_side -> Verifier_side in
+  match take_oldest t ~src with
+  | None -> false
+  | Some e ->
+    deliver t ~dst e.payload;
+    true
+
+let drop_next t ~src =
+  match take_oldest t ~src with
+  | None -> false
+  | Some _ ->
+    Trace.recordf t.trace "net: adversary dropped a message from %a" pp_side src;
+    true

@@ -1,0 +1,44 @@
+(** A Dolev-Yao network: everything either party sends lands in the
+    adversary's hands; nothing reaches a receiver unless someone calls
+    {!deliver}. A benign network is the adversary that forwards promptly;
+    the paper's `Adv_ext` drops, delays, reorders, replays (the full
+    transcript stays available forever) and injects its own messages.
+
+    ['msg] is the wire message type (defined in the attestation core). *)
+
+type side = Verifier_side | Prover_side
+
+type 'msg sent = { sent_at : float; src : side; payload : 'msg }
+
+type 'msg t
+
+val create : Simtime.t -> Trace.t -> 'msg t
+
+val time : 'msg t -> Simtime.t
+val trace : 'msg t -> Trace.t
+
+val on_receive : 'msg t -> side -> ('msg -> unit) -> unit
+(** Install the receiver callback for a side (replaces any previous). *)
+
+val send : 'msg t -> src:side -> 'msg -> unit
+(** Put a message on the wire: recorded in the transcript, given to
+    nobody. Delivery is a separate, adversary-controlled step. *)
+
+val transcript : 'msg t -> 'msg sent list
+(** Everything ever sent, in order — the eavesdropper's notebook. *)
+
+val undelivered : 'msg t -> 'msg sent list
+(** Sent messages not yet delivered (nor explicitly dropped). *)
+
+val deliver : 'msg t -> dst:side -> 'msg -> unit
+(** Hand a message (genuine, replayed or forged) to a receiver. No-op
+    with a trace record if the side has no receiver installed. *)
+
+val forward_next : 'msg t -> dst:side -> bool
+(** Convenience for benign runs: deliver the oldest undelivered message
+    that was sent by the opposite side; [false] if none pending. *)
+
+val drop_next : 'msg t -> src:side -> bool
+(** Discard the oldest undelivered message from [src]. *)
+
+val pp_side : Format.formatter -> side -> unit

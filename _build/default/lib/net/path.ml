@@ -1,0 +1,22 @@
+type t = { hops : int; per_hop_ms : float; jitter_per_hop_ms : float }
+
+let make ~hops ~per_hop_ms ~jitter_per_hop_ms =
+  if hops <= 0 then invalid_arg "Path.make: hops must be positive";
+  if per_hop_ms < 0.0 || jitter_per_hop_ms < 0.0 then
+    invalid_arg "Path.make: delays must be non-negative";
+  { hops; per_hop_ms; jitter_per_hop_ms }
+
+let direct = make ~hops:1 ~per_hop_ms:0.5 ~jitter_per_hop_ms:0.1
+let lan = make ~hops:3 ~per_hop_ms:1.0 ~jitter_per_hop_ms:2.0
+let internet = make ~hops:12 ~per_hop_ms:5.0 ~jitter_per_hop_ms:15.0
+
+let min_rtt_ms t = 2.0 *. float_of_int t.hops *. t.per_hop_ms
+let max_rtt_ms t = min_rtt_ms t +. (2.0 *. float_of_int t.hops *. t.jitter_per_hop_ms)
+let jitter_span_ms t = max_rtt_ms t -. min_rtt_ms t
+
+let sample_rtt_ms t prng =
+  let jitter = ref 0.0 in
+  for _ = 1 to 2 * t.hops do
+    jitter := !jitter +. Ra_crypto.Prng.float prng t.jitter_per_hop_ms
+  done;
+  min_rtt_ms t +. !jitter

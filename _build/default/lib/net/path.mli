@@ -1,0 +1,35 @@
+(** A multi-hop network path model: per-hop base latency plus uniformly
+    distributed jitter. Software-based attestation (§2) assumes "the
+    verifier communicates directly to the prover, with no intermediate
+    hops" — this module quantifies what each additional hop does to the
+    round-trip timing uncertainty that such schemes must absorb. *)
+
+type t = {
+  hops : int;
+  per_hop_ms : float; (* deterministic forwarding cost per hop *)
+  jitter_per_hop_ms : float; (* max extra delay per hop, uniform *)
+}
+
+val direct : t
+(** One hop, 0.5 ms, ±0.1 ms jitter — the bus/direct-link setting where
+    timing-based attestation is viable. *)
+
+val lan : t
+(** 3 hops, 1 ms each, up to 2 ms jitter per hop. *)
+
+val internet : t
+(** 12 hops, 5 ms each, up to 15 ms jitter per hop. *)
+
+val make : hops:int -> per_hop_ms:float -> jitter_per_hop_ms:float -> t
+(** @raise Invalid_argument on non-positive hops or negative delays. *)
+
+val min_rtt_ms : t -> float
+(** 2 × hops × per-hop (there and back, no jitter). *)
+
+val max_rtt_ms : t -> float
+
+val jitter_span_ms : t -> float
+(** [max_rtt - min_rtt]: the uncertainty a timing threshold must absorb. *)
+
+val sample_rtt_ms : t -> Ra_crypto.Prng.t -> float
+(** One random round trip. *)

@@ -1,0 +1,22 @@
+type entry = { at : float; label : string }
+
+type t = { time : Simtime.t; mutable entries : entry list (* newest first *) }
+
+let create time = { time; entries = [] }
+
+let record t label = t.entries <- { at = Simtime.now t.time; label } :: t.entries
+
+let recordf t fmt = Format.kasprintf (record t) fmt
+
+let entries t = List.rev t.entries
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  nl = 0 || loop 0
+
+let find t ~substring =
+  List.filter (fun e -> contains_substring ~needle:substring e.label) (entries t)
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "[%10.4f] %s@." e.at e.label) (entries t)

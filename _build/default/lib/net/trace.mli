@@ -1,0 +1,15 @@
+(** Timestamped event log of a protocol run — the audit trail the
+    experiment harness and the examples print. *)
+
+type entry = { at : float; label : string }
+
+type t
+
+val create : Simtime.t -> t
+val record : t -> string -> unit
+val recordf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val entries : t -> entry list
+(** Chronological order. *)
+
+val find : t -> substring:string -> entry list
+val pp : Format.formatter -> t -> unit

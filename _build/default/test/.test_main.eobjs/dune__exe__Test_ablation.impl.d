@@ -1,0 +1,1 @@
+test/test_ablation.ml: Ablation Alcotest List Ra_core Ra_net

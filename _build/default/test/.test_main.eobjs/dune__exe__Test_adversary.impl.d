@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Architecture Code_attest Freshness List Message Ra_core Ra_mcu Session String

@@ -1,0 +1,1 @@
+test/test_architecture.ml: Alcotest Architecture Auth Code_attest Freshness List Message Ra_core Ra_mcu String

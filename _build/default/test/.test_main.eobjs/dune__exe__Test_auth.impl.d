@@ -1,0 +1,1 @@
+test/test_auth.ml: Alcotest Auth Char Format Gen List Message QCheck QCheck_alcotest Ra_core Ra_crypto Ra_mcu String

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Gen QCheck QCheck_alcotest Ra_crypto

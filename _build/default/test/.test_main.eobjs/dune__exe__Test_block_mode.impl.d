@@ -1,0 +1,1 @@
+test/test_block_mode.ml: Aes Alcotest Block_mode Gen Hexutil QCheck QCheck_alcotest Ra_crypto Speck String

@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Architecture Campaign Ra_core

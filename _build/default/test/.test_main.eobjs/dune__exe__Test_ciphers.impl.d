@@ -1,0 +1,1 @@
+test/test_ciphers.ml: Aes Alcotest Bytes Char Gen Hexutil List QCheck QCheck_alcotest Ra_crypto Simon Speck String

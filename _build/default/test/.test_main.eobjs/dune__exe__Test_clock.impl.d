@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Clock Cpu Ea_mpu Int64 Interrupt Memory QCheck QCheck_alcotest Ra_mcu Region

@@ -1,0 +1,1 @@
+test/test_clock_sync.ml: Alcotest Auth Clock_sync Int64 Message Ra_core Ra_mcu Ra_net String

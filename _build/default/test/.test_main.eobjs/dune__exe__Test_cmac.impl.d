@@ -1,0 +1,1 @@
+test/test_cmac.ml: Aes Alcotest Cmac Gen Hexutil QCheck QCheck_alcotest Ra_crypto String

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cpu Ea_mpu List Memory Ra_mcu Region

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Clock Cpu Device Ea_mpu Energy Memory Ra_mcu String

@@ -1,0 +1,1 @@
+test/test_ea_mpu.ml: Alcotest Ea_mpu List QCheck QCheck_alcotest Ra_mcu

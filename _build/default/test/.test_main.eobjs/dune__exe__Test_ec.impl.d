@@ -1,0 +1,1 @@
+test/test_ec.ml: Alcotest Bignum Ec Ecdsa Gen QCheck QCheck_alcotest Ra_crypto String

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Energy QCheck QCheck_alcotest Ra_mcu

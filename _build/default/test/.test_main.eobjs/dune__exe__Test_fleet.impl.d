@@ -1,0 +1,1 @@
+test/test_fleet.ml: Alcotest Fleet List Ra_core Ra_mcu Ra_net Session Verifier

@@ -1,0 +1,1 @@
+test/test_freshness.ml: Alcotest Freshness Gen Int64 List Message QCheck QCheck_alcotest Ra_core Ra_mcu String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Adversary Alcotest Architecture Code_attest Freshness Int64 List Message Printexc Printf QCheck QCheck_alcotest Ra_core Ra_mcu Session String

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Char Gen Hexutil List Printf QCheck QCheck_alcotest Ra_crypto Sha1 Sha256 String

@@ -1,0 +1,1 @@
+test/test_hexdump.ml: Alcotest Device Ea_mpu Hexdump List Memory Ra_mcu String

@@ -1,0 +1,1 @@
+test/test_hexutil.ml: Alcotest Gen Hexutil QCheck QCheck_alcotest Ra_crypto String

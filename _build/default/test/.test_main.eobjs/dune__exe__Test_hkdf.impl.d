@@ -1,0 +1,1 @@
+test/test_hkdf.ml: Alcotest Hexutil Hkdf List Printf QCheck QCheck_alcotest Ra_crypto String

@@ -1,0 +1,1 @@
+test/test_hmac.ml: Alcotest Gen Hexutil Hmac QCheck QCheck_alcotest Ra_crypto String

@@ -1,0 +1,1 @@
+test/test_hwcost.ml: Alcotest Component QCheck QCheck_alcotest Ra_hwcost Synthesis

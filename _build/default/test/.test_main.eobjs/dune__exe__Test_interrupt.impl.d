@@ -1,0 +1,1 @@
+test/test_interrupt.ml: Alcotest Cpu Ea_mpu Interrupt Memory Ra_mcu Region

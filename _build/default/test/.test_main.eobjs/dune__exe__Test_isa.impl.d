@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Char Core Format Gen Insn List Printf QCheck QCheck_alcotest Ra_isa Ra_mcu String

@@ -1,0 +1,1 @@
+test/test_isa_anchor.ml: Alcotest Auth Code_attest Freshness Int64 Isa_anchor Message Ra_core Ra_crypto Ra_isa Ra_mcu Ra_net Verifier

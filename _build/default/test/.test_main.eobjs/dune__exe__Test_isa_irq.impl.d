@@ -1,0 +1,1 @@
+test/test_isa_irq.ml: Alcotest Asm Core Int64 Irq Printf Ra_isa Ra_mcu String

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Memory QCheck QCheck_alcotest Ra_mcu Region

@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Format Gen Int64 Message QCheck QCheck_alcotest Ra_core String

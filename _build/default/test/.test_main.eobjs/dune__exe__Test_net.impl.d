@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Channel List Ra_net Simtime Trace

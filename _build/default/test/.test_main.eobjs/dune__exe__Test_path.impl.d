@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Path QCheck QCheck_alcotest Ra_core Ra_crypto Ra_net

@@ -1,0 +1,1 @@
+test/test_power_cycle.ml: Alcotest Auth Clock_sync Freshness Int64 Message Ra_core Ra_crypto Ra_mcu Ra_net String

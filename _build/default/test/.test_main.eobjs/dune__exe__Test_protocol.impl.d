@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Architecture Code_attest Freshness Int64 List Message Ra_core Ra_mcu Ra_net Service Session String Verifier

@@ -1,0 +1,1 @@
+test/test_rand.ml: Alcotest Drbg List Printf Prng QCheck QCheck_alcotest Ra_crypto String

@@ -1,0 +1,1 @@
+test/test_realtime.ml: Alcotest List QCheck QCheck_alcotest Ra_core Realtime

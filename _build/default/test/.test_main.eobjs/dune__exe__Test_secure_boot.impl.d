@@ -1,0 +1,1 @@
+test/test_secure_boot.ml: Alcotest Cpu Ea_mpu Memory Ra_crypto Ra_mcu Region Secure_boot String

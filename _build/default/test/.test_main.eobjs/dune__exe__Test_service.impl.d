@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Auth Code_attest Freshness Int64 Message Ra_core Ra_mcu Service String

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Architecture Freshness List Message Ra_core Ra_mcu Ra_net Service Session String Verifier

@@ -1,0 +1,1 @@
+test/test_sha1_asm.ml: Alcotest Gen Int64 Printf QCheck QCheck_alcotest Ra_crypto Ra_isa Ra_mcu Sha1_asm String

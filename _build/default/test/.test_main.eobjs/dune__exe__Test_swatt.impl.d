@@ -1,0 +1,1 @@
+test/test_swatt.ml: Alcotest Gen Int64 QCheck QCheck_alcotest Ra_core Ra_mcu String Swatt

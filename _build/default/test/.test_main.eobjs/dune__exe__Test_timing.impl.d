@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Int64 QCheck QCheck_alcotest Ra_mcu Timing

@@ -1,0 +1,1 @@
+test/test_trustlet.ml: Alcotest Ra_core Ra_isa Ra_mcu String Trustlet

@@ -1,0 +1,58 @@
+open Ra_core
+module Path = Ra_net.Path
+
+let windows = [ 1L; 5L; 20L; 100L; 1000L ]
+
+let test_monotone_in_window () =
+  let points =
+    Ablation.timestamp_window_sweep ~trials:200 ~path:Path.lan ~windows ~seed:7L ()
+  in
+  let rates = List.map Ablation.false_reject_rate points in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "wider window, fewer false rejects" true (non_increasing rates)
+
+let test_recommended_window_suffices () =
+  List.iter
+    (fun path ->
+      let window = Ablation.recommended_window_ms ~path in
+      let [@warning "-8"] [ point ] =
+        Ablation.timestamp_window_sweep ~trials:300 ~path ~windows:[ window ] ~seed:3L ()
+      in
+      Alcotest.(check int) "no false rejects at the recommended window" 0
+        point.Ablation.false_rejects)
+    [ Path.direct; Path.lan; Path.internet ]
+
+let test_tiny_window_rejects_on_slow_paths () =
+  let [@warning "-8"] [ point ] =
+    Ablation.timestamp_window_sweep ~trials:300 ~path:Path.internet ~windows:[ 30L ]
+      ~seed:3L ()
+  in
+  (* internet min one-way delay is 60 ms: a 30 ms window rejects all *)
+  Alcotest.(check int) "everything late" 300 point.Ablation.false_rejects
+
+let test_exposure_is_window () =
+  let [@warning "-8"] [ point ] =
+    Ablation.timestamp_window_sweep ~trials:10 ~path:Path.direct ~windows:[ 250L ]
+      ~seed:1L ()
+  in
+  Alcotest.(check int64) "exposure" 250L point.Ablation.exposure_ms
+
+let test_deterministic () =
+  let run () =
+    Ablation.timestamp_window_sweep ~trials:100 ~path:Path.lan ~windows:[ 5L ] ~seed:11L ()
+  in
+  Alcotest.(check bool) "reproducible" true (run () = run ())
+
+let tests =
+  [
+    Alcotest.test_case "monotone in window" `Quick test_monotone_in_window;
+    Alcotest.test_case "recommended window suffices" `Quick
+      test_recommended_window_suffices;
+    Alcotest.test_case "tiny window on slow paths" `Quick
+      test_tiny_window_rejects_on_slow_paths;
+    Alcotest.test_case "exposure = window" `Quick test_exposure_is_window;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

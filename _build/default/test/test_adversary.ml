@@ -1,0 +1,176 @@
+open Ra_core
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+
+let counter_spec ~protect =
+  {
+    (Architecture.with_policy Architecture.trustlite_base Freshness.Counter) with
+    Architecture.clock_impl = Device.Clock_none;
+    protect_counter = protect;
+    protect_key = protect;
+  }
+
+let session ~protect = Session.create ~spec:(counter_spec ~protect) ~ram_size:2048 ()
+
+let test_eavesdropping () =
+  let s = session ~protect:true in
+  let _ = Session.attest_round s in
+  let _ = Session.attest_round s in
+  Alcotest.(check int) "recorded both requests" 2
+    (List.length (Adversary.recorded_requests s))
+
+let test_intercept () =
+  let s = session ~protect:true in
+  let sent = Session.send_request s in
+  (match Adversary.intercept_next_request s with
+  | Some req -> Alcotest.(check bool) "got the request" true (req = sent)
+  | None -> Alcotest.fail "interception failed");
+  Alcotest.(check bool) "wire empty" false (Session.deliver_next_to_prover s);
+  Alcotest.(check int) "prover saw nothing" 0
+    (Code_attest.stats (Session.anchor s)).Code_attest.requests_seen
+
+let test_compromise_erases_traces () =
+  let s = session ~protect:true in
+  let d = Session.device s in
+  let image_before =
+    Ra_mcu.Memory.read_bytes (Device.memory d) (Device.attested_base d) 2048
+  in
+  let report = Adversary.compromise s ~tampers:[ Adversary.Try_counter_write 0L ] in
+  Alcotest.(check bool) "was resident" true report.Adversary.malware_was_resident;
+  Alcotest.(check bool) "traces erased" true report.Adversary.traces_erased;
+  let image_after =
+    Ra_mcu.Memory.read_bytes (Device.memory d) (Device.attested_base d) 2048
+  in
+  Alcotest.(check bool) "RAM bit-exact" true (image_before = image_after)
+
+let test_tamper_results_depend_on_protection () =
+  let attempted s =
+    (Adversary.compromise s
+       ~tampers:
+         [
+           Adversary.Try_key_read;
+           Adversary.Try_counter_write 0L;
+           Adversary.Try_mpu_reconfig;
+         ])
+      .Adversary.attempts
+  in
+  let exposed = attempted (session ~protect:false) in
+  List.iter
+    (fun (tamper, result) ->
+      match tamper with
+      | Adversary.Try_mpu_reconfig ->
+        (* trustlite specs lock the MPU even when rules are absent *)
+        Alcotest.(check bool) "mpu locked" false (Adversary.tamper_result_ok result)
+      | Adversary.Try_key_read | Adversary.Try_counter_write _ ->
+        Alcotest.(check bool) "exposed: tampering works" true
+          (Adversary.tamper_result_ok result)
+      | Adversary.Try_key_write _ | Adversary.Try_clock_set_back_ms _
+      | Adversary.Try_idt_tamper | Adversary.Try_irq_disable ->
+        Alcotest.fail "unexpected tamper in report")
+    exposed;
+  let defended = attempted (session ~protect:true) in
+  List.iter
+    (fun (_, result) ->
+      Alcotest.(check bool) "defended: everything blocked" false
+        (Adversary.tamper_result_ok result))
+    defended
+
+let test_key_write_blocked_in_rom () =
+  let s = session ~protect:false in
+  let report =
+    Adversary.compromise s ~tampers:[ Adversary.Try_key_write (String.make 60 'x') ]
+  in
+  (match report.Adversary.attempts with
+  | [ (_, Adversary.Blocked_rom_immutable) ] -> ()
+  | [ (_, r) ] ->
+    Alcotest.failf "expected ROM block, got %a" Adversary.pp_tamper_result r
+  | _ -> Alcotest.fail "expected one attempt")
+
+let test_stolen_key_enables_forgery () =
+  let s = session ~protect:false in
+  let report = Adversary.compromise s ~tampers:[ Adversary.Try_key_read ] in
+  (match Adversary.stolen_key_blob report with
+  | Some blob ->
+    let forged =
+      Adversary.forge_request s ~key_blob:blob ~freshness:(Message.F_counter 1L) ()
+    in
+    Adversary.inject s forged;
+    Alcotest.(check int) "forged request accepted" 1
+      (Code_attest.stats (Session.anchor s)).Code_attest.attestations_performed
+  | None -> Alcotest.fail "key should be extractable")
+
+let test_forgery_without_key_fails () =
+  let s = session ~protect:true in
+  let forged = Adversary.forge_request s ~freshness:(Message.F_counter 1L) () in
+  Adversary.inject s forged;
+  Alcotest.(check int) "rejected" 0
+    (Code_attest.stats (Session.anchor s)).Code_attest.attestations_performed
+
+let test_flash_key_needs_write_rule () =
+  (* §6.2: "if [the key] is stored in writable memory (e.g., RAM or
+     Flash), it must be write-protected by a dedicated EA-MAC rule" *)
+  let spec ~protect =
+    {
+      (counter_spec ~protect) with
+      Architecture.key_location = Device.Key_in_flash;
+      spec_name = (if protect then "flashkey/rule" else "flashkey/bare");
+    }
+  in
+  let overwrite s =
+    (Adversary.compromise s ~tampers:[ Adversary.Try_key_write (String.make 60 'e') ])
+      .Adversary.attempts
+  in
+  (* without the rule the flash key is overwritable — from then on the
+     adversary's own key authenticates its requests *)
+  let s = Session.create ~spec:(spec ~protect:false) ~ram_size:2048 () in
+  (match overwrite s with
+  | [ (_, Adversary.Tamper_succeeded _) ] -> ()
+  | [ (_, r) ] -> Alcotest.failf "expected success, got %a" Adversary.pp_tamper_result r
+  | _ -> Alcotest.fail "expected one attempt");
+  let evil_blob = String.make 60 'e' in
+  let forged =
+    Adversary.forge_request s ~key_blob:evil_blob ~freshness:(Message.F_counter 1L) ()
+  in
+  Adversary.inject s forged;
+  Alcotest.(check int) "forgery under planted key accepted" 1
+    (Code_attest.stats (Session.anchor s)).Code_attest.attestations_performed;
+  (* with the rule, the overwrite faults *)
+  let s2 = Session.create ~spec:(spec ~protect:true) ~ram_size:2048 () in
+  (match overwrite s2 with
+  | [ (_, Adversary.Blocked_by_mpu) ] -> ()
+  | [ (_, r) ] -> Alcotest.failf "expected MPU block, got %a" Adversary.pp_tamper_result r
+  | _ -> Alcotest.fail "expected one attempt")
+
+let test_clock_tamper_not_applicable_without_clock () =
+  let s = session ~protect:false in
+  let report =
+    Adversary.compromise s ~tampers:[ Adversary.Try_clock_set_back_ms 1000L ]
+  in
+  (match report.Adversary.attempts with
+  | [ (_, Adversary.Not_applicable _) ] -> ()
+  | _ -> Alcotest.fail "expected not-applicable")
+
+let test_flood_counts () =
+  let s = session ~protect:true in
+  let bogus = Adversary.forge_request s ~freshness:Message.F_none () in
+  Adversary.flood s ~count:50 bogus;
+  let stats = Code_attest.stats (Session.anchor s) in
+  Alcotest.(check int) "all seen" 50 stats.Code_attest.requests_seen;
+  Alcotest.(check int) "all rejected" 50 stats.Code_attest.requests_rejected
+
+let tests =
+  [
+    Alcotest.test_case "eavesdropping" `Quick test_eavesdropping;
+    Alcotest.test_case "interception" `Quick test_intercept;
+    Alcotest.test_case "compromise erases traces" `Quick test_compromise_erases_traces;
+    Alcotest.test_case "tampering vs protection" `Quick
+      test_tamper_results_depend_on_protection;
+    Alcotest.test_case "ROM key immutable" `Quick test_key_write_blocked_in_rom;
+    Alcotest.test_case "stolen key enables forgery" `Quick test_stolen_key_enables_forgery;
+    Alcotest.test_case "forgery without key fails" `Quick test_forgery_without_key_fails;
+    Alcotest.test_case "flash key needs write rule (§6.2)" `Quick
+      test_flash_key_needs_write_rule;
+    Alcotest.test_case "clock tamper without clock" `Quick
+      test_clock_tamper_not_applicable_without_clock;
+    Alcotest.test_case "flood statistics" `Quick test_flood_counts;
+  ]

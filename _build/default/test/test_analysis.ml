@@ -1,0 +1,42 @@
+(* The machine-checked protection lattice: all 16 defence combinations
+   behave exactly as the paper's §5/§6.2 argument predicts. *)
+open Ra_core
+
+let test_sixteen_points () =
+  Alcotest.(check int) "16 configs" 16 (List.length Analysis.all_configs)
+
+let test_exhaustive_agreement () =
+  List.iter
+    (fun (config, predicted, observed, agree) ->
+      if not agree then
+        Alcotest.failf "%a: predicted %a but observed %a" Analysis.pp_config config
+          Analysis.pp_exposure predicted Analysis.pp_exposure observed)
+    (Analysis.exhaustive_check ())
+
+let test_prediction_structure () =
+  (* the unlocked half of the lattice is uniformly exposed *)
+  List.iter
+    (fun config ->
+      if not config.Analysis.p_lock then begin
+        let p = Analysis.predict config in
+        Alcotest.(check bool) "unlocked => all exposed" true
+          (p.Analysis.key_extractable && p.Analysis.counter_rollbackable
+         && p.Analysis.clock_rollbackable)
+      end)
+    Analysis.all_configs;
+  (* the fully-defended point is fully safe *)
+  let full =
+    Analysis.predict
+      { Analysis.p_key = true; p_counter = true; p_clock = true; p_lock = true }
+  in
+  Alcotest.(check bool) "fully defended => fully safe" true
+    ((not full.Analysis.key_extractable)
+    && (not full.Analysis.counter_rollbackable)
+    && not full.Analysis.clock_rollbackable)
+
+let tests =
+  [
+    Alcotest.test_case "sixteen lattice points" `Quick test_sixteen_points;
+    Alcotest.test_case "prediction structure" `Quick test_prediction_structure;
+    Alcotest.test_case "exhaustive agreement (§5/§6.2)" `Slow test_exhaustive_agreement;
+  ]

@@ -1,0 +1,137 @@
+open Ra_crypto
+module B = Bignum
+
+let of_i = B.of_int
+
+let test_basics () =
+  Alcotest.(check bool) "zero is zero" true (B.is_zero B.zero);
+  Alcotest.(check int) "roundtrip small" 12345 (B.to_int (of_i 12345));
+  Alcotest.(check int) "roundtrip large" max_int (B.to_int (of_i max_int));
+  Alcotest.check_raises "negative" (Invalid_argument "Bignum.of_int: negative")
+    (fun () -> ignore (of_i (-1)))
+
+let test_hex () =
+  Alcotest.(check string) "zero" "0" (B.to_hex B.zero);
+  Alcotest.(check string) "ff" "ff" (B.to_hex (of_i 255));
+  Alcotest.(check string) "deadbeef" "deadbeef" (B.to_hex (B.of_hex "deadbeef"));
+  Alcotest.(check string) "odd nibbles" "f" (B.to_hex (B.of_hex "F"));
+  Alcotest.(check int) "parse" 4096 (B.to_int (B.of_hex "1000"))
+
+let test_bytes () =
+  Alcotest.(check string) "be encoding" "\x01\x02" (B.to_bytes_be (of_i 258));
+  Alcotest.(check string) "padded" "\x00\x00\x01\x02" (B.to_bytes_be ~pad:4 (of_i 258));
+  Alcotest.(check int) "decode" 258 (B.to_int (B.of_bytes_be "\x01\x02"))
+
+let test_arith () =
+  let a = B.of_hex "ffffffffffffffffffffffffffffffff" in
+  Alcotest.(check string) "add carry chain" "100000000000000000000000000000000"
+    (B.to_hex (B.add a B.one));
+  Alcotest.(check string) "sub undoes add" (B.to_hex a)
+    (B.to_hex (B.sub (B.add a B.one) B.one));
+  Alcotest.check_raises "negative sub" (Invalid_argument "Bignum.sub: negative result")
+    (fun () -> ignore (B.sub B.one B.two));
+  Alcotest.(check string) "square" "fffffffffffffffffffffffffffffffe00000000000000000000000000000001"
+    (B.to_hex (B.mul a a))
+
+let test_divmod () =
+  let a = B.of_hex "123456789abcdef0123456789abcdef" in
+  let b = B.of_hex "fedcba987" in
+  let q, r = B.divmod a b in
+  Alcotest.(check string) "a = q*b + r" (B.to_hex a) (B.to_hex (B.add (B.mul q b) r));
+  Alcotest.(check bool) "r < b" true (B.compare r b < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod a B.zero));
+  let q0, r0 = B.divmod b a in
+  Alcotest.(check bool) "small/large: q=0" true (B.is_zero q0);
+  Alcotest.(check string) "small/large: r=a" (B.to_hex b) (B.to_hex r0)
+
+let test_to_int_overflow () =
+  let big = B.of_hex "ffffffffffffffffffffffffffffffff" in
+  Alcotest.check_raises "overflow detected" (Failure "Bignum.to_int: overflow")
+    (fun () -> ignore (B.to_int big));
+  (* a value with many limbs but small magnitude still converts *)
+  Alcotest.(check int) "small value with headroom" 7
+    (B.to_int (B.shift_right (B.shift_left (of_i 7) 100) 100))
+
+let test_unsigned_counter_range () =
+  (* counters are compared as unsigned 64-bit on the device; the bignum
+     layer must handle 2^63..2^64-1 magnitudes the wire can carry *)
+  let top = B.of_hex "ffffffffffffffff" in
+  Alcotest.(check int) "64 bits" 64 (B.bit_length top);
+  Alcotest.(check string) "round trip" "ffffffffffffffff"
+    (B.to_hex (B.of_bytes_be (B.to_bytes_be top)))
+
+let test_bits () =
+  Alcotest.(check int) "bitlen 0" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "bitlen 1" 1 (B.bit_length B.one);
+  Alcotest.(check int) "bitlen 256" 9 (B.bit_length (of_i 256));
+  Alcotest.(check bool) "bit 8 of 256" true (B.test_bit (of_i 256) 8);
+  Alcotest.(check bool) "bit 0 of 256" false (B.test_bit (of_i 256) 0);
+  Alcotest.(check int) "shl" 1024 (B.to_int (B.shift_left B.one 10));
+  Alcotest.(check int) "shr" 1 (B.to_int (B.shift_right (of_i 1024) 10));
+  Alcotest.(check bool) "shr to zero" true (B.is_zero (B.shift_right (of_i 3) 2));
+  Alcotest.(check bool) "parity" true (B.is_even (of_i 4) && B.is_odd (of_i 5))
+
+(* properties over moderately sized random numbers *)
+let gen_big =
+  QCheck.map
+    (fun s -> B.of_bytes_be s)
+    QCheck.(string_of_size Gen.(1 -- 24))
+
+let qcheck_add_comm =
+  QCheck.Test.make ~name:"bignum: a+b = b+a" ~count:200 (QCheck.pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.add a b) (B.add b a))
+
+let qcheck_mul_comm =
+  QCheck.Test.make ~name:"bignum: a*b = b*a" ~count:200 (QCheck.pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.mul a b) (B.mul b a))
+
+let qcheck_mul_distributes =
+  QCheck.Test.make ~name:"bignum: a*(b+c) = a*b + a*c" ~count:100
+    (QCheck.triple gen_big gen_big gen_big)
+    (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let qcheck_divmod_law =
+  QCheck.Test.make ~name:"bignum: divmod reconstruction" ~count:200
+    (QCheck.pair gen_big gen_big)
+    (fun (a, b) ->
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r) && B.compare r b < 0)
+
+let qcheck_bytes_roundtrip =
+  QCheck.Test.make ~name:"bignum: bytes roundtrip" ~count:200 gen_big (fun a ->
+      B.equal a (B.of_bytes_be (B.to_bytes_be a)))
+
+let qcheck_shift_inverse =
+  QCheck.Test.make ~name:"bignum: shr . shl = id" ~count:200
+    (QCheck.pair gen_big (QCheck.int_range 0 64))
+    (fun (a, n) -> B.equal a (B.shift_right (B.shift_left a n) n))
+
+let qcheck_int_consistency =
+  QCheck.Test.make ~name:"bignum: mirrors int arithmetic" ~count:200
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      B.to_int (B.add (of_i a) (of_i b)) = a + b
+      && B.to_int (B.mul (of_i a) (of_i b)) = a * b
+      && B.to_int (B.rem (of_i a) (of_i b)) = a mod b)
+
+let tests =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "hex" `Quick test_hex;
+    Alcotest.test_case "bytes" `Quick test_bytes;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "divmod" `Quick test_divmod;
+    Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+    Alcotest.test_case "unsigned counter range" `Quick test_unsigned_counter_range;
+    Alcotest.test_case "bits" `Quick test_bits;
+    QCheck_alcotest.to_alcotest qcheck_add_comm;
+    QCheck_alcotest.to_alcotest qcheck_mul_comm;
+    QCheck_alcotest.to_alcotest qcheck_mul_distributes;
+    QCheck_alcotest.to_alcotest qcheck_divmod_law;
+    QCheck_alcotest.to_alcotest qcheck_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_shift_inverse;
+    QCheck_alcotest.to_alcotest qcheck_int_consistency;
+  ]

@@ -1,0 +1,118 @@
+open Ra_mcu
+
+let hz = 24_000_000
+
+let make_cpu () =
+  let memory =
+    Memory.create
+      [
+        Region.make ~name:"idt" ~base:0x100 ~size:256 ~kind:Region.Ram;
+        Region.make ~name:"ctrl" ~base:0x200 ~size:16 ~kind:Region.Mmio;
+        Region.make ~name:"msb" ~base:0x300 ~size:8 ~kind:Region.Ram;
+      ]
+  in
+  Cpu.create memory (Ea_mpu.create ~capacity:4) ~clock_hz:hz
+
+let test_hw_counter () =
+  let cpu = make_cpu () in
+  let clock = Clock.create_hw_counter cpu ~width:64 ~divider_log2:0 in
+  Alcotest.(check int64) "starts at 0" 0L (Clock.ticks clock);
+  Cpu.consume_cycles cpu 1000L;
+  Alcotest.(check int64) "counts cycles" 1000L (Clock.ticks clock);
+  Cpu.idle_cycles cpu 24_000_000L;
+  Alcotest.(check (float 1e-6)) "seconds" (1.0 +. (1000.0 /. 24e6)) (Clock.seconds clock)
+
+let test_divider () =
+  let cpu = make_cpu () in
+  let clock = Clock.create_hw_counter cpu ~width:32 ~divider_log2:20 in
+  Cpu.consume_cycles cpu (Int64.shift_left 1L 20);
+  Alcotest.(check int64) "one tick per 2^20 cycles" 1L (Clock.ticks clock);
+  Alcotest.(check (float 1e-4)) "resolution ≈ 43.7 ms" 0.0437
+    (Clock.resolution_seconds clock)
+
+let test_width_wrap () =
+  let cpu = make_cpu () in
+  let clock = Clock.create_hw_counter cpu ~width:8 ~divider_log2:0 in
+  Cpu.consume_cycles cpu 300L;
+  Alcotest.(check int64) "wraps at 2^8" (Int64.of_int (300 mod 256)) (Clock.ticks clock)
+
+let test_wraparound_arithmetic () =
+  (* §6.3's numbers *)
+  Alcotest.(check (float 5.0)) "64-bit: ~24,373 years" 24373.0
+    (Clock.wraparound_years ~hz ~width:64 ~divider_log2:0);
+  Alcotest.(check (float 2.0)) "32-bit: ~179 s (≈3 min)" 179.0
+    (Clock.wraparound_seconds ~hz ~width:32 ~divider_log2:0);
+  Alcotest.(check (float 0.05)) "32-bit/2^20: ~6 years" 5.95
+    (Clock.wraparound_years ~hz ~width:32 ~divider_log2:20)
+
+let make_sw_clock () =
+  let cpu = make_cpu () in
+  let intr = Interrupt.create cpu ~idt_base:0x100 ~vectors:8 ~ctrl_addr:0x200 in
+  Interrupt.enable_all_raw intr;
+  let clock =
+    Clock.create_sw_clock cpu intr ~lsb_width:10 ~divider_log2:0 ~msb_addr:0x300
+      ~timer_vector:1 ~handler_entry:0xC0DE ~handler_region:"code_clock"
+  in
+  (cpu, intr, clock)
+
+let test_sw_clock_accumulates () =
+  let cpu, _, clock = make_sw_clock () in
+  (* 3.5 LSB periods: MSB must have been bumped 3 times *)
+  Cpu.consume_cycles cpu (Int64.of_int ((3 * 1024) + 512));
+  Alcotest.(check int64) "msb||lsb" (Int64.of_int ((3 * 1024) + 512)) (Clock.ticks clock)
+
+let test_sw_clock_freezes_without_handler () =
+  let cpu, intr, clock = make_sw_clock () in
+  Cpu.consume_cycles cpu 1024L;
+  Alcotest.(check int64) "one wrap counted" 1024L (Clock.ticks clock);
+  (* malware redirects the timer vector: wraps get lost, the clock's
+     high-order share stops advancing *)
+  Interrupt.set_vector intr ~vector:1 ~entry_addr:0xBAD;
+  Cpu.consume_cycles cpu (Int64.of_int (10 * 1024));
+  Alcotest.(check int64) "clock frozen at msb=1" 1024L (Clock.ticks clock)
+
+let test_sw_clock_msb_protection () =
+  let cpu, _, clock = make_sw_clock () in
+  Ea_mpu.program (Cpu.mpu cpu)
+    {
+      Ea_mpu.rule_name = "msb";
+      data_base = 0x300;
+      data_size = 8;
+      read_by = Ea_mpu.Anyone;
+      write_by = Ea_mpu.Code_in [ "code_clock" ];
+    };
+  Cpu.consume_cycles cpu 2048L;
+  Alcotest.(check int64) "handler still writes through rule" 2048L (Clock.ticks clock);
+  (* direct software rollback attempt faults *)
+  (try
+     Cpu.store_u64 cpu 0x300 0L;
+     Alcotest.fail "rollback should fault"
+   with Cpu.Protection_fault _ -> ())
+
+let test_validation () =
+  let cpu = make_cpu () in
+  Alcotest.check_raises "bad width" (Invalid_argument "Clock.create_hw_counter: width")
+    (fun () -> ignore (Clock.create_hw_counter cpu ~width:0 ~divider_log2:0))
+
+let qcheck_hw_ticks_match_cycles =
+  QCheck.Test.make ~name:"clock: hw ticks = cycles >> divider" ~count:100
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 8))
+    (fun (cycles, divider) ->
+      let cpu = make_cpu () in
+      let clock = Clock.create_hw_counter cpu ~width:64 ~divider_log2:divider in
+      Cpu.consume_cycles cpu (Int64.of_int cycles);
+      Clock.ticks clock = Int64.of_int (cycles lsr divider))
+
+let tests =
+  [
+    Alcotest.test_case "hw counter" `Quick test_hw_counter;
+    Alcotest.test_case "divider" `Quick test_divider;
+    Alcotest.test_case "width wrap" `Quick test_width_wrap;
+    Alcotest.test_case "wraparound arithmetic (§6.3)" `Quick test_wraparound_arithmetic;
+    Alcotest.test_case "sw clock accumulates" `Quick test_sw_clock_accumulates;
+    Alcotest.test_case "sw clock freezes without handler" `Quick
+      test_sw_clock_freezes_without_handler;
+    Alcotest.test_case "sw clock msb protection" `Quick test_sw_clock_msb_protection;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest qcheck_hw_ticks_match_cycles;
+  ]

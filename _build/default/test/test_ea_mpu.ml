@@ -1,0 +1,113 @@
+open Ra_mcu
+
+let rule ?(name = "r") ?(read = Ea_mpu.Anyone) ?(write = Ea_mpu.Nobody) base size =
+  { Ea_mpu.rule_name = name; data_base = base; data_size = size; read_by = read; write_by = write }
+
+let test_unenrolled_open () =
+  let m = Ea_mpu.create ~capacity:4 in
+  Alcotest.(check bool) "read anywhere" true (Ea_mpu.check m ~code:"x" ~addr:0 Ea_mpu.Read);
+  Alcotest.(check bool) "write anywhere" true (Ea_mpu.check m ~code:"x" ~addr:0 Ea_mpu.Write)
+
+let test_execution_awareness () =
+  let m = Ea_mpu.create ~capacity:4 in
+  Ea_mpu.program m (rule ~read:(Ea_mpu.Code_in [ "attest" ]) ~write:Ea_mpu.Nobody 100 16);
+  Alcotest.(check bool) "attest reads" true
+    (Ea_mpu.check m ~code:"attest" ~addr:100 Ea_mpu.Read);
+  Alcotest.(check bool) "malware cannot read" false
+    (Ea_mpu.check m ~code:"untrusted" ~addr:100 Ea_mpu.Read);
+  Alcotest.(check bool) "nobody writes" false
+    (Ea_mpu.check m ~code:"attest" ~addr:100 Ea_mpu.Write);
+  Alcotest.(check bool) "outside the range all open" true
+    (Ea_mpu.check m ~code:"untrusted" ~addr:116 Ea_mpu.Read)
+
+let test_write_only_subject () =
+  let m = Ea_mpu.create ~capacity:4 in
+  Ea_mpu.program m (rule ~read:Ea_mpu.Anyone ~write:(Ea_mpu.Code_in [ "clock" ]) 0 8);
+  Alcotest.(check bool) "anyone reads" true (Ea_mpu.check m ~code:"app" ~addr:3 Ea_mpu.Read);
+  Alcotest.(check bool) "clock writes" true (Ea_mpu.check m ~code:"clock" ~addr:3 Ea_mpu.Write);
+  Alcotest.(check bool) "app cannot write" false
+    (Ea_mpu.check m ~code:"app" ~addr:3 Ea_mpu.Write)
+
+let test_lockdown () =
+  let m = Ea_mpu.create ~capacity:4 in
+  Ea_mpu.program m (rule 0 8);
+  Ea_mpu.lock m;
+  Alcotest.(check bool) "locked" true (Ea_mpu.is_locked m);
+  Alcotest.check_raises "program after lock" Ea_mpu.Locked (fun () ->
+      Ea_mpu.program m (rule 16 8));
+  Alcotest.check_raises "clear after lock" Ea_mpu.Locked (fun () -> Ea_mpu.clear m);
+  Alcotest.(check int) "rules intact" 1 (Ea_mpu.rule_count m)
+
+let test_capacity () =
+  let m = Ea_mpu.create ~capacity:2 in
+  Ea_mpu.program m (rule 0 8);
+  Ea_mpu.program m (rule 16 8);
+  Alcotest.check_raises "table full" Ea_mpu.Capacity_exceeded (fun () ->
+      Ea_mpu.program m (rule 32 8))
+
+let test_clear_before_lock () =
+  (* the gap secure boot must close: malware clears rules pre-lockdown *)
+  let m = Ea_mpu.create ~capacity:2 in
+  Ea_mpu.program m (rule ~read:(Ea_mpu.Code_in [ "attest" ]) 0 8);
+  Alcotest.(check bool) "protected" false (Ea_mpu.check m ~code:"mal" ~addr:0 Ea_mpu.Read);
+  Ea_mpu.clear m;
+  Alcotest.(check bool) "exposed after clear" true
+    (Ea_mpu.check m ~code:"mal" ~addr:0 Ea_mpu.Read)
+
+let test_overlapping_rules_grant_union () =
+  let m = Ea_mpu.create ~capacity:4 in
+  Ea_mpu.program m (rule ~name:"a" ~read:(Ea_mpu.Code_in [ "a" ]) 0 16);
+  Ea_mpu.program m (rule ~name:"b" ~read:(Ea_mpu.Code_in [ "b" ]) 8 16);
+  Alcotest.(check bool) "a in own range" true (Ea_mpu.check m ~code:"a" ~addr:4 Ea_mpu.Read);
+  Alcotest.(check bool) "a in overlap" true (Ea_mpu.check m ~code:"a" ~addr:10 Ea_mpu.Read);
+  Alcotest.(check bool) "b in overlap" true (Ea_mpu.check m ~code:"b" ~addr:10 Ea_mpu.Read);
+  Alcotest.(check bool) "c denied" false (Ea_mpu.check m ~code:"c" ~addr:10 Ea_mpu.Read)
+
+let test_check_range () =
+  let m = Ea_mpu.create ~capacity:4 in
+  Ea_mpu.program m (rule ~read:(Ea_mpu.Code_in [ "attest" ]) 100 16);
+  Alcotest.(check bool) "range fully outside" true
+    (Ea_mpu.check_range m ~code:"mal" ~addr:0 ~len:100 Ea_mpu.Read);
+  Alcotest.(check bool) "range straddling denied" false
+    (Ea_mpu.check_range m ~code:"mal" ~addr:90 ~len:20 Ea_mpu.Read);
+  Alcotest.(check bool) "range straddling allowed for attest" true
+    (Ea_mpu.check_range m ~code:"attest" ~addr:90 ~len:20 Ea_mpu.Read);
+  Alcotest.(check bool) "range ending at boundary" true
+    (Ea_mpu.check_range m ~code:"mal" ~addr:90 ~len:10 Ea_mpu.Read);
+  Alcotest.(check bool) "range starting at limit" true
+    (Ea_mpu.check_range m ~code:"mal" ~addr:116 ~len:10 Ea_mpu.Read);
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Ea_mpu.check_range: non-positive length") (fun () ->
+      ignore (Ea_mpu.check_range m ~code:"mal" ~addr:0 ~len:0 Ea_mpu.Read))
+
+let qcheck_range_equals_bytewise =
+  (* the boundary-sampling optimization must agree with the byte-by-byte
+     semantics *)
+  let gen =
+    QCheck.quad (QCheck.int_range 0 40) (QCheck.int_range 1 40) (QCheck.int_range 0 40)
+      (QCheck.int_range 1 40)
+  in
+  QCheck.Test.make ~name:"ea_mpu: check_range = forall bytes" ~count:300 gen
+    (fun (rule_base, rule_size, addr, len) ->
+      let m = Ea_mpu.create ~capacity:2 in
+      Ea_mpu.program m (rule ~read:(Ea_mpu.Code_in [ "a" ]) rule_base rule_size);
+      let fast = Ea_mpu.check_range m ~code:"b" ~addr ~len Ea_mpu.Read in
+      let slow =
+        List.for_all
+          (fun i -> Ea_mpu.check m ~code:"b" ~addr:(addr + i) Ea_mpu.Read)
+          (List.init len (fun i -> i))
+      in
+      fast = slow)
+
+let tests =
+  [
+    Alcotest.test_case "unenrolled memory open" `Quick test_unenrolled_open;
+    Alcotest.test_case "execution awareness" `Quick test_execution_awareness;
+    Alcotest.test_case "write-only subject" `Quick test_write_only_subject;
+    Alcotest.test_case "lockdown" `Quick test_lockdown;
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    Alcotest.test_case "clear before lock" `Quick test_clear_before_lock;
+    Alcotest.test_case "overlapping rules" `Quick test_overlapping_rules_grant_union;
+    Alcotest.test_case "check_range" `Quick test_check_range;
+    QCheck_alcotest.to_alcotest qcheck_range_equals_bytewise;
+  ]

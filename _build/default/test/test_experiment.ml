@@ -1,0 +1,92 @@
+(* The headline reproduction: Table 2 and the §5 roaming-adversary
+   results as machine-checked facts. *)
+open Ra_core
+
+let test_table2_matches_paper () =
+  Alcotest.(check bool) "full matrix" true (Experiment.table2 () = Experiment.expected_table2)
+
+let cell f a = Experiment.table2_cell f a
+
+let test_table2_cells_individually () =
+  Alcotest.(check bool) "nonces stop replay" true (cell Experiment.F_nonces Experiment.A_replay);
+  Alcotest.(check bool) "nonces miss reorder" false (cell Experiment.F_nonces Experiment.A_reorder);
+  Alcotest.(check bool) "nonces miss delay" false (cell Experiment.F_nonces Experiment.A_delay);
+  Alcotest.(check bool) "counter stops reorder" true (cell Experiment.F_counter Experiment.A_reorder);
+  Alcotest.(check bool) "counter misses delay" false (cell Experiment.F_counter Experiment.A_delay);
+  Alcotest.(check bool) "timestamps stop delay" true
+    (cell Experiment.F_timestamps Experiment.A_delay)
+
+let outcome_checks name (o : Experiment.roam_outcome) ~dos_blocked ~evidence =
+  Alcotest.(check bool) (name ^ ": dos_blocked") dos_blocked o.Experiment.dos_blocked;
+  match evidence with
+  | Some e -> Alcotest.(check bool) (name ^ ": evidence") e o.Experiment.evidence_left
+  | None -> ()
+
+let test_counter_rollback () =
+  (* §5: undefended roll-back succeeds and is undetectable afterwards *)
+  outcome_checks "exposed"
+    (Experiment.roam_counter_rollback ~defended:false)
+    ~dos_blocked:false ~evidence:(Some false);
+  outcome_checks "defended"
+    (Experiment.roam_counter_rollback ~defended:true)
+    ~dos_blocked:true ~evidence:(Some true)
+
+let test_clock_rollback () =
+  (* §5: undefended clock roll-back succeeds but leaves the clock behind *)
+  outcome_checks "exposed"
+    (Experiment.roam_clock_rollback ~defended:false)
+    ~dos_blocked:false ~evidence:(Some true);
+  outcome_checks "defended"
+    (Experiment.roam_clock_rollback ~defended:true)
+    ~dos_blocked:true ~evidence:None
+
+let test_hw_clock_immune () =
+  outcome_checks "hw clock"
+    (Experiment.roam_clock_rollback_hw ())
+    ~dos_blocked:true ~evidence:None
+
+let test_idt_freeze () =
+  outcome_checks "exposed" (Experiment.roam_idt_freeze ~defended:false)
+    ~dos_blocked:false ~evidence:(Some true);
+  outcome_checks "defended" (Experiment.roam_idt_freeze ~defended:true)
+    ~dos_blocked:true ~evidence:None
+
+let test_key_extraction () =
+  outcome_checks "exposed"
+    (Experiment.roam_key_extraction ~defended:false)
+    ~dos_blocked:false ~evidence:(Some false);
+  outcome_checks "defended"
+    (Experiment.roam_key_extraction ~defended:true)
+    ~dos_blocked:true ~evidence:(Some true)
+
+let test_mpu_lockdown () =
+  outcome_checks "missing lockdown"
+    (Experiment.roam_mpu_lockdown ~defended:false)
+    ~dos_blocked:false ~evidence:None;
+  outcome_checks "with lockdown"
+    (Experiment.roam_mpu_lockdown ~defended:true)
+    ~dos_blocked:true ~evidence:None
+
+let test_matrix_shape () =
+  let outcomes = Experiment.roaming_matrix () in
+  Alcotest.(check int) "eleven scenarios" 11 (List.length outcomes);
+  (* every defended scenario blocks; every exposed one succeeds *)
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (o.Experiment.scenario ^ " defended<->blocked")
+        o.Experiment.defended o.Experiment.dos_blocked)
+    outcomes
+
+let tests =
+  [
+    Alcotest.test_case "Table 2 matches paper" `Slow test_table2_matches_paper;
+    Alcotest.test_case "Table 2 cells" `Slow test_table2_cells_individually;
+    Alcotest.test_case "counter rollback (§5)" `Quick test_counter_rollback;
+    Alcotest.test_case "clock rollback (§5)" `Quick test_clock_rollback;
+    Alcotest.test_case "64-bit hw clock immune" `Quick test_hw_clock_immune;
+    Alcotest.test_case "IDT freeze (§6.2)" `Quick test_idt_freeze;
+    Alcotest.test_case "key extraction (§5)" `Quick test_key_extraction;
+    Alcotest.test_case "MPU lockdown (§6.2)" `Quick test_mpu_lockdown;
+    Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
+  ]

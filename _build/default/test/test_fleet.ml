@@ -1,0 +1,89 @@
+open Ra_core
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+
+let make () = Fleet.create ~ram_size:2048 ~names:[ "a"; "b"; "c" ] ()
+
+let test_creation () =
+  let fleet = make () in
+  Alcotest.(check int) "three members" 3 (List.length (Fleet.members fleet));
+  Alcotest.(check bool) "unknown before sweep" true
+    (Fleet.member_health (Fleet.find fleet "a") = Fleet.Unknown);
+  Alcotest.check_raises "duplicates rejected"
+    (Invalid_argument "Fleet.create: duplicate member name") (fun () ->
+      ignore (Fleet.create ~names:[ "x"; "x" ] ()));
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Fleet.create: no members")
+    (fun () -> ignore (Fleet.create ~names:[] ()))
+
+let test_sweep_all_healthy () =
+  let fleet = make () in
+  Fleet.advance fleet ~seconds:1.0;
+  let results = Fleet.sweep fleet in
+  Alcotest.(check int) "all swept" 3 (List.length results);
+  List.iter
+    (fun (name, verdict) ->
+      Alcotest.(check bool) (name ^ " trusted") true (verdict = Some Verifier.Trusted))
+    results;
+  Alcotest.(check (list string)) "none compromised" [] (Fleet.compromised fleet)
+
+let test_infection_flagged () =
+  let fleet = make () in
+  Fleet.advance fleet ~seconds:1.0;
+  let victim = Fleet.find fleet "b" in
+  let device = Session.device (Fleet.member_session victim) in
+  Cpu.store_bytes (Device.cpu device) (Device.attested_base device) "IMPLANT";
+  let _ = Fleet.sweep fleet in
+  Alcotest.(check (list string)) "victim flagged" [ "b" ] (Fleet.compromised fleet);
+  Alcotest.(check bool) "others healthy" true
+    (Fleet.member_health (Fleet.find fleet "a") = Fleet.Healthy)
+
+let test_health_recovers () =
+  let fleet = make () in
+  Fleet.advance fleet ~seconds:1.0;
+  let victim = Fleet.find fleet "c" in
+  let device = Session.device (Fleet.member_session victim) in
+  let original =
+    Ra_mcu.Memory.read_bytes (Device.memory device) (Device.attested_base device) 7
+  in
+  Cpu.store_bytes (Device.cpu device) (Device.attested_base device) "IMPLANT";
+  let _ = Fleet.sweep_one fleet "c" in
+  Alcotest.(check bool) "flagged" true (Fleet.member_health victim = Fleet.Compromised);
+  (* remediation restores the image; the next sweep clears the flag *)
+  Cpu.store_bytes (Device.cpu device) (Device.attested_base device) original;
+  Fleet.advance fleet ~seconds:1.0;
+  let _ = Fleet.sweep_one fleet "c" in
+  Alcotest.(check bool) "healthy again" true (Fleet.member_health victim = Fleet.Healthy);
+  Alcotest.(check int) "two sweeps recorded" 2 (Fleet.sweeps_of victim)
+
+let test_sweeps_are_staggered () =
+  let fleet = make () in
+  let t0 =
+    Ra_net.Simtime.now (Session.time (Fleet.member_session (Fleet.find fleet "a")))
+  in
+  let _ = Fleet.sweep fleet in
+  let t1 =
+    Ra_net.Simtime.now (Session.time (Fleet.member_session (Fleet.find fleet "a")))
+  in
+  (* all members' clocks advanced by the whole sweep's stagger *)
+  Alcotest.(check bool) "time advanced across the sweep" true
+    (t1 -. t0 >= 3.0 *. Fleet.stagger_seconds -. 1e-6)
+
+let test_summary_shape () =
+  let fleet = make () in
+  Fleet.advance fleet ~seconds:1.0;
+  let _ = Fleet.sweep fleet in
+  List.iter
+    (fun (name, health, sweeps) ->
+      Alcotest.(check bool) (name ^ " healthy") true (health = Fleet.Healthy);
+      Alcotest.(check int) (name ^ " one sweep") 1 sweeps)
+    (Fleet.summary fleet)
+
+let tests =
+  [
+    Alcotest.test_case "creation" `Quick test_creation;
+    Alcotest.test_case "sweep all healthy" `Quick test_sweep_all_healthy;
+    Alcotest.test_case "infection flagged" `Quick test_infection_flagged;
+    Alcotest.test_case "health recovers after remediation" `Quick test_health_recovers;
+    Alcotest.test_case "sweeps staggered" `Quick test_sweeps_are_staggered;
+    Alcotest.test_case "summary" `Quick test_summary_shape;
+  ]

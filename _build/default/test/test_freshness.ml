@@ -1,0 +1,143 @@
+open Ra_core
+module Device = Ra_mcu.Device
+
+let key = String.make 60 'k'
+
+let device ?clock_impl () =
+  Device.create ~ram_size:1024 ?clock_impl ~key ()
+
+let clocked () =
+  device ~clock_impl:(Device.Clock_hw { width = 64; divider_log2 = 0 }) ()
+
+let test_no_freshness_accepts_anything () =
+  let st = Freshness.init (device ()) Freshness.No_freshness in
+  Alcotest.(check bool) "none" true (Freshness.check_and_update st Message.F_none = Ok ());
+  Alcotest.(check bool) "counter too" true
+    (Freshness.check_and_update st (Message.F_counter 1L) = Ok ())
+
+let test_counter_monotonic () =
+  let st = Freshness.init (device ()) Freshness.Counter in
+  Alcotest.(check bool) "first" true
+    (Freshness.check_and_update st (Message.F_counter 5L) = Ok ());
+  Alcotest.(check bool) "replay rejected" true
+    (match Freshness.check_and_update st (Message.F_counter 5L) with
+    | Error (Freshness.Stale_counter { got = 5L; stored = 5L }) -> true
+    | Ok () | Error _ -> false);
+  Alcotest.(check bool) "reorder rejected" true
+    (Freshness.check_and_update st (Message.F_counter 4L) <> Ok ());
+  Alcotest.(check bool) "progress" true
+    (Freshness.check_and_update st (Message.F_counter 6L) = Ok ())
+
+let test_counter_gaps_allowed () =
+  let st = Freshness.init (device ()) Freshness.Counter in
+  Alcotest.(check bool) "jump to 100" true
+    (Freshness.check_and_update st (Message.F_counter 100L) = Ok ());
+  Alcotest.(check bool) "101" true
+    (Freshness.check_and_update st (Message.F_counter 101L) = Ok ())
+
+let test_missing_and_wrong_fields () =
+  let st = Freshness.init (device ()) Freshness.Counter in
+  Alcotest.(check bool) "missing" true
+    (Freshness.check_and_update st Message.F_none = Error Freshness.Missing_field);
+  Alcotest.(check bool) "wrong kind" true
+    (Freshness.check_and_update st (Message.F_timestamp 1L) = Error Freshness.Wrong_field)
+
+let test_nonce_history () =
+  let st = Freshness.init (device ()) (Freshness.Nonce_history { max_entries = None }) in
+  Alcotest.(check bool) "n1" true
+    (Freshness.check_and_update st (Message.F_nonce "n1") = Ok ());
+  Alcotest.(check bool) "n2" true
+    (Freshness.check_and_update st (Message.F_nonce "n2") = Ok ());
+  Alcotest.(check bool) "n1 replay rejected" true
+    (Freshness.check_and_update st (Message.F_nonce "n1") = Error Freshness.Replayed_nonce);
+  Alcotest.(check int) "history grows (the §4.2 memory objection)" 4
+    (Freshness.history_bytes st);
+  Alcotest.(check int) "two entries" 2 (Freshness.history_length st)
+
+let test_nonce_history_eviction_reenables_replay () =
+  let st = Freshness.init (device ()) (Freshness.Nonce_history { max_entries = Some 2 }) in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (Freshness.check_and_update st (Message.F_nonce n) = Ok ()))
+    [ "n1"; "n2"; "n3" ];
+  (* n1 was evicted from the bounded history: its replay now passes *)
+  Alcotest.(check bool) "evicted nonce replays" true
+    (Freshness.check_and_update st (Message.F_nonce "n1") = Ok ())
+
+let test_timestamp_window () =
+  let d = clocked () in
+  let st = Freshness.init d (Freshness.Timestamp { window_ms = 5000L }) in
+  Device.idle d ~seconds:10.0 (* prover clock at 10s *);
+  Alcotest.(check bool) "in window" true
+    (Freshness.check_and_update st (Message.F_timestamp 9000L) = Ok ());
+  Alcotest.(check bool) "replay rejected (monotonic)" true
+    (match Freshness.check_and_update st (Message.F_timestamp 9000L) with
+    | Error (Freshness.Stale_or_reordered_timestamp _) -> true
+    | Ok () | Error _ -> false);
+  Alcotest.(check bool) "reorder rejected" true
+    (Freshness.check_and_update st (Message.F_timestamp 8500L) <> Ok ());
+  Device.idle d ~seconds:20.0 (* clock at 30s *);
+  Alcotest.(check bool) "delayed rejected" true
+    (match Freshness.check_and_update st (Message.F_timestamp 20000L) with
+    | Error (Freshness.Delayed_timestamp _) -> true
+    | Ok () | Error _ -> false);
+  Alcotest.(check bool) "future rejected" true
+    (match Freshness.check_and_update st (Message.F_timestamp 99000L) with
+    | Error (Freshness.Future_timestamp _) -> true
+    | Ok () | Error _ -> false)
+
+let test_timestamp_requires_clock () =
+  Alcotest.check_raises "clock-less device"
+    (Invalid_argument "Freshness.init: timestamp policy requires a clock") (fun () ->
+      ignore (Freshness.init (device ()) (Freshness.Timestamp { window_ms = 1000L })))
+
+let test_custom_time_source () =
+  let now = ref 1000L in
+  let st =
+    Freshness.init ~now_ms_fn:(fun () -> !now) (device ())
+      (Freshness.Timestamp { window_ms = 100L })
+  in
+  Alcotest.(check bool) "custom now accepted" true
+    (Freshness.check_and_update st (Message.F_timestamp 950L) = Ok ());
+  now := 2000L;
+  Alcotest.(check bool) "custom now rejects stale" true
+    (Freshness.check_and_update st (Message.F_timestamp 1000L) <> Ok ())
+
+let test_custom_cell_isolated () =
+  let d = device () in
+  let st1 = Freshness.init d Freshness.Counter in
+  let st2 = Freshness.init ~cell_addr:(Device.counter_addr d + 24) d Freshness.Counter in
+  Alcotest.(check bool) "st1 accepts 5" true
+    (Freshness.check_and_update st1 (Message.F_counter 5L) = Ok ());
+  (* st2's cell is independent: a low counter is still fresh there *)
+  Alcotest.(check bool) "st2 unaffected" true
+    (Freshness.check_and_update st2 (Message.F_counter 1L) = Ok ())
+
+let qcheck_counter_sequences =
+  QCheck.Test.make ~name:"freshness: counter accepts iff strictly increasing" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (map Int64.of_int (int_range 1 1000)))
+    (fun counters ->
+      let st = Freshness.init (device ()) Freshness.Counter in
+      let highest = ref 0L in
+      List.for_all
+        (fun c ->
+          let expected = Int64.unsigned_compare c !highest > 0 in
+          let actual = Freshness.check_and_update st (Message.F_counter c) = Ok () in
+          if actual then highest := c;
+          expected = actual)
+        counters)
+
+let tests =
+  [
+    Alcotest.test_case "no freshness" `Quick test_no_freshness_accepts_anything;
+    Alcotest.test_case "counter monotonic" `Quick test_counter_monotonic;
+    Alcotest.test_case "counter gaps" `Quick test_counter_gaps_allowed;
+    Alcotest.test_case "missing/wrong field" `Quick test_missing_and_wrong_fields;
+    Alcotest.test_case "nonce history" `Quick test_nonce_history;
+    Alcotest.test_case "nonce eviction re-enables replay" `Quick
+      test_nonce_history_eviction_reenables_replay;
+    Alcotest.test_case "timestamp window" `Quick test_timestamp_window;
+    Alcotest.test_case "timestamp requires clock" `Quick test_timestamp_requires_clock;
+    Alcotest.test_case "custom time source" `Quick test_custom_time_source;
+    Alcotest.test_case "custom cell isolated" `Quick test_custom_cell_isolated;
+    QCheck_alcotest.to_alcotest qcheck_counter_sequences;
+  ]

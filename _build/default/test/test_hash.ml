@@ -1,0 +1,79 @@
+(* SHA-1 / SHA-256 against FIPS 180 vectors, plus streaming-equivalence
+   properties. *)
+open Ra_crypto
+
+let hex = Hexutil.to_hex
+let check = Alcotest.(check string)
+
+let test_sha1_vectors () =
+  check "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (hex (Sha1.digest ""));
+  check "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (hex (Sha1.digest "abc"));
+  check "two blocks" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (hex (Sha1.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  check "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (hex (Sha1.digest (String.make 1_000_000 'a')))
+
+let test_sha1_boundary_lengths () =
+  (* padding boundary cases: 55, 56, 63, 64, 65 bytes *)
+  let lengths = [ 0; 1; 55; 56; 63; 64; 65; 127; 128 ] in
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let t = Sha1.init () in
+      Sha1.feed t s;
+      check (Printf.sprintf "len %d streaming = one-shot" n) (hex (Sha1.digest s))
+        (hex (Sha1.finalize t)))
+    lengths
+
+let test_sha256_vectors () =
+  check "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (hex (Sha256.digest ""));
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (hex (Sha256.digest "abc"));
+  check "two blocks" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (hex (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+
+let test_digest_sizes () =
+  Alcotest.(check int) "sha1 size" 20 (String.length (Sha1.digest "x"));
+  Alcotest.(check int) "sha256 size" 32 (String.length (Sha256.digest "x"));
+  Alcotest.(check int) "sha1 block" 64 Sha1.block_size;
+  Alcotest.(check int) "sha256 block" 64 Sha256.block_size
+
+let qcheck_sha1_streaming =
+  QCheck.Test.make ~name:"sha1: arbitrary split streaming = one-shot" ~count:100
+    QCheck.(pair (string_of_size Gen.(0 -- 300)) (int_range 0 300))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let t = Sha1.init () in
+      Sha1.feed t (String.sub s 0 cut);
+      Sha1.feed t (String.sub s cut (String.length s - cut));
+      Sha1.finalize t = Sha1.digest s)
+
+let qcheck_sha256_streaming =
+  QCheck.Test.make ~name:"sha256: arbitrary split streaming = one-shot" ~count:100
+    QCheck.(pair (string_of_size Gen.(0 -- 300)) (int_range 0 300))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let t = Sha256.init () in
+      Sha256.feed t (String.sub s 0 cut);
+      Sha256.feed t (String.sub s cut (String.length s - cut));
+      Sha256.finalize t = Sha256.digest s)
+
+let qcheck_sha1_distinct =
+  QCheck.Test.make ~name:"sha1: flipping a byte changes the digest" ~count:100
+    QCheck.(string_of_size Gen.(1 -- 100))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+      Sha1.digest (Bytes.to_string b) <> Sha1.digest s)
+
+let tests =
+  [
+    Alcotest.test_case "sha1 FIPS vectors" `Quick test_sha1_vectors;
+    Alcotest.test_case "sha1 padding boundaries" `Quick test_sha1_boundary_lengths;
+    Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "digest sizes" `Quick test_digest_sizes;
+    QCheck_alcotest.to_alcotest qcheck_sha1_streaming;
+    QCheck_alcotest.to_alcotest qcheck_sha256_streaming;
+    QCheck_alcotest.to_alcotest qcheck_sha1_distinct;
+  ]

@@ -1,0 +1,62 @@
+open Ra_mcu
+
+let key = String.make 60 'k'
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let test_dump_layout () =
+  let d = Device.create ~ram_size:1024 ~key () in
+  Memory.write_bytes (Device.memory d) (Device.attested_base d) "Hello, world!";
+  let text = Hexdump.dump (Device.memory d) ~addr:(Device.attested_base d) ~len:32 in
+  Alcotest.(check int) "two rows" 2
+    (List.length (String.split_on_char '\n' (String.trim text)));
+  Alcotest.(check bool) "ascii column" true (contains ~needle:"|Hello, world!" text);
+  Alcotest.(check bool) "hex bytes" true (contains ~needle:"48 65 6c 6c 6f" text);
+  Alcotest.(check bool) "address" true (contains ~needle:"00100000" text)
+
+let test_dump_nonprintable () =
+  let d = Device.create ~ram_size:1024 ~key () in
+  let text = Hexdump.dump (Device.memory d) ~addr:(Device.attested_base d) ~len:16 in
+  Alcotest.(check bool) "zeros shown as dots" true
+    (contains ~needle:"|................|" text)
+
+let test_region_table () =
+  let d = Device.create ~ram_size:1024 ~key () in
+  let text = Hexdump.region_table (Device.memory d) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle text))
+    [ "rom_attest"; "flash_app"; "nvram"; "anchor_scratch"; "ROM"; "MMIO" ]
+
+let test_rule_table () =
+  let d = Device.create ~ram_size:1024 ~key () in
+  Ea_mpu.program (Device.mpu d) (Device.rule_protect_key d);
+  Ea_mpu.lock (Device.mpu d);
+  let text = Hexdump.rule_table (Device.mpu d) in
+  Alcotest.(check bool) "lock state" true (contains ~needle:"LOCKED" text);
+  Alcotest.(check bool) "subject" true (contains ~needle:"read:rom_attest" text);
+  Alcotest.(check bool) "write nobody" true (contains ~needle:"write:nobody" text)
+
+let test_device_report () =
+  let d =
+    Device.create ~ram_size:1024
+      ~clock_impl:(Device.Clock_hw { width = 64; divider_log2 = 0 })
+      ~key ()
+  in
+  Device.idle d ~seconds:1.0;
+  let text = Hexdump.device_report d in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~needle text))
+    [ "counter_R: 0"; "hardware counter"; "battery:"; "cpu: 24000000 cycles" ]
+
+let tests =
+  [
+    Alcotest.test_case "dump layout" `Quick test_dump_layout;
+    Alcotest.test_case "dump nonprintable" `Quick test_dump_nonprintable;
+    Alcotest.test_case "region table" `Quick test_region_table;
+    Alcotest.test_case "rule table" `Quick test_rule_table;
+    Alcotest.test_case "device report" `Quick test_device_report;
+  ]

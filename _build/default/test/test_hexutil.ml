@@ -1,0 +1,62 @@
+open Ra_crypto
+
+let check = Alcotest.(check string)
+
+let test_to_hex () =
+  check "empty" "" (Hexutil.to_hex "");
+  check "abc" "616263" (Hexutil.to_hex "abc");
+  check "binary" "00ff10" (Hexutil.to_hex "\x00\xff\x10")
+
+let test_of_hex () =
+  check "round" "attest" (Hexutil.of_hex (Hexutil.to_hex "attest"));
+  check "upper" "\xde\xad\xbe\xef" (Hexutil.of_hex "DEADBEEF");
+  Alcotest.check_raises "odd length" (Invalid_argument "Hexutil.of_hex: odd length")
+    (fun () -> ignore (Hexutil.of_hex "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hexutil.of_hex: bad digit")
+    (fun () -> ignore (Hexutil.of_hex "zz"))
+
+let test_xor () =
+  check "self is zero" "\x00\x00" (Hexutil.xor "ab" "ab");
+  check "identity" "ab" (Hexutil.xor "ab" "\x00\x00");
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Hexutil.xor") (fun () ->
+      ignore (Hexutil.xor "a" "ab"))
+
+let test_equal_ct () =
+  Alcotest.(check bool) "equal" true (Hexutil.equal_ct "secret" "secret");
+  Alcotest.(check bool) "differs" false (Hexutil.equal_ct "secret" "secreT");
+  Alcotest.(check bool) "length" false (Hexutil.equal_ct "secret" "secrets");
+  Alcotest.(check bool) "empty" true (Hexutil.equal_ct "" "")
+
+let test_chunks () =
+  Alcotest.(check (list string)) "exact" [ "ab"; "cd" ] (Hexutil.chunks 2 "abcd");
+  Alcotest.(check (list string)) "ragged" [ "abc"; "d" ] (Hexutil.chunks 3 "abcd");
+  Alcotest.(check (list string)) "empty" [] (Hexutil.chunks 4 "");
+  Alcotest.check_raises "bad size" (Invalid_argument "Hexutil.chunks") (fun () ->
+      ignore (Hexutil.chunks 0 "x"))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"of_hex/to_hex roundtrip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Hexutil.of_hex (Hexutil.to_hex s) = s)
+
+let qcheck_xor_involution =
+  QCheck.Test.make ~name:"xor is an involution" ~count:200
+    QCheck.(pair (string_of_size Gen.(return 16)) (string_of_size Gen.(return 16)))
+    (fun (a, b) -> Hexutil.xor (Hexutil.xor a b) b = a)
+
+let qcheck_chunks_concat =
+  QCheck.Test.make ~name:"chunks concatenate back" ~count:200
+    QCheck.(pair (int_range 1 17) (string_of_size Gen.(0 -- 100)))
+    (fun (n, s) -> String.concat "" (Hexutil.chunks n s) = s)
+
+let tests =
+  [
+    Alcotest.test_case "to_hex" `Quick test_to_hex;
+    Alcotest.test_case "of_hex" `Quick test_of_hex;
+    Alcotest.test_case "xor" `Quick test_xor;
+    Alcotest.test_case "equal_ct" `Quick test_equal_ct;
+    Alcotest.test_case "chunks" `Quick test_chunks;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_xor_involution;
+    QCheck_alcotest.to_alcotest qcheck_chunks_concat;
+  ]

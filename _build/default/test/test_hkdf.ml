@@ -1,0 +1,71 @@
+(* HKDF against RFC 5869 test vectors, plus derivation properties. *)
+open Ra_crypto
+
+let hex = Hexutil.to_hex
+let unhex = Hexutil.of_hex
+let check = Alcotest.(check string)
+
+let test_rfc5869_case1 () =
+  let ikm = String.make 22 '\x0b' in
+  let salt = unhex "000102030405060708090a0b0c" in
+  let info = unhex "f0f1f2f3f4f5f6f7f8f9" in
+  let prk = Hkdf.extract ~salt ~ikm () in
+  check "PRK" "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5" (hex prk);
+  check "OKM"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (hex (Hkdf.expand ~prk ~info ~length:42))
+
+let test_rfc5869_case3 () =
+  (* no salt, empty info *)
+  let ikm = String.make 22 '\x0b' in
+  let prk = Hkdf.extract ~ikm () in
+  check "PRK" "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04" (hex prk);
+  check "OKM"
+    "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+    (hex (Hkdf.expand ~prk ~info:"" ~length:42))
+
+let test_lengths () =
+  let prk = Hkdf.extract ~ikm:"k" () in
+  List.iter
+    (fun n -> Alcotest.(check int) (Printf.sprintf "%d bytes" n) n
+        (String.length (Hkdf.expand ~prk ~info:"i" ~length:n)))
+    [ 1; 20; 32; 33; 64; 100 ];
+  Alcotest.check_raises "zero" (Invalid_argument "Hkdf.expand: bad length") (fun () ->
+      ignore (Hkdf.expand ~prk ~info:"" ~length:0));
+  Alcotest.check_raises "too long" (Invalid_argument "Hkdf.expand: bad length") (fun () ->
+      ignore (Hkdf.expand ~prk ~info:"" ~length:(256 * 32)))
+
+let test_device_key_separation () =
+  (* the fleet-provisioning property: per-device keys are pairwise
+     distinct and recomputable *)
+  let master = "operator-master-secret" in
+  let key_for device_id =
+    Hkdf.derive ~salt:"ra-fleet-v1" ~ikm:master ~info:device_id ~length:20 ()
+  in
+  Alcotest.(check bool) "distinct" true (key_for "dev-1" <> key_for "dev-2");
+  Alcotest.(check string) "recomputable" (key_for "dev-1") (key_for "dev-1")
+
+let qcheck_prefix_consistency =
+  QCheck.Test.make ~name:"hkdf: shorter output is a prefix of longer" ~count:100
+    QCheck.(triple small_string small_string (int_range 1 60))
+    (fun (ikm, info, n) ->
+      let prk = Hkdf.extract ~ikm () in
+      let long = Hkdf.expand ~prk ~info ~length:(n + 10) in
+      Hkdf.expand ~prk ~info ~length:n = String.sub long 0 n)
+
+let qcheck_info_separation =
+  QCheck.Test.make ~name:"hkdf: different info, different keys" ~count:100
+    QCheck.(triple small_string small_string small_string)
+    (fun (ikm, i1, i2) ->
+      QCheck.assume (i1 <> i2);
+      Hkdf.derive ~ikm ~info:i1 ~length:20 () <> Hkdf.derive ~ikm ~info:i2 ~length:20 ())
+
+let tests =
+  [
+    Alcotest.test_case "RFC 5869 case 1" `Quick test_rfc5869_case1;
+    Alcotest.test_case "RFC 5869 case 3" `Quick test_rfc5869_case3;
+    Alcotest.test_case "output lengths" `Quick test_lengths;
+    Alcotest.test_case "per-device key separation" `Quick test_device_key_separation;
+    QCheck_alcotest.to_alcotest qcheck_prefix_consistency;
+    QCheck_alcotest.to_alcotest qcheck_info_separation;
+  ]

@@ -1,0 +1,89 @@
+(* Table 3 and §6.3 overhead arithmetic must match the paper digit for
+   digit. *)
+open Ra_hwcost
+
+let ci = Alcotest.(check int)
+let cf = Alcotest.(check (float 0.005))
+
+let test_table3_constants () =
+  ci "core registers" 5528 Component.siskiyou_peak.Component.direct_registers;
+  ci "core luts" 14361 Component.siskiyou_peak.Component.direct_luts;
+  ci "mpu regs for 2 rules" (278 + 232) (Component.ea_mpu_registers ~rules:2);
+  ci "mpu luts for 2 rules" (417 + 364) (Component.ea_mpu_luts ~rules:2);
+  ci "key rules" 1 Component.attest_key.Component.mpu_rules;
+  ci "counter rules" 1 Component.request_counter.Component.mpu_rules;
+  ci "64-bit clock regs" 64 Component.clock_64bit.Component.direct_registers;
+  ci "32-bit clock luts" 32 Component.clock_32bit.Component.direct_luts;
+  ci "sw-clock rules" 2 Component.sw_clock.Component.mpu_rules
+
+let test_baseline () =
+  (* §6.3: 5528+278+116*2 = 6038 registers; 14361+417+182*2 = 15142 LUTs *)
+  ci "baseline registers" 6038 Synthesis.baseline.Synthesis.registers;
+  ci "baseline luts" 15142 Synthesis.baseline.Synthesis.luts;
+  ci "baseline rules" 2 Synthesis.baseline.Synthesis.rule_slots
+
+let test_overhead_64bit () =
+  let o = Synthesis.upgrade_64bit_clock in
+  ci "regs +180" 180 o.Synthesis.added_registers;
+  ci "luts +246" 246 o.Synthesis.added_luts;
+  cf "2.98%" 2.98 o.Synthesis.register_pct;
+  cf "1.62%" 1.62 o.Synthesis.lut_pct
+
+let test_overhead_32bit () =
+  let o = Synthesis.upgrade_32bit_clock in
+  ci "regs +148" 148 o.Synthesis.added_registers;
+  ci "luts +214" 214 o.Synthesis.added_luts;
+  cf "2.45%" 2.45 o.Synthesis.register_pct;
+  cf "1.41%" 1.41 o.Synthesis.lut_pct
+
+let test_overhead_sw_clock () =
+  let o = Synthesis.upgrade_sw_clock in
+  ci "3 new rules" 3 o.Synthesis.added_rules;
+  ci "regs +348" 348 o.Synthesis.added_registers;
+  ci "luts +546" 546 o.Synthesis.added_luts;
+  cf "5.76%" 5.76 o.Synthesis.register_pct;
+  cf "3.61%" 3.61 o.Synthesis.lut_pct
+
+let test_clock_nbit () =
+  let c = Component.clock_nbit ~width:48 in
+  ci "width regs" 48 c.Component.direct_registers;
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Component.clock_nbit: width must be positive") (fun () ->
+      ignore (Component.clock_nbit ~width:0))
+
+let qcheck_synthesis_additive =
+  QCheck.Test.make ~name:"synthesis: component order irrelevant" ~count:50
+    QCheck.(int_range 1 64)
+    (fun width ->
+      let a =
+        Synthesis.synthesize
+          [ Component.mpu_lockdown; Component.attest_key; Component.clock_nbit ~width ]
+      in
+      let b =
+        Synthesis.synthesize
+          [ Component.clock_nbit ~width; Component.attest_key; Component.mpu_lockdown ]
+      in
+      a = b)
+
+let qcheck_overhead_monotone_in_width =
+  QCheck.Test.make ~name:"overhead grows with clock width" ~count:50
+    QCheck.(pair (int_range 1 64) (int_range 1 64))
+    (fun (w1, w2) ->
+      let lo = min w1 w2 and hi = max w1 w2 in
+      let o w =
+        (Synthesis.overhead ~name:"w" [ Component.request_counter; Component.clock_nbit ~width:w ])
+          .Synthesis.added_registers
+      in
+      o lo <= o hi)
+
+let tests =
+  [
+    Alcotest.test_case "Table 3 constants" `Quick test_table3_constants;
+    Alcotest.test_case "baseline (§6.3)" `Quick test_baseline;
+    Alcotest.test_case "64-bit clock overhead" `Quick test_overhead_64bit;
+    Alcotest.test_case "32-bit clock overhead" `Quick test_overhead_32bit;
+    Alcotest.test_case "SW-clock overhead" `Quick test_overhead_sw_clock;
+    Alcotest.test_case "clock_nbit" `Quick test_clock_nbit;
+    QCheck_alcotest.to_alcotest qcheck_synthesis_additive;
+    QCheck_alcotest.to_alcotest qcheck_overhead_monotone_in_width;
+  ]

@@ -1,0 +1,113 @@
+open Ra_mcu
+
+let make () =
+  let memory =
+    Memory.create
+      [
+        Region.make ~name:"idt" ~base:0x100 ~size:256 ~kind:Region.Ram;
+        Region.make ~name:"ctrl" ~base:0x200 ~size:16 ~kind:Region.Mmio;
+        Region.make ~name:"ram" ~base:0x1000 ~size:256 ~kind:Region.Ram;
+      ]
+  in
+  let mpu = Ea_mpu.create ~capacity:4 in
+  let cpu = Cpu.create memory mpu ~clock_hz:24_000_000 in
+  let intr = Interrupt.create cpu ~idt_base:0x100 ~vectors:8 ~ctrl_addr:0x200 in
+  (cpu, mpu, intr)
+
+let test_dispatch () =
+  let cpu, _, intr = make () in
+  Interrupt.enable_all_raw intr;
+  let fired = ref 0 in
+  let seen_ctx = ref "" in
+  Interrupt.register_handler intr ~entry_addr:0xBEEF ~code_region:"handler_code"
+    ~handler:(fun () ->
+      incr fired;
+      seen_ctx := Cpu.context cpu);
+  Interrupt.set_vector_raw intr ~vector:3 ~entry_addr:0xBEEF;
+  Interrupt.raise_irq intr ~vector:3;
+  Alcotest.(check int) "fired" 1 !fired;
+  Alcotest.(check string) "handler context" "handler_code" !seen_ctx;
+  Alcotest.(check int) "delivered stat" 1 (Interrupt.stats intr).Interrupt.delivered
+
+let test_tampered_idt_loses_interrupt () =
+  let _, _, intr = make () in
+  Interrupt.enable_all_raw intr;
+  let fired = ref 0 in
+  Interrupt.register_handler intr ~entry_addr:0xBEEF ~code_region:"h"
+    ~handler:(fun () -> incr fired);
+  Interrupt.set_vector_raw intr ~vector:3 ~entry_addr:0xBEEF;
+  (* malware redirects the vector to an address with no registered code *)
+  Interrupt.set_vector intr ~vector:3 ~entry_addr:0xDEAD;
+  Interrupt.raise_irq intr ~vector:3;
+  Alcotest.(check int) "handler never ran" 0 !fired;
+  Alcotest.(check int) "lost stat" 1 (Interrupt.stats intr).Interrupt.lost_no_handler
+
+let test_idt_protection_blocks_tamper () =
+  let _, mpu, intr = make () in
+  Interrupt.enable_all_raw intr;
+  Ea_mpu.program mpu
+    {
+      Ea_mpu.rule_name = "IDT";
+      data_base = 0x100;
+      data_size = 256;
+      read_by = Ea_mpu.Anyone;
+      write_by = Ea_mpu.Nobody;
+    };
+  Interrupt.register_handler intr ~entry_addr:0xBEEF ~code_region:"h" ~handler:(fun () -> ());
+  (try
+     Interrupt.set_vector intr ~vector:3 ~entry_addr:0xDEAD;
+     Alcotest.fail "tamper should fault"
+   with Cpu.Protection_fault _ -> ());
+  (* raw (hardware/boot) writes still work *)
+  Interrupt.set_vector_raw intr ~vector:3 ~entry_addr:0xBEEF;
+  Alcotest.(check int) "vector intact" 0xBEEF (Interrupt.vector_entry intr ~vector:3)
+
+let test_disabled_interrupts_suppressed () =
+  let _, _, intr = make () in
+  let fired = ref 0 in
+  Interrupt.register_handler intr ~entry_addr:0xBEEF ~code_region:"h"
+    ~handler:(fun () -> incr fired);
+  Interrupt.set_vector_raw intr ~vector:1 ~entry_addr:0xBEEF;
+  (* never enabled *)
+  Interrupt.raise_irq intr ~vector:1;
+  Alcotest.(check int) "suppressed" 0 !fired;
+  Alcotest.(check int) "suppressed stat" 1
+    (Interrupt.stats intr).Interrupt.suppressed_disabled;
+  Interrupt.enable_all_raw intr;
+  Interrupt.raise_irq intr ~vector:1;
+  Alcotest.(check int) "fires once enabled" 1 !fired
+
+let test_software_disable_is_mediated () =
+  let _, mpu, intr = make () in
+  Interrupt.enable_all_raw intr;
+  Ea_mpu.program mpu
+    {
+      Ea_mpu.rule_name = "ctrl";
+      data_base = 0x200;
+      data_size = 16;
+      read_by = Ea_mpu.Anyone;
+      write_by = Ea_mpu.Nobody;
+    };
+  (try
+     Interrupt.set_enabled intr false;
+     Alcotest.fail "disable should fault"
+   with Cpu.Protection_fault _ -> ());
+  Alcotest.(check bool) "still enabled" true (Interrupt.enabled intr)
+
+let test_bad_vector () =
+  let _, _, intr = make () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Interrupt: bad vector")
+    (fun () -> Interrupt.raise_irq intr ~vector:64)
+
+let tests =
+  [
+    Alcotest.test_case "dispatch" `Quick test_dispatch;
+    Alcotest.test_case "tampered IDT loses interrupt" `Quick
+      test_tampered_idt_loses_interrupt;
+    Alcotest.test_case "IDT rule blocks tamper" `Quick test_idt_protection_blocks_tamper;
+    Alcotest.test_case "disabled interrupts suppressed" `Quick
+      test_disabled_interrupts_suppressed;
+    Alcotest.test_case "software disable is mediated" `Quick
+      test_software_disable_is_mediated;
+    Alcotest.test_case "bad vector" `Quick test_bad_vector;
+  ]

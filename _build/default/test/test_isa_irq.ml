@@ -1,0 +1,129 @@
+(* Figure 1b at instruction granularity: an interpreted Code_clock ISR in
+   ROM maintains Clock_MSB when the hardware LSB counter wraps. *)
+open Ra_isa
+module Device = Ra_mcu.Device
+module Memory = Ra_mcu.Memory
+module Cpu = Ra_mcu.Cpu
+module Ea_mpu = Ra_mcu.Ea_mpu
+module Interrupt = Ra_mcu.Interrupt
+
+let key = String.make 60 'k'
+
+(* Code_clock, interpreted: Clock_MSB++ then halt (dispatcher restores
+   the interrupted context) *)
+let code_clock_src msb_addr =
+  Printf.sprintf {|
+    mov r14, #0x%x
+    load r13, [r14]
+    add r13, #1
+    store [r14], r13
+    halt
+  |} msb_addr
+
+let make ~protect =
+  (* Clock_sw with a 16-bit LSB so wraps are cheap to trigger *)
+  let device =
+    Device.create ~ram_size:4096
+      ~clock_impl:(Device.Clock_sw { lsb_width = 16; divider_log2 = 0 })
+      ~rom_images:[]
+      ~key ()
+  in
+  let msb = Device.clock_msb_addr device in
+  let program =
+    match Asm.assemble ~origin:0x003000 (code_clock_src msb) with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "asm: %a" Asm.pp_error e
+  in
+  (* ROM is sealed post-manufacture; this test writes Code_clock into the
+     rom_clock region by rebuilding the device with the image *)
+  let device =
+    Device.create ~ram_size:4096
+      ~clock_impl:(Device.Clock_sw { lsb_width = 16; divider_log2 = 0 })
+      ~rom_images:[ (Device.region_clock, Asm.to_bytes program) ]
+      ~key ()
+  in
+  if protect then begin
+    Ea_mpu.program (Device.mpu device) (Device.rule_protect_clock_msb device);
+    Ea_mpu.program (Device.mpu device) (Device.rule_protect_idt device);
+    Ea_mpu.lock (Device.mpu device)
+  end;
+  Interrupt.enable_all_raw (Device.interrupt device);
+  let core = Core.create (Device.cpu device) ~pc:0x010000 ~sp:0x101000 in
+  let completions =
+    Irq.install_handler core (Device.interrupt device) ~vector:Device.timer_vector
+      ~entry:0x003000 ()
+  in
+  (device, core, completions)
+
+let msb_value device =
+  Memory.read_u64 (Device.memory device) (Device.clock_msb_addr device)
+
+let test_interpreted_code_clock_counts_wraps () =
+  let device, _, completions = make ~protect:false in
+  (* 3.5 wraps of the 16-bit LSB *)
+  Cpu.idle_cycles (Device.cpu device) (Int64.of_int ((3 * 65536) + 1000));
+  Alcotest.(check int64) "MSB incremented per wrap" 3L (msb_value device);
+  Alcotest.(check int) "three completed activations" 3 (completions ())
+
+let test_interpreted_handler_writes_through_mpu_rule () =
+  let device, _, completions = make ~protect:true in
+  Cpu.idle_cycles (Device.cpu device) (Int64.of_int (2 * 65536));
+  (* the rule names rom_clock as writer, and the PC of the interpreted
+     store is inside rom_clock, so the write is allowed *)
+  Alcotest.(check int64) "protected MSB still advances" 2L (msb_value device);
+  Alcotest.(check int) "completions" 2 (completions ());
+  (* malware's direct rollback of Clock_MSB faults *)
+  (try
+     Cpu.store_u64 (Device.cpu device) (Device.clock_msb_addr device) 0L;
+     Alcotest.fail "rollback should fault"
+   with Cpu.Protection_fault _ -> ())
+
+let test_idt_tamper_starves_interpreted_handler () =
+  let device, _, completions = make ~protect:false in
+  Cpu.idle_cycles (Device.cpu device) 65536L;
+  Alcotest.(check int64) "first wrap counted" 1L (msb_value device);
+  (* unprotected IDT: redirect the vector; the interpreted Code_clock
+     never runs again — the clock's high share freezes *)
+  Interrupt.set_vector (Device.interrupt device) ~vector:Device.timer_vector
+    ~entry_addr:0xDEAD;
+  Cpu.idle_cycles (Device.cpu device) (Int64.of_int (5 * 65536));
+  Alcotest.(check int64) "MSB frozen" 1L (msb_value device);
+  Alcotest.(check int) "no further completions" 1 (completions ())
+
+let test_context_restored_around_interrupt () =
+  let device, core, _ = make ~protect:false in
+  (* run a foreground program long enough to cross an LSB wrap; its
+     registers must be untouched by the ISR *)
+  let program_src = {|
+      mov r1, #0
+      mov r2, #40000    ; x ~2 cycles/iteration crosses the 65536 wrap
+    loop:
+      add r1, #1
+      cmp r1, r2
+      jnz loop
+      halt
+    |}
+  in
+  let program =
+    match Asm.assemble ~origin:0x010000 program_src with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "asm: %a" Asm.pp_error e
+  in
+  Memory.write_bytes (Device.memory device) 0x010000 (Asm.to_bytes program);
+  let state, _ = Core.run ~max_steps:1_000_000 core in
+  Alcotest.(check bool) "halted cleanly" true (state = Core.Halted);
+  Alcotest.(check int) "foreground result intact" 40000 (Core.reg core 1);
+  Alcotest.(check bool) "at least one wrap serviced mid-program" true
+    (Int64.compare (msb_value device) 1L >= 0)
+
+let tests =
+  [
+    Alcotest.test_case "interpreted Code_clock counts wraps" `Quick
+      test_interpreted_code_clock_counts_wraps;
+    Alcotest.test_case "handler writes through MPU rule" `Quick
+      test_interpreted_handler_writes_through_mpu_rule;
+    Alcotest.test_case "IDT tamper starves handler" `Quick
+      test_idt_tamper_starves_interpreted_handler;
+    Alcotest.test_case "context restored around interrupt" `Quick
+      test_context_restored_around_interrupt;
+  ]

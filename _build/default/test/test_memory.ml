@@ -1,0 +1,94 @@
+(* Region and Memory: mapping, bus faults, ROM sealing, word accessors. *)
+open Ra_mcu
+
+let make_mem () =
+  Memory.create
+    [
+      Region.make ~name:"rom" ~base:0x0000 ~size:0x100 ~kind:Region.Rom;
+      Region.make ~name:"ram" ~base:0x1000 ~size:0x200 ~kind:Region.Ram;
+    ]
+
+let test_region_basics () =
+  let r = Region.make ~name:"r" ~base:16 ~size:16 ~kind:Region.Ram in
+  Alcotest.(check int) "limit" 32 (Region.limit r);
+  Alcotest.(check bool) "contains base" true (Region.contains r 16);
+  Alcotest.(check bool) "contains last" true (Region.contains r 31);
+  Alcotest.(check bool) "excludes limit" false (Region.contains r 32);
+  Alcotest.check_raises "zero size" (Invalid_argument "Region.make: size must be positive")
+    (fun () -> ignore (Region.make ~name:"x" ~base:0 ~size:0 ~kind:Region.Ram))
+
+let test_overlap_rejected () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument
+       "Memory.create: a[RAM 0x000000..0x00000f] overlaps b[RAM 0x000008..0x000017]")
+    (fun () ->
+      ignore
+        (Memory.create
+           [
+             Region.make ~name:"a" ~base:0 ~size:16 ~kind:Region.Ram;
+             Region.make ~name:"b" ~base:8 ~size:16 ~kind:Region.Ram;
+           ]))
+
+let test_read_write () =
+  let m = make_mem () in
+  Memory.write_byte m 0x1000 0xAB;
+  Alcotest.(check int) "byte" 0xAB (Memory.read_byte m 0x1000);
+  Memory.write_bytes m 0x1010 "hello";
+  Alcotest.(check string) "bytes" "hello" (Memory.read_bytes m 0x1010 5);
+  Memory.write_u32 m 0x1020 0xDEADBEEF;
+  Alcotest.(check int) "u32 little-endian" 0xDEADBEEF (Memory.read_u32 m 0x1020);
+  Alcotest.(check int) "u32 byte order" 0xEF (Memory.read_byte m 0x1020);
+  Memory.write_u64 m 0x1030 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Memory.read_u64 m 0x1030)
+
+let test_bus_fault () =
+  let m = make_mem () in
+  Alcotest.check_raises "unmapped read"
+    (Memory.Bus_fault "no region at address 0x005000") (fun () ->
+      ignore (Memory.read_byte m 0x5000))
+
+let test_rom_sealing () =
+  let m = make_mem () in
+  Memory.write_byte m 0x10 0x42 (* manufacture-time programming *);
+  Memory.seal_rom m;
+  Alcotest.(check int) "rom readable" 0x42 (Memory.read_byte m 0x10);
+  Alcotest.check_raises "rom write after seal"
+    (Memory.Bus_fault "ROM write at 0x000010 (rom)") (fun () ->
+      Memory.write_byte m 0x10 0);
+  (* RAM unaffected by sealing *)
+  Memory.write_byte m 0x1000 1;
+  Alcotest.(check int) "ram still writable" 1 (Memory.read_byte m 0x1000)
+
+let test_region_lookup () =
+  let m = make_mem () in
+  Alcotest.(check string) "by name" "ram" (Memory.region_named m "ram").Region.name;
+  (match Memory.region_of_addr m 0x1005 with
+  | Some r -> Alcotest.(check string) "by addr" "ram" r.Region.name
+  | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "miss" true (Memory.region_of_addr m 0x9999 = None)
+
+let qcheck_u32_roundtrip =
+  QCheck.Test.make ~name:"memory: u32 roundtrip" ~count:200
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun v ->
+      let m = make_mem () in
+      Memory.write_u32 m 0x1000 v;
+      Memory.read_u32 m 0x1000 = v)
+
+let qcheck_u64_roundtrip =
+  QCheck.Test.make ~name:"memory: u64 roundtrip" ~count:200 QCheck.int64 (fun v ->
+      let m = make_mem () in
+      Memory.write_u64 m 0x1000 v;
+      Memory.read_u64 m 0x1000 = v)
+
+let tests =
+  [
+    Alcotest.test_case "region basics" `Quick test_region_basics;
+    Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+    Alcotest.test_case "read/write" `Quick test_read_write;
+    Alcotest.test_case "bus fault" `Quick test_bus_fault;
+    Alcotest.test_case "rom sealing" `Quick test_rom_sealing;
+    Alcotest.test_case "region lookup" `Quick test_region_lookup;
+    QCheck_alcotest.to_alcotest qcheck_u32_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_u64_roundtrip;
+  ]

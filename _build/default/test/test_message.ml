@@ -1,0 +1,159 @@
+open Ra_core
+
+let test_request_body_unambiguous () =
+  (* distinct (challenge, freshness) pairs must serialize distinctly —
+     otherwise a MAC over the body could be transplanted *)
+  let b1 = Message.request_body ~challenge:"ab" ~freshness:Message.F_none in
+  let b2 = Message.request_body ~challenge:"a" ~freshness:Message.F_none in
+  let b3 = Message.request_body ~challenge:"ab" ~freshness:(Message.F_counter 1L) in
+  Alcotest.(check bool) "challenge length framed" true (b1 <> b2);
+  Alcotest.(check bool) "freshness framed" true (b1 <> b3)
+
+let test_freshness_encoding () =
+  Alcotest.(check bool) "counter vs timestamp tagged" true
+    (Message.freshness_bytes (Message.F_counter 5L)
+    <> Message.freshness_bytes (Message.F_timestamp 5L));
+  Alcotest.(check bool) "nonce value encoded" true
+    (Message.freshness_bytes (Message.F_nonce "a")
+    <> Message.freshness_bytes (Message.F_nonce "b"))
+
+let test_wire_size () =
+  let req =
+    Message.Request { challenge = "0123456789abcdef"; freshness = Message.F_counter 1L; tag = Message.Tag_none }
+  in
+  Alcotest.(check bool) "positive" true (Message.wire_size req > 0);
+  let req_hmac =
+    Message.Request
+      {
+        challenge = "0123456789abcdef";
+        freshness = Message.F_counter 1L;
+        tag = Message.Tag_hmac_sha1 (String.make 20 't');
+      }
+  in
+  Alcotest.(check bool) "tag adds size" true
+    (Message.wire_size req_hmac > Message.wire_size req)
+
+(* ---- wire serialization ---- *)
+
+let freshness_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Message.F_none;
+        map (fun s -> Message.F_nonce s) (string_size (int_range 0 32));
+        map (fun i -> Message.F_counter (Int64.of_int (abs i))) int;
+        map (fun i -> Message.F_timestamp (Int64.of_int (abs i))) int;
+      ])
+
+let tag_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Message.Tag_none;
+        map (fun s -> Message.Tag_hmac_sha1 s) (string_size (return 20));
+        map (fun s -> Message.Tag_aes_cbc_mac s) (string_size (return 16));
+        map (fun s -> Message.Tag_speck_cbc_mac s) (string_size (return 8));
+        map (fun s -> Message.Tag_ecdsa s) (string_size (return 42));
+      ])
+
+let wire_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun challenge freshness tag -> Message.Request { challenge; freshness; tag })
+          (string_size (int_range 0 32))
+          freshness_gen tag_gen;
+        map3
+          (fun echo_challenge echo_freshness report ->
+            Message.Response { echo_challenge; echo_freshness; report })
+          (string_size (int_range 0 32))
+          freshness_gen
+          (string_size (return 20));
+        map3
+          (fun t c tag ->
+            Message.Sync_request
+              { verifier_time_ms = Int64.of_int (abs t); sync_counter = Int64.of_int (abs c); sync_tag = tag })
+          int int
+          (string_size (return 20));
+        map2
+          (fun c tag ->
+            Message.Sync_response { acked_counter = Int64.of_int (abs c); ack_tag = tag })
+          int
+          (string_size (return 20));
+        map3
+          (fun name payload (freshness, tag) ->
+            Message.Service_request
+              { command_name = name; payload; service_freshness = freshness;
+                service_tag = tag })
+          (string_size (int_range 0 16))
+          (string_size (int_range 0 64))
+          (pair freshness_gen tag_gen);
+        map2
+          (fun name report -> Message.Service_ack { acked_command = name; ack_report = report })
+          (string_size (int_range 0 16))
+          (string_size (return 20));
+      ])
+
+let wire_arb = QCheck.make ~print:(Format.asprintf "%a" Message.pp_wire) wire_gen
+
+let qcheck_wire_roundtrip =
+  QCheck.Test.make ~name:"message: wire_of_bytes . wire_to_bytes = id" ~count:300
+    wire_arb (fun w -> Message.wire_of_bytes (Message.wire_to_bytes w) = Some w)
+
+let qcheck_wire_size_consistent =
+  QCheck.Test.make ~name:"message: wire_size = |wire_to_bytes|" ~count:300 wire_arb
+    (fun w -> Message.wire_size w = String.length (Message.wire_to_bytes w))
+
+let qcheck_truncation_rejected =
+  QCheck.Test.make ~name:"message: truncated frames rejected" ~count:300
+    QCheck.(pair wire_arb (int_range 0 1000))
+    (fun (w, cut) ->
+      let bytes = Message.wire_to_bytes w in
+      let cut = cut mod String.length bytes in
+      Message.wire_of_bytes (String.sub bytes 0 cut) = None)
+
+let qcheck_garbage_never_raises =
+  QCheck.Test.make ~name:"message: parser is total on garbage" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match Message.wire_of_bytes s with Some _ -> true | None -> true)
+
+let test_trailing_garbage_rejected () =
+  let bytes =
+    Message.wire_to_bytes
+      (Message.Request { challenge = "c"; freshness = Message.F_none; tag = Message.Tag_none })
+  in
+  Alcotest.(check bool) "clean frame parses" true (Message.wire_of_bytes bytes <> None);
+  Alcotest.(check bool) "trailing byte rejected" true
+    (Message.wire_of_bytes (bytes ^ "x") = None)
+
+let qcheck_body_injective_challenge =
+  QCheck.Test.make ~name:"message: body injective in challenge" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 30)) (string_of_size Gen.(0 -- 30)))
+    (fun (c1, c2) ->
+      QCheck.assume (c1 <> c2);
+      Message.request_body ~challenge:c1 ~freshness:Message.F_none
+      <> Message.request_body ~challenge:c2 ~freshness:Message.F_none)
+
+let qcheck_body_injective_counter =
+  QCheck.Test.make ~name:"message: body injective in counter" ~count:200
+    QCheck.(pair (map Int64.of_int small_int) (map Int64.of_int small_int))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      Message.request_body ~challenge:"c" ~freshness:(Message.F_counter a)
+      <> Message.request_body ~challenge:"c" ~freshness:(Message.F_counter b))
+
+let tests =
+  [
+    Alcotest.test_case "request body framing" `Quick test_request_body_unambiguous;
+    Alcotest.test_case "freshness encoding" `Quick test_freshness_encoding;
+    Alcotest.test_case "wire size" `Quick test_wire_size;
+    Alcotest.test_case "trailing garbage rejected" `Quick test_trailing_garbage_rejected;
+    QCheck_alcotest.to_alcotest qcheck_wire_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_wire_size_consistent;
+    QCheck_alcotest.to_alcotest qcheck_truncation_rejected;
+    QCheck_alcotest.to_alcotest qcheck_garbage_never_raises;
+    QCheck_alcotest.to_alcotest qcheck_body_injective_challenge;
+    QCheck_alcotest.to_alcotest qcheck_body_injective_counter;
+  ]

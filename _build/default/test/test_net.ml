@@ -1,0 +1,102 @@
+open Ra_net
+
+let test_simtime () =
+  let t = Simtime.create () in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Simtime.now t);
+  Simtime.advance_by t 1.5;
+  Simtime.advance_to t 3.0;
+  Alcotest.(check (float 0.0)) "advanced" 3.0 (Simtime.now t);
+  Alcotest.check_raises "negative delta" (Invalid_argument "Simtime.advance_by: negative delta")
+    (fun () -> Simtime.advance_by t (-1.0));
+  Alcotest.check_raises "backwards" (Invalid_argument "Simtime.advance_to: target in the past")
+    (fun () -> Simtime.advance_to t 2.0)
+
+let test_trace () =
+  let time = Simtime.create () in
+  let trace = Trace.create time in
+  Trace.record trace "first";
+  Simtime.advance_by time 2.0;
+  Trace.recordf trace "second %d" 42;
+  (match Trace.entries trace with
+  | [ a; b ] ->
+    Alcotest.(check string) "order" "first" a.Trace.label;
+    Alcotest.(check (float 0.0)) "timestamp" 2.0 b.Trace.at;
+    Alcotest.(check string) "formatted" "second 42" b.Trace.label
+  | entries -> Alcotest.failf "expected 2 entries, got %d" (List.length entries));
+  Alcotest.(check int) "find" 1 (List.length (Trace.find trace ~substring:"second"))
+
+let make_channel () =
+  let time = Simtime.create () in
+  let trace = Trace.create time in
+  (time, Channel.create time trace)
+
+let test_send_does_not_deliver () =
+  let _, ch = make_channel () in
+  let got = ref [] in
+  Channel.on_receive ch Channel.Prover_side (fun m -> got := m :: !got);
+  Channel.send ch ~src:Channel.Verifier_side "hello";
+  Alcotest.(check int) "nothing delivered" 0 (List.length !got);
+  Alcotest.(check int) "on the wire" 1 (List.length (Channel.undelivered ch))
+
+let test_transcript_is_permanent () =
+  let _, ch = make_channel () in
+  Channel.on_receive ch Channel.Prover_side (fun _ -> ());
+  Channel.send ch ~src:Channel.Verifier_side "m1";
+  let _ = Channel.forward_next ch ~dst:Channel.Prover_side in
+  (* delivered messages stay in the eavesdropper's transcript *)
+  Alcotest.(check int) "transcript keeps everything" 1
+    (List.length (Channel.transcript ch));
+  Alcotest.(check int) "pending drained" 0 (List.length (Channel.undelivered ch))
+
+let test_forward_next_order_and_direction () =
+  let _, ch = make_channel () in
+  let got = ref [] in
+  Channel.on_receive ch Channel.Prover_side (fun m -> got := m :: !got);
+  Channel.send ch ~src:Channel.Verifier_side "m1";
+  Channel.send ch ~src:Channel.Prover_side "resp";
+  Channel.send ch ~src:Channel.Verifier_side "m2";
+  Alcotest.(check bool) "first forward" true (Channel.forward_next ch ~dst:Channel.Prover_side);
+  Alcotest.(check bool) "second forward" true (Channel.forward_next ch ~dst:Channel.Prover_side);
+  Alcotest.(check bool) "no more verifier msgs" false
+    (Channel.forward_next ch ~dst:Channel.Prover_side);
+  Alcotest.(check (list string)) "fifo order, right direction" [ "m2"; "m1" ] !got
+
+let test_drop () =
+  let _, ch = make_channel () in
+  Channel.send ch ~src:Channel.Verifier_side "m1";
+  Alcotest.(check bool) "dropped" true (Channel.drop_next ch ~src:Channel.Verifier_side);
+  Alcotest.(check int) "gone from pending" 0 (List.length (Channel.undelivered ch));
+  Alcotest.(check int) "still in transcript" 1 (List.length (Channel.transcript ch));
+  Alcotest.(check bool) "nothing left" false (Channel.drop_next ch ~src:Channel.Verifier_side)
+
+let test_deliver_without_receiver () =
+  let _, ch = make_channel () in
+  (* must not raise; records a trace entry instead *)
+  Channel.deliver ch ~dst:Channel.Verifier_side "orphan"
+
+let test_replay_from_transcript () =
+  let _, ch = make_channel () in
+  let count = ref 0 in
+  Channel.on_receive ch Channel.Prover_side (fun _ -> incr count);
+  Channel.send ch ~src:Channel.Verifier_side "req";
+  let _ = Channel.forward_next ch ~dst:Channel.Prover_side in
+  (* adversary replays from the transcript as many times as it likes *)
+  (match Channel.transcript ch with
+  | [ sent ] ->
+    Channel.deliver ch ~dst:Channel.Prover_side sent.Channel.payload;
+    Channel.deliver ch ~dst:Channel.Prover_side sent.Channel.payload
+  | _ -> Alcotest.fail "expected one transcript entry");
+  Alcotest.(check int) "three deliveries total" 3 !count
+
+let tests =
+  [
+    Alcotest.test_case "simtime" `Quick test_simtime;
+    Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "send does not deliver" `Quick test_send_does_not_deliver;
+    Alcotest.test_case "transcript is permanent" `Quick test_transcript_is_permanent;
+    Alcotest.test_case "forward order/direction" `Quick
+      test_forward_next_order_and_direction;
+    Alcotest.test_case "drop" `Quick test_drop;
+    Alcotest.test_case "deliver without receiver" `Quick test_deliver_without_receiver;
+    Alcotest.test_case "replay from transcript" `Quick test_replay_from_transcript;
+  ]

@@ -1,0 +1,54 @@
+open Ra_net
+
+let test_presets () =
+  Alcotest.(check (float 1e-9)) "direct min rtt" 1.0 (Path.min_rtt_ms Path.direct);
+  Alcotest.(check bool) "internet jitter dwarfs direct" true
+    (Path.jitter_span_ms Path.internet > 100.0 *. Path.jitter_span_ms Path.direct)
+
+let test_validation () =
+  Alcotest.check_raises "zero hops" (Invalid_argument "Path.make: hops must be positive")
+    (fun () -> ignore (Path.make ~hops:0 ~per_hop_ms:1.0 ~jitter_per_hop_ms:0.0));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Path.make: delays must be non-negative") (fun () ->
+      ignore (Path.make ~hops:1 ~per_hop_ms:(-1.0) ~jitter_per_hop_ms:0.0))
+
+let qcheck_samples_within_bounds =
+  QCheck.Test.make ~name:"path: samples stay within [min,max] rtt" ~count:300
+    QCheck.(triple (int_range 1 16) (float_range 0.1 10.0) int64)
+    (fun (hops, jitter, seed) ->
+      let p = Path.make ~hops ~per_hop_ms:1.0 ~jitter_per_hop_ms:jitter in
+      let prng = Ra_crypto.Prng.create seed in
+      let rtt = Path.sample_rtt_ms p prng in
+      rtt >= Path.min_rtt_ms p -. 1e-9 && rtt <= Path.max_rtt_ms p +. 1e-9)
+
+let qcheck_more_hops_more_uncertainty =
+  QCheck.Test.make ~name:"path: jitter span grows with hops" ~count:100
+    QCheck.(pair (int_range 1 10) (int_range 1 10))
+    (fun (h1, h2) ->
+      let span h =
+        Path.jitter_span_ms (Path.make ~hops:h ~per_hop_ms:1.0 ~jitter_per_hop_ms:2.0)
+      in
+      let lo = min h1 h2 and hi = max h1 h2 in
+      span lo <= span hi)
+
+let test_swatt_breaks_beyond_direct_links () =
+  (* the §2 claim, end to end: the cheater's margin on a 16 KB prover
+     beats direct-link jitter but loses to LAN/Internet paths *)
+  let margin =
+    Ra_core.Swatt.detection_margin_ms ~params:Ra_core.Swatt.default_params
+      ~memory_bytes:(16 * 1024) ~hz:24_000_000
+  in
+  Alcotest.(check bool) "viable on a direct link" true
+    (Path.jitter_span_ms Path.direct < margin);
+  Alcotest.(check bool) "broken over the internet" true
+    (Path.jitter_span_ms Path.internet > margin)
+
+let tests =
+  [
+    Alcotest.test_case "presets" `Quick test_presets;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "SWATT viability per path (§2)" `Quick
+      test_swatt_breaks_beyond_direct_links;
+    QCheck_alcotest.to_alcotest qcheck_samples_within_bounds;
+    QCheck_alcotest.to_alcotest qcheck_more_hops_more_uncertainty;
+  ]

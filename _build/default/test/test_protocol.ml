@@ -1,0 +1,317 @@
+(* End-to-end protocol: Code_attest + Verifier + Session. *)
+open Ra_core
+module Device = Ra_mcu.Device
+module Cpu = Ra_mcu.Cpu
+module Timing = Ra_mcu.Timing
+
+let small_session ?spec () = Session.create ?spec ~ram_size:4096 ()
+
+let test_benign_round_trusted () =
+  let s = small_session () in
+  Session.advance_time s ~seconds:1.0;
+  (match Session.attest_round s with
+  | Some Verifier.Trusted -> ()
+  | Some v -> Alcotest.failf "expected trusted, got %a" Verifier.pp_verdict v
+  | None -> Alcotest.fail "no response")
+
+let test_modified_memory_detected () =
+  let s = small_session () in
+  Session.advance_time s ~seconds:1.0;
+  (* malware modifies attested RAM and stays resident *)
+  let d = Session.device s in
+  Cpu.store_bytes (Device.cpu d) (Device.attested_base d) "INFECTED";
+  (match Session.attest_round s with
+  | Some Verifier.Untrusted_state -> ()
+  | Some v -> Alcotest.failf "expected untrusted, got %a" Verifier.pp_verdict v
+  | None -> Alcotest.fail "no response")
+
+let test_forged_request_rejected () =
+  let s = small_session () in
+  Session.advance_time s ~seconds:1.0;
+  let forged =
+    {
+      Message.challenge = "evil";
+      freshness = Message.F_timestamp 1000L;
+      tag = Message.Tag_none;
+    }
+  in
+  Session.deliver_to_prover s forged;
+  let stats = Code_attest.stats (Session.anchor s) in
+  Alcotest.(check int) "no attestation" 0 stats.Code_attest.attestations_performed;
+  Alcotest.(check int) "rejected" 1 stats.Code_attest.requests_rejected
+
+let test_wrong_mac_rejected () =
+  let s = small_session () in
+  Session.advance_time s ~seconds:1.0;
+  let req = Session.send_request s in
+  let tampered = { req with Message.challenge = req.Message.challenge ^ "x" } in
+  Session.deliver_to_prover s tampered;
+  Alcotest.(check int) "rejected" 1
+    (Code_attest.stats (Session.anchor s)).Code_attest.requests_rejected
+
+let test_attestation_charges_cycles_and_energy () =
+  let s = small_session () in
+  Session.advance_time s ~seconds:1.0;
+  let d = Session.device s in
+  let before = Cpu.work_cycles (Device.cpu d) in
+  let _ = Session.attest_round s in
+  let spent = Int64.sub (Cpu.work_cycles (Device.cpu d)) before in
+  (* at minimum the memory MAC of 4 KB plus request authentication *)
+  let mac = Timing.memory_mac_cycles ~bytes_len:4096 in
+  Alcotest.(check bool) "at least the MAC cost" true (Int64.compare spent mac >= 0);
+  Alcotest.(check bool) "energy consumed" true
+    (Ra_mcu.Energy.consumed_joules (Device.energy d) > 0.0)
+
+let test_unauthenticated_spec_attests_bogus () =
+  (* the §3.1 victim: no request authentication *)
+  let s = small_session ~spec:Architecture.unprotected () in
+  let bogus =
+    { Message.challenge = "any"; freshness = Message.F_none; tag = Message.Tag_none }
+  in
+  Session.deliver_to_prover s bogus;
+  Alcotest.(check int) "attested a bogus request" 1
+    (Code_attest.stats (Session.anchor s)).Code_attest.attestations_performed
+
+let test_response_echo_checked () =
+  let s = small_session () in
+  Session.advance_time s ~seconds:1.0;
+  let req = Session.send_request s in
+  let _ = Session.deliver_next_to_prover s in
+  (* tamper the response's echoed challenge in flight *)
+  (match Ra_net.Channel.undelivered (Session.channel s) with
+  | [ sent ] ->
+    (match Message.wire_of_bytes sent.Ra_net.Channel.payload with
+    | Some (Message.Response resp) ->
+      let tampered = { resp with Message.echo_challenge = "spoof" } in
+      Ra_net.Channel.deliver (Session.channel s) ~dst:Ra_net.Channel.Verifier_side
+        (Message.wire_to_bytes (Message.Response tampered));
+      (* unsolicited (unknown challenge) responses are dropped: no verdict *)
+      Alcotest.(check int) "no verdict" 0 (List.length (Session.verdicts s));
+      ignore req
+    | Some (Message.Request _ | Message.Sync_request _ | Message.Sync_response _
+           | Message.Service_request _ | Message.Service_ack _)
+    | None ->
+      Alcotest.fail "expected response on wire")
+  | l -> Alcotest.failf "expected one pending message, got %d" (List.length l))
+
+let test_all_schemes_end_to_end () =
+  List.iter
+    (fun scheme ->
+      let spec =
+        Architecture.with_scheme
+          (Architecture.with_policy Architecture.trustlite_base Freshness.Counter)
+          (Some scheme)
+      in
+      let spec = { spec with Architecture.clock_impl = Device.Clock_none } in
+      let s = small_session ~spec () in
+      match Session.attest_round s with
+      | Some Verifier.Trusted -> ()
+      | Some v ->
+        Alcotest.failf "%a: got %a" Timing.pp_auth_scheme scheme Verifier.pp_verdict v
+      | None -> Alcotest.failf "%a: no response" Timing.pp_auth_scheme scheme)
+    [
+      Timing.Auth_hmac_sha1;
+      Timing.Auth_aes128_cbc_mac;
+      Timing.Auth_speck64_cbc_mac;
+      Timing.Auth_ecdsa_verify;
+    ]
+
+let test_counter_policy_round_robin () =
+  let spec =
+    { (Architecture.with_policy Architecture.trustlite_base Freshness.Counter) with
+      Architecture.clock_impl = Device.Clock_none }
+  in
+  let s = small_session ~spec () in
+  (* several consecutive rounds all succeed: counters advance in step *)
+  List.iter
+    (fun i ->
+      match Session.attest_round s with
+      | Some Verifier.Trusted -> ()
+      | Some _ | None -> Alcotest.failf "round %d failed" i)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_malformed_frames_dropped () =
+  let s = small_session () in
+  let device = Session.device s in
+  let before_energy = Ra_mcu.Energy.consumed_joules (Device.energy device) in
+  Session.deliver_frame_to_prover s "";
+  Session.deliver_frame_to_prover s "garbage that is not a frame";
+  Session.deliver_frame_to_prover s (String.make 4096 '\xff');
+  let stats = Code_attest.stats (Session.anchor s) in
+  Alcotest.(check int) "anchor never invoked" 0 stats.Code_attest.requests_seen;
+  (* receiving junk still costs radio energy *)
+  Alcotest.(check bool) "radio energy charged" true
+    (Ra_mcu.Energy.consumed_joules (Device.energy device) > before_energy);
+  (* the session still works afterwards *)
+  Session.advance_time s ~seconds:1.0;
+  (match Session.attest_round s with
+  | Some Verifier.Trusted -> ()
+  | Some _ | None -> Alcotest.fail "session broken by garbage frames")
+
+let test_bitexact_frame_replay_rejected () =
+  let s = small_session () in
+  Session.advance_time s ~seconds:1.0;
+  let req = Session.send_request s in
+  let _ = Session.deliver_next_to_prover s in
+  let _ = Session.deliver_next_to_verifier s in
+  (* replay the exact recorded frame bytes *)
+  (match Ra_net.Channel.transcript (Session.channel s) with
+  | frame :: _ -> Session.deliver_frame_to_prover s frame.Ra_net.Channel.payload
+  | [] -> Alcotest.fail "empty transcript");
+  let stats = Code_attest.stats (Session.anchor s) in
+  Alcotest.(check int) "single attestation" 1 stats.Code_attest.attestations_performed;
+  Alcotest.(check int) "frame replay rejected" 1 stats.Code_attest.requests_rejected;
+  ignore req
+
+let test_code_update_with_flash_attestation () =
+  (* with attest_app_flash the measurement covers code: an update changes
+     the verdict until the verifier re-provisions its reference image *)
+  let spec =
+    {
+      (Architecture.with_policy Architecture.trustlite_base Freshness.Counter) with
+      Architecture.clock_impl = Device.Clock_none;
+      spec_name = "flash-attested";
+      attest_app_flash = true;
+    }
+  in
+  let s = small_session ~spec () in
+  (match Session.attest_round s with
+  | Some Verifier.Trusted -> ()
+  | Some _ | None -> Alcotest.fail "initial round should be trusted");
+  (* an authorized code update through the service layer *)
+  let svc =
+    Service.install (Session.device s) ~scheme:(Some Timing.Auth_hmac_sha1)
+      ~policy:Freshness.Counter
+  in
+  let update =
+    Service.make_request ~sym_key:"K_attest_0123456789."
+      ~scheme:(Some Timing.Auth_hmac_sha1) ~freshness:(Message.F_counter 1L)
+      (Service.Code_update { image = "firmware v2" })
+  in
+  (match Service.handle svc update with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "update rejected: %a" Service.pp_reject e);
+  (* the measurement now differs from the verifier's reference *)
+  (match Session.attest_round s with
+  | Some Verifier.Untrusted_state -> ()
+  | Some v -> Alcotest.failf "expected untrusted after update, got %a" Verifier.pp_verdict v
+  | None -> Alcotest.fail "no response");
+  (* verifier learns the new good state; next sweep is green again *)
+  Verifier.set_reference_image (Session.verifier s)
+    (Code_attest.measure_memory (Session.anchor s));
+  (match Session.attest_round s with
+  | Some Verifier.Trusted -> ()
+  | Some v -> Alcotest.failf "expected trusted after re-provisioning, got %a"
+                Verifier.pp_verdict v
+  | None -> Alcotest.fail "no response")
+
+let test_flash_attestation_costs_more () =
+  let base_spec =
+    {
+      (Architecture.with_policy Architecture.trustlite_base Freshness.Counter) with
+      Architecture.clock_impl = Device.Clock_none;
+    }
+  in
+  let work spec =
+    let s = small_session ~spec () in
+    let cpu = Device.cpu (Session.device s) in
+    let before = Cpu.work_cycles cpu in
+    let _ = Session.attest_round s in
+    Int64.sub (Cpu.work_cycles cpu) before
+  in
+  let ram_only = work base_spec in
+  let with_flash = work { base_spec with Architecture.attest_app_flash = true } in
+  (* 64 KB of flash at 0.092 ms per 64-byte block on top of the RAM MAC *)
+  let expected_extra = Timing.memory_mac_cycles ~bytes_len:(65536 + 4096) in
+  Alcotest.(check bool) "flash sweep costs more" true
+    (Int64.compare with_flash ram_only > 0);
+  Alcotest.(check bool) "cost grows by the flash MAC" true
+    (Int64.compare with_flash expected_extra >= 0)
+
+let test_sync_round_over_the_channel () =
+  (* future-work 2 running over the same Dolev-Yao wire as attestation *)
+  let s = small_session () (* trustlite_base: 64-bit clock *) in
+  Session.advance_time s ~seconds:30.0;
+  Alcotest.(check bool) "sync succeeds" true (Session.sync_round s);
+  Alcotest.(check bool) "prover wall time tracks verifier" true
+    (Int64.abs (Int64.sub (Session.prover_wall_ms s) 30_000L) < 1_000L);
+  (* attestation still works afterwards *)
+  (match Session.attest_round s with
+  | Some Verifier.Trusted -> ()
+  | Some _ | None -> Alcotest.fail "round after sync failed");
+  (* replaying the recorded sync frame is rejected by the sync counter *)
+  let sync_frames =
+    List.filter
+      (fun sent ->
+        match Message.wire_of_bytes sent.Ra_net.Channel.payload with
+        | Some (Message.Sync_request _) -> true
+        | Some
+            ( Message.Request _ | Message.Response _ | Message.Sync_response _
+            | Message.Service_request _ | Message.Service_ack _ )
+        | None ->
+          false)
+      (Ra_net.Channel.transcript (Session.channel s))
+  in
+  (match sync_frames with
+  | frame :: _ ->
+    Session.deliver_frame_to_prover s frame.Ra_net.Channel.payload;
+    let trace = Session.trace s in
+    Alcotest.(check bool) "sync replay rejected" true
+      (Ra_net.Trace.find trace ~substring:"sync rejected" <> [])
+  | [] -> Alcotest.fail "no sync frame recorded")
+
+let test_sync_round_without_clock () =
+  let spec =
+    { (Architecture.with_policy Architecture.trustlite_base Freshness.Counter) with
+      Architecture.clock_impl = Device.Clock_none }
+  in
+  let s = small_session ~spec () in
+  Alcotest.(check bool) "clock-less prover cannot sync" false (Session.sync_round s)
+
+let test_anchor_fault_on_misconfigured_rules () =
+  (* pathological config: a rule that denies even Code_attest the key *)
+  let spec =
+    { Architecture.trustlite_base with Architecture.clock_impl = Device.Clock_none;
+      policy = Freshness.Counter; protect_key = false; lock_mpu = false }
+  in
+  let s = small_session ~spec () in
+  let d = Session.device s in
+  Ra_mcu.Ea_mpu.program (Device.mpu d)
+    {
+      Ra_mcu.Ea_mpu.rule_name = "break-key";
+      data_base = Device.key_addr d;
+      data_size = Device.key_len d;
+      read_by = Ra_mcu.Ea_mpu.Nobody;
+      write_by = Ra_mcu.Ea_mpu.Nobody;
+    };
+  let req = Session.send_request s in
+  (match Code_attest.handle_request (Session.anchor s) req with
+  | Error (Code_attest.Anchor_fault _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected anchor fault")
+
+let tests =
+  [
+    Alcotest.test_case "benign round trusted" `Quick test_benign_round_trusted;
+    Alcotest.test_case "modified memory detected" `Quick test_modified_memory_detected;
+    Alcotest.test_case "forged request rejected" `Quick test_forged_request_rejected;
+    Alcotest.test_case "wrong MAC rejected" `Quick test_wrong_mac_rejected;
+    Alcotest.test_case "attestation charges cycles/energy" `Quick
+      test_attestation_charges_cycles_and_energy;
+    Alcotest.test_case "unauthenticated prover attests bogus" `Quick
+      test_unauthenticated_spec_attests_bogus;
+    Alcotest.test_case "response echo checked" `Quick test_response_echo_checked;
+    Alcotest.test_case "all schemes end-to-end" `Slow test_all_schemes_end_to_end;
+    Alcotest.test_case "counter round-robin" `Quick test_counter_policy_round_robin;
+    Alcotest.test_case "malformed frames dropped" `Quick test_malformed_frames_dropped;
+    Alcotest.test_case "bit-exact frame replay rejected" `Quick
+      test_bitexact_frame_replay_rejected;
+    Alcotest.test_case "code update + flash attestation" `Quick
+      test_code_update_with_flash_attestation;
+    Alcotest.test_case "flash attestation costs more" `Quick
+      test_flash_attestation_costs_more;
+    Alcotest.test_case "sync round over the channel" `Quick
+      test_sync_round_over_the_channel;
+    Alcotest.test_case "sync round without clock" `Quick test_sync_round_without_clock;
+    Alcotest.test_case "anchor fault on misconfiguration" `Quick
+      test_anchor_fault_on_misconfigured_rules;
+  ]

@@ -1,0 +1,123 @@
+open Ra_core
+
+let base =
+  {
+    Realtime.task_period_ms = 10.0;
+    task_wcet_ms = 4.0;
+    attestation_ms = 754.0 (* the §3.1 512 KB memory MAC *);
+    anchor_mode = Realtime.Non_interruptible;
+    horizon_ms = 10_000.0;
+    request_times_ms = [];
+  }
+
+let test_no_attestation_no_misses () =
+  let r = Realtime.simulate base in
+  Alcotest.(check int) "jobs" 1000 r.Realtime.task_jobs;
+  Alcotest.(check int) "no misses" 0 r.Realtime.deadline_misses;
+  Alcotest.(check (float 0.01)) "utilization 40%" 0.4 r.Realtime.busy_fraction
+
+let test_single_attestation_starves_task () =
+  (* one 754 ms uninterruptible attestation blocks ~75 task periods *)
+  let r =
+    Realtime.simulate { base with Realtime.request_times_ms = [ 1000.0 ] }
+  in
+  Alcotest.(check bool) "many misses" true (r.Realtime.deadline_misses >= 70);
+  Alcotest.(check int) "attestation done" 1 r.Realtime.attestations_completed;
+  (* the same attestation under an interruptible anchor: no misses *)
+  let r2 =
+    Realtime.simulate
+      { base with Realtime.anchor_mode = Realtime.Interruptible;
+        request_times_ms = [ 1000.0 ] }
+  in
+  Alcotest.(check int) "interruptible: no misses" 0 r2.Realtime.deadline_misses;
+  Alcotest.(check int) "still completes" 1 r2.Realtime.attestations_completed;
+  (* ...but the attestation takes longer than its pure execution time *)
+  Alcotest.(check bool) "latency stretched" true
+    (r2.Realtime.max_attestation_latency_ms > 754.0 +. 1.0)
+
+let test_flood_starvation_scales () =
+  let flood every =
+    Realtime.miss_rate
+      (Realtime.simulate
+         { base with
+           Realtime.request_times_ms =
+             Realtime.periodic_requests ~every_ms:every ~horizon_ms:base.Realtime.horizon_ms
+         })
+  in
+  let sparse = flood 5000.0 in
+  let dense = flood 1000.0 in
+  Alcotest.(check bool) "denser flood, more misses" true (dense > sparse);
+  Alcotest.(check bool) "dense flood starves most jobs" true (dense > 0.6)
+
+let test_interruptible_flood_never_misses () =
+  let r =
+    Realtime.simulate
+      { base with Realtime.anchor_mode = Realtime.Interruptible;
+        request_times_ms = Realtime.periodic_requests ~every_ms:1000.0 ~horizon_ms:10_000.0
+      }
+  in
+  Alcotest.(check int) "no misses" 0 r.Realtime.deadline_misses;
+  (* 10 x 754 ms of anchor work cannot fit in 10 s of 60% slack: some
+     attestations are still pending at the horizon *)
+  Alcotest.(check bool) "backlog builds" true (r.Realtime.attestations_pending > 0)
+
+let test_validation () =
+  Alcotest.check_raises "bad period" (Invalid_argument "Realtime: period must be positive")
+    (fun () -> ignore (Realtime.simulate { base with Realtime.task_period_ms = 0.0 }));
+  Alcotest.check_raises "unsorted requests"
+    (Invalid_argument "Realtime: request times must be sorted and non-negative")
+    (fun () ->
+      ignore (Realtime.simulate { base with Realtime.request_times_ms = [ 5.0; 1.0 ] }))
+
+let test_periodic_requests () =
+  Alcotest.(check (list (float 0.0))) "grid" [ 0.0; 100.0; 200.0 ]
+    (Realtime.periodic_requests ~every_ms:100.0 ~horizon_ms:300.0)
+
+let qcheck_interruptible_feasible_task_never_misses =
+  (* with the task at top priority and wcet <= period, a single periodic
+     task is always schedulable regardless of attestation load *)
+  QCheck.Test.make ~name:"realtime: interruptible anchor never starves a feasible task"
+    ~count:50
+    QCheck.(triple (float_range 1.0 20.0) (float_range 50.0 400.0) (int_range 1 8))
+    (fun (wcet, attest_ms, n_req) ->
+      let period = wcet +. 5.0 in
+      let cfg =
+        {
+          Realtime.task_period_ms = period;
+          task_wcet_ms = wcet;
+          attestation_ms = attest_ms;
+          anchor_mode = Realtime.Interruptible;
+          horizon_ms = 2_000.0;
+          request_times_ms =
+            List.init n_req (fun i -> float_of_int i *. (2000.0 /. float_of_int n_req));
+        }
+      in
+      (Realtime.simulate cfg).Realtime.deadline_misses = 0)
+
+let qcheck_busy_fraction_bounded =
+  QCheck.Test.make ~name:"realtime: utilization within [0,1]" ~count:50
+    QCheck.(pair (float_range 1.0 9.0) (int_range 0 5))
+    (fun (wcet, n_req) ->
+      let cfg =
+        {
+          base with
+          Realtime.task_wcet_ms = wcet;
+          request_times_ms = List.init n_req (fun i -> float_of_int (i * 997));
+        }
+      in
+      let r = Realtime.simulate cfg in
+      r.Realtime.busy_fraction >= 0.0 && r.Realtime.busy_fraction <= 1.0 +. 1e-9)
+
+let tests =
+  [
+    Alcotest.test_case "no attestation, no misses" `Quick test_no_attestation_no_misses;
+    Alcotest.test_case "uninterruptible attestation starves (§3.1)" `Quick
+      test_single_attestation_starves_task;
+    Alcotest.test_case "flood starvation scales" `Quick test_flood_starvation_scales;
+    Alcotest.test_case "interruptible flood: no misses, backlog" `Quick
+      test_interruptible_flood_never_misses;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "periodic requests" `Quick test_periodic_requests;
+    QCheck_alcotest.to_alcotest qcheck_interruptible_feasible_task_never_misses;
+    QCheck_alcotest.to_alcotest qcheck_busy_fraction_bounded;
+  ]

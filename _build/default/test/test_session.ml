@@ -1,0 +1,128 @@
+open Ra_core
+module Device = Ra_mcu.Device
+module Channel = Ra_net.Channel
+
+let spec_counter =
+  {
+    (Architecture.with_policy Architecture.trustlite_base Freshness.Counter) with
+    Architecture.clock_impl = Device.Clock_none;
+  }
+
+let make () = Session.create ~spec:spec_counter ~ram_size:2048 ()
+
+let test_multiple_outstanding_requests () =
+  let s = make () in
+  let _r1 = Session.send_request s in
+  let _r2 = Session.send_request s in
+  let _r3 = Session.send_request s in
+  (* deliver all three to the prover in order, then drain responses *)
+  Alcotest.(check bool) "d1" true (Session.deliver_next_to_prover s);
+  Alcotest.(check bool) "d2" true (Session.deliver_next_to_prover s);
+  Alcotest.(check bool) "d3" true (Session.deliver_next_to_prover s);
+  let rec drain n = if Session.deliver_next_to_verifier s then drain (n + 1) else n in
+  Alcotest.(check int) "three responses" 3 (drain 0);
+  Alcotest.(check int) "three verdicts" 3 (List.length (Session.verdicts s));
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "trusted" true (v = Verifier.Trusted))
+    (Session.verdicts s)
+
+let test_verdict_timeline_monotone () =
+  let s = make () in
+  Session.advance_time s ~seconds:1.0;
+  let _ = Session.attest_round s in
+  Session.advance_time s ~seconds:5.0;
+  let _ = Session.attest_round s in
+  (match Session.verdicts s with
+  | [ (t1, _); (t2, _) ] ->
+    Alcotest.(check bool) "chronological" true (t1 < t2);
+    (* each round's timestamp includes the prover's ~31 ms of work *)
+    Alcotest.(check bool) "work time visible" true (t1 > 1.0)
+  | l -> Alcotest.failf "expected 2 verdicts, got %d" (List.length l))
+
+let test_trace_records_protocol_events () =
+  let s = make () in
+  Session.advance_time s ~seconds:1.0;
+  let _ = Session.attest_round s in
+  let trace = Session.trace s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Ra_net.Trace.find trace ~substring:needle <> []))
+    [ "verifier sent a message"; "prover: attested"; "verifier: verdict trusted" ]
+
+let test_response_to_stale_challenge_ignored () =
+  let s = make () in
+  let _ = Session.attest_round s in
+  (* re-deliver the prover's recorded response: its challenge is no
+     longer pending, so no second verdict appears *)
+  let response_frames =
+    List.filter
+      (fun sent -> sent.Channel.src = Channel.Prover_side)
+      (Channel.transcript (Session.channel s))
+  in
+  (match response_frames with
+  | frame :: _ ->
+    Channel.deliver (Session.channel s) ~dst:Channel.Verifier_side frame.Channel.payload
+  | [] -> Alcotest.fail "no response recorded");
+  Alcotest.(check int) "still one verdict" 1 (List.length (Session.verdicts s))
+
+let test_advance_time_moves_both_clocks () =
+  let s = Session.create ~ram_size:2048 () (* trustlite_base: 64-bit clock *) in
+  Session.advance_time s ~seconds:12.5;
+  Alcotest.(check (float 0.01)) "sim time" 12.5 (Ra_net.Simtime.now (Session.time s));
+  (match Device.clock (Session.device s) with
+  | Some clock ->
+    Alcotest.(check (float 0.01)) "device clock" 12.5 (Ra_mcu.Clock.seconds clock)
+  | None -> Alcotest.fail "expected clock")
+
+let test_service_round_over_channel () =
+  let s = make () in
+  Alcotest.(check bool) "ping acknowledged" true (Session.service_round s Service.Ping);
+  Alcotest.(check bool) "erase acknowledged" true
+    (Session.service_round s Service.Secure_erase);
+  (* the erase really happened: attested RAM is zero and the next
+     attestation flags the changed state *)
+  let device = Session.device s in
+  Alcotest.(check string) "RAM wiped" (String.make 64 '\x00')
+    (Ra_mcu.Memory.read_bytes (Device.memory device) (Device.attested_base device) 64);
+  (match Session.attest_round s with
+  | Some Verifier.Untrusted_state -> ()
+  | Some v -> Alcotest.failf "expected untrusted after erase, got %a" Verifier.pp_verdict v
+  | None -> Alcotest.fail "no response");
+  (* replaying the recorded erase frame bounces off the service counter *)
+  let erase_frames =
+    List.filter
+      (fun sent ->
+        match Message.wire_of_bytes sent.Channel.payload with
+        | Some (Message.Service_request { command_name = "secure-erase"; _ }) -> true
+        | Some _ | None -> false)
+      (Channel.transcript (Session.channel s))
+  in
+  (match erase_frames with
+  | frame :: _ ->
+    Session.deliver_frame_to_prover s frame.Channel.payload;
+    Alcotest.(check bool) "service replay rejected" true
+      (Ra_net.Trace.find (Session.trace s) ~substring:"service rejected" <> [])
+  | [] -> Alcotest.fail "no erase frame recorded")
+
+let test_custom_sym_key () =
+  let s = Session.create ~spec:spec_counter ~sym_key:(String.make 20 'z') ~ram_size:2048 () in
+  match Session.attest_round s with
+  | Some Verifier.Trusted -> ()
+  | Some v -> Alcotest.failf "custom key round: %a" Verifier.pp_verdict v
+  | None -> Alcotest.fail "no response with custom key"
+
+let tests =
+  [
+    Alcotest.test_case "multiple outstanding requests" `Quick
+      test_multiple_outstanding_requests;
+    Alcotest.test_case "verdict timeline" `Quick test_verdict_timeline_monotone;
+    Alcotest.test_case "trace records protocol events" `Quick
+      test_trace_records_protocol_events;
+    Alcotest.test_case "stale response ignored" `Quick
+      test_response_to_stale_challenge_ignored;
+    Alcotest.test_case "advance_time moves both clocks" `Quick
+      test_advance_time_moves_both_clocks;
+    Alcotest.test_case "service round over the channel" `Quick
+      test_service_round_over_channel;
+    Alcotest.test_case "custom symmetric key" `Quick test_custom_sym_key;
+  ]

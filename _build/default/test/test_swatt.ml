@@ -1,0 +1,96 @@
+open Ra_core
+module Device = Ra_mcu.Device
+module Memory = Ra_mcu.Memory
+
+let key = String.make 60 'k'
+
+let make_pair () =
+  let mk () =
+    let d = Device.create ~ram_size:4096 ~key () in
+    Device.fill_ram_deterministic d ~seed:99L;
+    d
+  in
+  (mk (), mk ())
+
+let params = { Swatt.default_params with Swatt.iterations = 8192 }
+
+let test_honest_accepted () =
+  let reference, prover = make_pair () in
+  let v = Swatt.attest ~params ~jitter_ms:0.0 ~reference ~prover "n1" in
+  Alcotest.(check bool) "checksum ok" true v.Swatt.checksum_ok;
+  Alcotest.(check bool) "accepted" true (v.Swatt.outcome = Swatt.Accepted)
+
+let test_nonce_changes_checksum () =
+  let reference, prover = make_pair () in
+  let c1 = Swatt.checksum prover ~nonce:"n1" ~iterations:2048 in
+  let c2 = Swatt.checksum prover ~nonce:"n2" ~iterations:2048 in
+  Alcotest.(check bool) "different walks" true (c1 <> c2);
+  ignore reference
+
+let test_naive_infection_caught () =
+  let reference, prover = make_pair () in
+  Memory.write_bytes (Device.memory prover) (Device.attested_base prover) "MALWARE!";
+  let v = Swatt.attest ~params ~jitter_ms:0.0 ~reference ~prover "n1" in
+  Alcotest.(check bool) "wrong checksum" true
+    (v.Swatt.outcome = Swatt.Rejected_wrong_checksum)
+
+let test_cheater_caught_by_timing () =
+  let reference, prover = make_pair () in
+  Memory.write_bytes (Device.memory prover) (Device.attested_base prover) "MALWARE!";
+  let v = Swatt.attest ~cheating:true ~params ~jitter_ms:0.0 ~reference ~prover "n1" in
+  Alcotest.(check bool) "checksum forged successfully" true v.Swatt.checksum_ok;
+  Alcotest.(check bool) "but too slow" true (v.Swatt.outcome = Swatt.Rejected_too_slow);
+  (* the overhead is exactly the detection margin *)
+  Alcotest.(check (float 1e-6)) "margin arithmetic"
+    (Swatt.detection_margin_ms ~params ~memory_bytes:4096 ~hz:24_000_000)
+    (v.Swatt.measured_ms -. v.Swatt.honest_ms)
+
+let test_jitter_defeats_timing () =
+  (* a multi-hop network: jitter exceeds the cheat margin, so the slack
+     needed to accept honest provers also admits the cheater — §2's
+     "not viable for attestation performed over a network" *)
+  let margin = Swatt.detection_margin_ms ~params ~memory_bytes:4096 ~hz:24_000_000 in
+  let jitter = 3.0 *. margin in
+  let honest_time = float_of_int (8192 * params.Swatt.cycles_per_access) *. 1000.0 /. 24e6 in
+  let tolerant = { params with Swatt.slack_factor = (honest_time +. jitter) /. honest_time } in
+  (* honest prover arriving with full jitter is (just) accepted *)
+  let reference, prover = make_pair () in
+  let honest = Swatt.attest ~params:tolerant ~jitter_ms:jitter ~reference ~prover "n" in
+  Alcotest.(check bool) "honest accepted under jitter" true
+    (honest.Swatt.outcome = Swatt.Accepted);
+  (* the cheater on a fast path sails through the same threshold *)
+  let reference2, prover2 = make_pair () in
+  Memory.write_bytes (Device.memory prover2) (Device.attested_base prover2) "MALWARE!";
+  let cheat =
+    Swatt.attest ~cheating:true ~params:tolerant ~jitter_ms:0.5 ~reference:reference2
+      ~prover:prover2 "n"
+  in
+  Alcotest.(check bool) "cheater accepted: timing check broken" true
+    (cheat.Swatt.outcome = Swatt.Accepted)
+
+let test_prover_pays_cycles () =
+  let reference, prover = make_pair () in
+  let before = Ra_mcu.Cpu.work_cycles (Device.cpu prover) in
+  let _ = Swatt.attest ~params ~jitter_ms:0.0 ~reference ~prover "n" in
+  let spent = Int64.sub (Ra_mcu.Cpu.work_cycles (Device.cpu prover)) before in
+  Alcotest.(check int64) "12 cycles per access" (Int64.of_int (8192 * 12)) spent
+
+let qcheck_honest_always_accepted_without_jitter =
+  QCheck.Test.make ~name:"swatt: honest prover always accepted at zero jitter" ~count:20
+    QCheck.(string_of_size Gen.(1 -- 16))
+    (fun nonce ->
+      let reference, prover = make_pair () in
+      (Swatt.attest ~params ~jitter_ms:0.0 ~reference ~prover nonce).Swatt.outcome
+      = Swatt.Accepted)
+
+let tests =
+  [
+    Alcotest.test_case "honest accepted" `Quick test_honest_accepted;
+    Alcotest.test_case "nonce changes the walk" `Quick test_nonce_changes_checksum;
+    Alcotest.test_case "naive infection caught" `Quick test_naive_infection_caught;
+    Alcotest.test_case "cheater caught by timing" `Quick test_cheater_caught_by_timing;
+    Alcotest.test_case "network jitter defeats timing (§2)" `Quick
+      test_jitter_defeats_timing;
+    Alcotest.test_case "prover pays cycles" `Quick test_prover_pays_cycles;
+    QCheck_alcotest.to_alcotest qcheck_honest_always_accepted_without_jitter;
+  ]

@@ -1,0 +1,74 @@
+(* The Table-1 calibration: our cycle model must reproduce the paper's
+   published numbers exactly. *)
+open Ra_mcu
+
+let ms = Alcotest.(check (float 1e-3))
+
+let test_table1_constants () =
+  ms "hmac fix" 0.340 Timing.hmac_sha1_fixed_ms;
+  ms "hmac per block" 0.092 Timing.hmac_sha1_per_block_ms;
+  ms "aes keyexp" 0.074 Timing.aes128_key_expansion_ms;
+  ms "aes enc" 0.288 Timing.aes128_encrypt_block_ms;
+  ms "aes dec" 0.570 Timing.aes128_decrypt_block_ms;
+  ms "speck keyexp" 0.016 Timing.speck64_key_expansion_ms;
+  ms "speck enc" 0.017 Timing.speck64_encrypt_block_ms;
+  ms "speck dec" 0.015 Timing.speck64_decrypt_block_ms;
+  ms "ecc sign" 183.464 Timing.ecdsa_sign_ms;
+  ms "ecc verify" 170.907 Timing.ecdsa_verify_ms
+
+let test_cycle_conversion () =
+  Alcotest.(check int64) "1ms at 24MHz" 24000L (Timing.cycles_of_ms 1.0);
+  ms "roundtrip" 0.340 (Timing.ms_of_cycles (Timing.cycles_of_ms 0.340));
+  Alcotest.(check int64) "other hz" 1000L (Timing.cycles_of_ms ~hz:1_000_000 1.0)
+
+let test_memory_mac_512kb () =
+  (* §3.1: MACing 512 KB of RAM ≈ 754 ms (8192 blocks x 0.092 + 0.340) *)
+  let t = Timing.memory_mac_ms ~bytes_len:(512 * 1024) in
+  ms "754 ms" 754.004 t
+
+let test_request_auth_costs () =
+  (* §4.1: "a SHA-1-based HMAC can be validated in 0.430 ms" *)
+  ms "hmac request" 0.432 (Timing.request_auth_ms Timing.Auth_hmac_sha1);
+  (* AES: one-block message of 256 bits = 2 AES blocks + key expansion *)
+  ms "aes request" (0.074 +. (2.0 *. 0.288))
+    (Timing.request_auth_ms Timing.Auth_aes128_cbc_mac);
+  ms "speck request" (0.016 +. 0.017)
+    (Timing.request_auth_ms Timing.Auth_speck64_cbc_mac);
+  ms "speck precomputed" 0.017
+    (Timing.request_auth_ms ~precomputed_key_schedule:true Timing.Auth_speck64_cbc_mac);
+  ms "ecdsa request" 170.907 (Timing.request_auth_ms Timing.Auth_ecdsa_verify)
+
+let test_ecdsa_is_dos_grade () =
+  (* the §4.1 argument: ECDSA authentication costs ~400x HMAC *)
+  let ecdsa = Timing.request_auth_ms Timing.Auth_ecdsa_verify in
+  let hmac = Timing.request_auth_ms Timing.Auth_hmac_sha1 in
+  Alcotest.(check bool) "ratio > 300" true (ecdsa /. hmac > 300.0)
+
+let test_block_rounding () =
+  let one = Timing.hmac_sha1_cycles ~bytes_len:1 in
+  let sixty_four = Timing.hmac_sha1_cycles ~bytes_len:64 in
+  let sixty_five = Timing.hmac_sha1_cycles ~bytes_len:65 in
+  Alcotest.(check int64) "partial block = full block" sixty_four one;
+  Alcotest.(check bool) "next block starts at 65" true
+    (Int64.compare sixty_five sixty_four > 0)
+
+let qcheck_mac_monotone =
+  QCheck.Test.make ~name:"timing: memory mac cost is monotone" ~count:100
+    QCheck.(pair (int_range 0 100000) (int_range 0 100000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Int64.compare
+        (Timing.memory_mac_cycles ~bytes_len:lo)
+        (Timing.memory_mac_cycles ~bytes_len:hi)
+      <= 0)
+
+let tests =
+  [
+    Alcotest.test_case "Table 1 constants" `Quick test_table1_constants;
+    Alcotest.test_case "cycle conversion" `Quick test_cycle_conversion;
+    Alcotest.test_case "512KB memory MAC (§3.1)" `Quick test_memory_mac_512kb;
+    Alcotest.test_case "request auth costs (§4.1)" `Quick test_request_auth_costs;
+    Alcotest.test_case "ECDSA is DoS-grade (§4.1)" `Quick test_ecdsa_is_dos_grade;
+    Alcotest.test_case "block rounding" `Quick test_block_rounding;
+    QCheck_alcotest.to_alcotest qcheck_mac_monotone;
+  ]

@@ -1,0 +1,128 @@
+open Ra_core
+module Device = Ra_mcu.Device
+module Memory = Ra_mcu.Memory
+module Cpu = Ra_mcu.Cpu
+module Ea_mpu = Ra_mcu.Ea_mpu
+
+let key = String.make 60 'k'
+
+let spec_a base =
+  {
+    Trustlet.trustlet_name = "metering";
+    code_region = Device.region_attest;
+    data_base = base;
+    data_size = 64;
+    entry_points = [ 0x001000 ];
+    shared_read = false;
+  }
+
+let spec_b base =
+  {
+    Trustlet.trustlet_name = "keystore";
+    code_region = Device.region_clock;
+    data_base = base + 64;
+    data_size = 64;
+    entry_points = [ 0x003000 ];
+    shared_read = true;
+  }
+
+let make () =
+  let device = Device.create ~ram_size:4096 ~key () in
+  let registry = Trustlet.create device in
+  let base = Device.attested_base device in
+  Trustlet.register registry (spec_a base);
+  Trustlet.register registry (spec_b base);
+  (device, registry, base)
+
+let test_isolation_between_trustlets () =
+  let device, _, base = make () in
+  let cpu = Device.cpu device in
+  (* trustlet A's code may use A's data *)
+  Cpu.with_context cpu Device.region_attest (fun () -> Cpu.store_byte cpu base 1);
+  (* trustlet B's code may not touch A's data *)
+  (try
+     Cpu.with_context cpu Device.region_clock (fun () -> Cpu.store_byte cpu base 2);
+     Alcotest.fail "cross-trustlet write should fault"
+   with Cpu.Protection_fault _ -> ());
+  (try
+     ignore (Cpu.with_context cpu Device.region_clock (fun () -> Cpu.load_byte cpu base));
+     Alcotest.fail "cross-trustlet read should fault"
+   with Cpu.Protection_fault _ -> ());
+  Alcotest.(check int) "A's write landed" 1 (Memory.read_byte (Device.memory device) base)
+
+let test_shared_read () =
+  let device, _, base = make () in
+  let cpu = Device.cpu device in
+  (* B's data is published read-only: everyone reads, only B writes *)
+  Cpu.with_context cpu Device.region_clock (fun () -> Cpu.store_byte cpu (base + 64) 9);
+  Alcotest.(check int) "untrusted read allowed" 9 (Cpu.load_byte cpu (base + 64));
+  (try
+     Cpu.store_byte cpu (base + 64) 0;
+     Alcotest.fail "untrusted write should fault"
+   with Cpu.Protection_fault _ -> ())
+
+let test_validation () =
+  let device = Device.create ~ram_size:4096 ~key () in
+  let registry = Trustlet.create device in
+  let base = Device.attested_base device in
+  Trustlet.register registry (spec_a base);
+  Alcotest.check_raises "duplicate name" (Invalid_argument "Trustlet.register: duplicate name")
+    (fun () -> Trustlet.register registry { (spec_a base) with Trustlet.data_base = base + 512 });
+  Alcotest.check_raises "overlap" (Invalid_argument "Trustlet.register: data ranges overlap")
+    (fun () ->
+      Trustlet.register registry
+        { (spec_b base) with Trustlet.data_base = base + 32 });
+  Alcotest.check_raises "unknown region"
+    (Invalid_argument "Trustlet.register: unknown code region") (fun () ->
+      Trustlet.register registry
+        { (spec_b base) with Trustlet.code_region = "nonexistent" });
+  Alcotest.check_raises "entry outside region"
+    (Invalid_argument "Trustlet.register: entry point outside the code region")
+    (fun () ->
+      Trustlet.register registry
+        { (spec_b base) with Trustlet.entry_points = [ 0x999999 ] });
+  Alcotest.check_raises "unmapped data"
+    (Invalid_argument "Trustlet.register: data range unmapped") (fun () ->
+      Trustlet.register registry
+        { (spec_b base) with Trustlet.data_base = 0x700000 })
+
+let test_lockdown () =
+  let device, registry, base = make () in
+  Trustlet.lockdown registry;
+  Alcotest.(check bool) "mpu locked" true (Ea_mpu.is_locked (Device.mpu device));
+  Alcotest.check_raises "no post-lock registration" Ea_mpu.Locked (fun () ->
+      Trustlet.register registry
+        {
+          Trustlet.trustlet_name = "late";
+          code_region = Device.region_app;
+          data_base = base + 256;
+          data_size = 16;
+          entry_points = [];
+          shared_read = false;
+        })
+
+let test_bind_core_entries () =
+  let device, registry, _ = make () in
+  let core = Ra_isa.Core.create (Device.cpu device) ~pc:0x010000 ~sp:0x101000 in
+  Trustlet.bind_core registry core;
+  (* entering trustlet A anywhere but its gateway traps *)
+  let prog src origin =
+    match Ra_isa.Asm.assemble ~origin src with
+    | Ok p ->
+      Memory.write_bytes (Device.memory device) origin (Ra_isa.Asm.to_bytes p)
+    | Error e -> Alcotest.failf "asm: %a" Ra_isa.Asm.pp_error e
+  in
+  prog "call 0x1004\nhalt" 0x010000;
+  let state, _ = Ra_isa.Core.run core in
+  (match state with
+  | Ra_isa.Core.Trapped (Ra_isa.Core.Trap_entry { target = 0x1004; _ }) -> ()
+  | s -> Alcotest.failf "expected entry trap, got %a" Ra_isa.Core.pp_state s)
+
+let tests =
+  [
+    Alcotest.test_case "isolation between trustlets" `Quick test_isolation_between_trustlets;
+    Alcotest.test_case "shared-read data" `Quick test_shared_read;
+    Alcotest.test_case "spec validation" `Quick test_validation;
+    Alcotest.test_case "lockdown" `Quick test_lockdown;
+    Alcotest.test_case "entry gateways on the core" `Quick test_bind_core_entries;
+  ]
