@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples docs clean loc
+.PHONY: all build test bench bench-smoke examples docs clean loc
 
 all: build
 
@@ -12,6 +12,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# quick hot-path regression check (reduced quotas + small fleet)
+bench-smoke:
+	BENCH_SMOKE=1 dune exec bench/main.exe -- hotpath
 
 examples:
 	dune exec examples/quickstart.exe

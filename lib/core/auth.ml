@@ -49,10 +49,15 @@ let sym_of_secret = function
    to the cipher's key size (16 bytes). *)
 let cipher_key k = String.sub k 0 16
 
-let tag_request scheme secret ~body =
+let keyed sym_key = C.Hmac.key C.Hmac.sha1 ~key:sym_key
+
+let tag_request ?hmac_keyed scheme secret ~body =
   match scheme with
   | Timing.Auth_hmac_sha1 ->
-    Message.Tag_hmac_sha1 (C.Hmac.mac C.Hmac.sha1 ~key:(sym_of_secret secret) body)
+    let kc =
+      match hmac_keyed with Some kc -> kc | None -> keyed (sym_of_secret secret)
+    in
+    Message.Tag_hmac_sha1 (C.Hmac.mac_with kc body)
   | Timing.Auth_aes128_cbc_mac ->
     let key = C.Aes.expand (cipher_key (sym_of_secret secret)) in
     Message.Tag_aes_cbc_mac (C.Block_mode.cbc_mac (C.Block_mode.aes key) body)
@@ -66,10 +71,13 @@ let tag_request scheme secret ~body =
       Message.Tag_ecdsa (C.Ecdsa.signature_to_bytes C.Ec.secp160r1 signature)
     | Vs_symmetric _ -> invalid_arg "Auth.tag_request: ECDSA scheme needs Vs_ecdsa")
 
-let verify_request scheme ~key_blob ~body tag =
+let verify_request ?hmac_keyed scheme ~key_blob ~body tag =
   match (scheme, tag) with
   | Timing.Auth_hmac_sha1, Message.Tag_hmac_sha1 t ->
-    C.Hmac.verify C.Hmac.sha1 ~key:(blob_sym_key key_blob) ~msg:body ~tag:t
+    let kc =
+      match hmac_keyed with Some kc -> kc | None -> keyed (blob_sym_key key_blob)
+    in
+    C.Hmac.verify_with kc ~msg:body ~tag:t
   | Timing.Auth_aes128_cbc_mac, Message.Tag_aes_cbc_mac t ->
     let key = C.Aes.expand (cipher_key (blob_sym_key key_blob)) in
     C.Block_mode.cbc_mac_verify (C.Block_mode.aes key) ~msg:body ~tag:t
@@ -87,5 +95,10 @@ let verify_request scheme ~key_blob ~body tag =
       | Message.Tag_speck_cbc_mac _ | Message.Tag_ecdsa _ ) ) ->
     false
 
+let response_report_keyed ~keyed ~body ~memory_image =
+  (* stream the two parts through the inner hash instead of materializing
+     [body ^ memory_image] — the image is the prover's whole writable RAM *)
+  C.Hmac.mac_parts keyed [ body; memory_image ]
+
 let response_report ~sym_key ~body ~memory_image =
-  C.Hmac.mac C.Hmac.sha1 ~key:sym_key (body ^ memory_image)
+  response_report_keyed ~keyed:(keyed sym_key) ~body ~memory_image

@@ -29,14 +29,38 @@ val blob_public : string -> Ra_crypto.Ec.point option
 val point_to_bytes : Ra_crypto.Ec.point -> string
 val point_of_bytes : string -> Ra_crypto.Ec.point option
 
-val tag_request : scheme -> verifier_secret -> body:string -> Message.auth_tag
-(** Compute the tag the verifier attaches.
+val keyed : string -> Ra_crypto.Hmac.key_ctx
+(** Precomputed HMAC-SHA1 midstates for a long-lived K_attest
+    ({!Ra_crypto.Hmac.key}). Deriving this once per key and passing it as
+    [?hmac_keyed] below skips the per-message ipad/opad hashing — the
+    "fixed" part of Table 1's SHA1-HMAC cost. *)
+
+val tag_request :
+  ?hmac_keyed:Ra_crypto.Hmac.key_ctx ->
+  scheme ->
+  verifier_secret ->
+  body:string ->
+  Message.auth_tag
+(** Compute the tag the verifier attaches. [?hmac_keyed] (used only by the
+    HMAC-SHA1 scheme) must match the secret's K_attest.
     @raise Invalid_argument on a scheme/secret mismatch. *)
 
-val verify_request : scheme -> key_blob:string -> body:string -> Message.auth_tag -> bool
+val verify_request :
+  ?hmac_keyed:Ra_crypto.Hmac.key_ctx ->
+  scheme ->
+  key_blob:string ->
+  body:string ->
+  Message.auth_tag ->
+  bool
 (** The prover-side check, given the raw key blob read from protected
-    storage. Wrong-scheme tags verify as [false]. *)
+    storage. Wrong-scheme tags verify as [false]. [?hmac_keyed] must match
+    the blob's K_attest when given. *)
 
 val response_report : sym_key:string -> body:string -> memory_image:string -> string
 (** The attestation report: HMAC-SHA1 under K_attest over the response
     body and the measured memory. *)
+
+val response_report_keyed :
+  keyed:Ra_crypto.Hmac.key_ctx -> body:string -> memory_image:string -> string
+(** {!response_report} against a precomputed key context; the memory image
+    streams through the hash without being concatenated to the body. *)

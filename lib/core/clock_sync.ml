@@ -9,7 +9,11 @@ type reject =
   | Sync_stale_counter of { got : int64; stored : int64 }
   | Sync_no_clock
 
-type t = { device : Device.t }
+type t = {
+  device : Device.t;
+  (* HMAC midstates for the current K_attest (see Code_attest.keyed_cache) *)
+  mutable keyed_cache : (string * C.Hmac.key_ctx) option;
+}
 
 let sync_counter_offset = 8
 let offset_offset = 16
@@ -32,7 +36,7 @@ let rule_protect_sync_state device =
     write_by = Ea_mpu.Code_in [ Device.region_attest ];
   }
 
-let install device = { device }
+let install device = { device; keyed_cache = None }
 
 let cpu t = Device.cpu t.device
 let sync_counter_addr t = Device.counter_addr t.device + sync_counter_offset
@@ -64,6 +68,14 @@ let key t =
   Auth.blob_sym_key
     (Cpu.load_bytes (cpu t) (Device.key_addr t.device) (Device.key_len t.device))
 
+let keyed_for t sym_key =
+  match t.keyed_cache with
+  | Some (k, kc) when String.equal k sym_key -> kc
+  | Some _ | None ->
+    let kc = Auth.keyed sym_key in
+    t.keyed_cache <- Some (sym_key, kc);
+    kc
+
 let handle t wire =
   match wire with
   | Message.Sync_request { verifier_time_ms; sync_counter; sync_tag } ->
@@ -74,7 +86,8 @@ let handle t wire =
           Cpu.consume_cycles (cpu t)
             (Ra_mcu.Timing.request_auth_cycles Ra_mcu.Timing.Auth_hmac_sha1);
           let body = sync_body ~verifier_time_ms ~sync_counter in
-          if not (C.Hmac.verify C.Hmac.sha1 ~key:(key t) ~msg:body ~tag:sync_tag) then
+          let kc = keyed_for t (key t) in
+          if not (C.Hmac.verify_with kc ~msg:body ~tag:sync_tag) then
             Error Sync_bad_auth
           else begin
             let stored = Cpu.load_u64 (cpu t) (sync_counter_addr t) in
@@ -85,8 +98,7 @@ let handle t wire =
               let offset = Int64.sub verifier_time_ms clock_ms in
               Cpu.store_u64 (cpu t) (offset_addr t) (Int64.add offset bias);
               let ack_tag =
-                C.Hmac.mac C.Hmac.sha1 ~key:(key t)
-                  (ack_body ~acked_counter:sync_counter)
+                C.Hmac.mac_with kc (ack_body ~acked_counter:sync_counter)
               in
               Ok (Message.Sync_response { acked_counter = sync_counter; ack_tag })
             end

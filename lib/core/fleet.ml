@@ -7,7 +7,10 @@ type member = {
   mutable sweeps : int;
 }
 
-type t = { members : member list }
+type t = {
+  members : member list;
+  index : (string, member) Hashtbl.t; (* name -> member, O(1) find *)
+}
 
 let member_name m = m.name
 let member_session m = m.session
@@ -24,18 +27,20 @@ let create ?(spec = Architecture.trustlite_base) ?ram_size ~names () =
       if Hashtbl.mem seen n then invalid_arg "Fleet.create: duplicate member name";
       Hashtbl.replace seen n ())
     names;
-  {
-    members =
-      List.map
-        (fun name ->
-          { name; session = Session.create ~spec ?ram_size (); health = Unknown; sweeps = 0 })
-        names;
-  }
+  let members =
+    List.map
+      (fun name ->
+        { name; session = Session.create ~spec ?ram_size (); health = Unknown; sweeps = 0 })
+      names
+  in
+  let index = Hashtbl.create (List.length members) in
+  List.iter (fun m -> Hashtbl.replace index m.name m) members;
+  { members; index }
 
 let members t = t.members
 
 let find t name =
-  match List.find_opt (fun m -> m.name = name) t.members with
+  match Hashtbl.find_opt t.index name with
   | Some m -> m
   | None -> raise Not_found
 
@@ -61,6 +66,54 @@ let sweep t =
       advance t ~seconds:stagger_seconds;
       (m.name, sweep_member m))
     t.members
+
+(* Parallel sweep. Sessions are fully independent prover worlds (own
+   Simtime/Trace/Channel/Verifier, no shared mutable state anywhere in the
+   library), so independent members can be swept on separate domains.
+
+   Equivalence with [sweep]: there, every member's clock is advanced by
+   [stagger_seconds] once per member (n advances total), and member i is
+   swept after i+1 of those advances. Sweeping a member only touches its
+   own session, and advancing session A commutes with anything done to
+   session B. So per member i it is equivalent to: advance its own clock
+   i+1 steps, sweep it, advance the remaining n-i-1 steps — which needs no
+   cross-member coordination at all. The advances are performed in the same
+   unit steps as [sweep] so float accumulation (and therefore timestamp
+   freshness) is bit-identical to the sequential path. *)
+let sweep_par ?(domains = 4) t =
+  let members = Array.of_list t.members in
+  let n = Array.length members in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then sweep t
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let m = members.(i) in
+        for _ = 1 to i + 1 do
+          Session.advance_time m.session ~seconds:stagger_seconds
+        done;
+        let verdict = sweep_member m in
+        for _ = 1 to n - i - 1 do
+          Session.advance_time m.session ~seconds:stagger_seconds
+        done;
+        results.(i) <- Some verdict;
+        worker ()
+      end
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list
+      (Array.mapi
+         (fun i m ->
+           match results.(i) with
+           | Some verdict -> (m.name, verdict)
+           | None -> assert false)
+         members)
+  end
 
 let summary t = List.map (fun m -> (m.name, m.health, m.sweeps)) t.members
 

@@ -41,7 +41,15 @@ val sweep_one : t -> string -> Verifier.verdict option
 
 val sweep : t -> (string * Verifier.verdict option) list
 (** Attest every device, staggered by {!stagger_seconds} of simulated
-    time between consecutive devices. *)
+    time between consecutive devices. Sequential — the default, and the
+    reference semantics for {!sweep_par}. *)
+
+val sweep_par : ?domains:int -> t -> (string * Verifier.verdict option) list
+(** Same verdicts, health ledger and per-member simulated clocks as
+    {!sweep} (members are independent prover worlds), computed on up to
+    [domains] OCaml domains (default 4, clamped to the member count).
+    Results are returned in member order regardless of completion order.
+    Wall-clock scaling is measured by [bench/main.exe hotpath]. *)
 
 val stagger_seconds : float
 (** 1 s between consecutive devices in a sweep. *)

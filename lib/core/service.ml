@@ -29,6 +29,8 @@ type t = {
   scheme : Timing.auth_scheme option;
   freshness : Freshness.state;
   mutable stats : stats;
+  (* HMAC midstates for the current K_attest (see Code_attest.keyed_cache) *)
+  mutable keyed_cache : (string * C.Hmac.key_ctx) option;
 }
 
 let service_cell_offset = 24
@@ -50,6 +52,7 @@ let install device ~scheme ~policy =
       Freshness.init ~cell_addr:(Device.counter_addr device + service_cell_offset)
         device policy;
     stats = { invocations = 0; rejections = 0 };
+    keyed_cache = None;
   }
 
 let stats t = t.stats
@@ -81,6 +84,14 @@ let make_request ~sym_key ~scheme ~freshness command =
 let cpu t = Device.cpu t.device
 
 let key_blob t = Cpu.load_bytes (cpu t) (Device.key_addr t.device) (Device.key_len t.device)
+
+let keyed_for t sym_key =
+  match t.keyed_cache with
+  | Some (k, kc) when String.equal k sym_key -> kc
+  | Some _ | None ->
+    let kc = Auth.keyed sym_key in
+    t.keyed_cache <- Some (sym_key, kc);
+    kc
 
 (* Modeled costs of the service bodies: a RAM write per erased byte and a
    flash word program (slow: 20 cycles/word here) per 4 image bytes. *)
@@ -122,7 +133,10 @@ let handle t req =
       | None -> true
       | Some scheme ->
         Cpu.consume_cycles (cpu t) (Timing.request_auth_cycles scheme);
-        Auth.verify_request scheme ~key_blob:(key_blob t)
+        let blob = key_blob t in
+        Auth.verify_request
+          ~hmac_keyed:(keyed_for t (Auth.blob_sym_key blob))
+          scheme ~key_blob:blob
           ~body:(request_body req.command req.freshness)
           req.tag
     in
@@ -136,7 +150,7 @@ let handle t req =
         Ok
           {
             acked_command = command_name req.command;
-            ack_report = C.Hmac.mac C.Hmac.sha1 ~key ("ACK" ^ result);
+            ack_report = C.Hmac.mac_parts (keyed_for t key) [ "ACK"; result ];
           }
   in
   let result =

@@ -10,6 +10,7 @@ type t = {
   scheme : Timing.auth_scheme option;
   freshness_kind : freshness_kind;
   sym_key : string;
+  keyed : C.Hmac.key_ctx; (* K_attest ipad/opad midstates, derived once *)
   ecdsa : C.Ecdsa.keypair option;
   time : Simtime.t;
   drbg : C.Drbg.t;
@@ -35,6 +36,7 @@ let create ~scheme ~freshness_kind ~sym_key ?(ecdsa_seed = "verifier") ~time
     scheme;
     freshness_kind;
     sym_key;
+    keyed = Auth.keyed sym_key;
     ecdsa;
     time;
     drbg = C.Drbg.create ~personalization:"verifier-challenges" ~seed:sym_key ();
@@ -73,7 +75,7 @@ let make_request t =
         | Some kp -> Auth.Vs_ecdsa kp
         | None -> Auth.Vs_symmetric t.sym_key
       in
-      Auth.tag_request scheme secret ~body
+      Auth.tag_request ~hmac_keyed:t.keyed scheme secret ~body
   in
   { Message.challenge; freshness; tag }
 
@@ -85,7 +87,7 @@ let check_response t ~request (resp : Message.attresp) =
   else begin
     let body = Message.response_body resp in
     let expected =
-      Auth.response_report ~sym_key:t.sym_key ~body ~memory_image:t.reference_image
+      Auth.response_report_keyed ~keyed:t.keyed ~body ~memory_image:t.reference_image
     in
     if C.Hexutil.equal_ct expected resp.Message.report then Trusted else Untrusted_state
   end

@@ -9,9 +9,11 @@ let expand ~prk ~info ~length =
   if length <= 0 || length > 255 * hash_len then invalid_arg "Hkdf.expand: bad length";
   let blocks = (length + hash_len - 1) / hash_len in
   let buf = Buffer.create (blocks * hash_len) in
+  (* every T(i) is keyed by the same PRK: absorb the pads once *)
+  let kc = Hmac.key hash ~key:prk in
   let prev = ref "" in
   for i = 1 to blocks do
-    prev := Hmac.mac hash ~key:prk (!prev ^ info ^ String.make 1 (Char.chr i));
+    prev := Hmac.mac_parts kc [ !prev; info; String.make 1 (Char.chr i) ];
     Buffer.add_string buf !prev
   done;
   Buffer.sub buf 0 length

@@ -1,11 +1,22 @@
-(* SHA-1 over int32 state words, 64-byte blocks. The compression function
-   follows FIPS 180-4 §6.1.2 with the usual 80-step expansion. *)
+(* SHA-1 over unboxed native ints, 64-byte blocks. The compression function
+   follows FIPS 180-4 §6.1.2 with the usual 80-step expansion.
+
+   Hot-path notes: state words live in a flat [int array] (no Int32 boxing),
+   block words are loaded big-endian as two [Bytes.get_uint16_be] halves
+   (allocation-free, unlike [get_int32_be] which boxes an Int32 in the
+   non-flambda compiler), and the 80-word message schedule is preallocated
+   in the context so compressing a block allocates nothing. All word
+   arithmetic is on the native [int] with explicit masking to 32 bits —
+   several times cheaper than the boxed [Int32] kernel this replaced (the
+   seed kernel is kept in bench/main.ml, section "hotpath", as baseline). *)
 
 let digest_size = 20
 let block_size = 64
+let mask32 = 0xFFFFFFFF
 
 type ctx = {
-  state : int32 array; (* h0..h4 *)
+  state : int array; (* h0..h4, each < 2^32 *)
+  w : int array; (* preallocated 80-word message schedule *)
   buf : Bytes.t; (* partial block *)
   mutable buf_len : int;
   mutable total : int64; (* bytes absorbed *)
@@ -13,93 +24,119 @@ type ctx = {
 
 let init () =
   {
-    state =
-      [| 0x67452301l; 0xEFCDAB89l; 0x98BADCFEl; 0x10325476l; 0xC3D2E1F0l |];
+    state = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |];
+    w = Array.make 80 0;
     buf = Bytes.create block_size;
     buf_len = 0;
     total = 0L;
   }
 
-let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let copy t =
+  {
+    state = Array.copy t.state;
+    w = Array.make 80 0;
+    buf = Bytes.copy t.buf;
+    buf_len = t.buf_len;
+    total = t.total;
+  }
 
-let compress state block off =
-  let w = Array.make 80 0l in
-  for t = 0 to 15 do
-    let base = off + (4 * t) in
-    let b i = Int32.of_int (Char.code (Bytes.get block (base + i))) in
-    w.(t) <-
-      Int32.logor
-        (Int32.shift_left (b 0) 24)
-        (Int32.logor
-           (Int32.shift_left (b 1) 16)
-           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
-  done;
-  for t = 16 to 79 do
-    w.(t) <-
-      rotl32
-        (Int32.logxor
-           (Int32.logxor w.(t - 3) w.(t - 8))
-           (Int32.logxor w.(t - 14) w.(t - 16)))
-        1
-  done;
-  let a = ref state.(0)
-  and b = ref state.(1)
-  and c = ref state.(2)
-  and d = ref state.(3)
-  and e = ref state.(4) in
-  for t = 0 to 79 do
-    let f, k =
-      if t < 20 then
-        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d),
-         0x5A827999l)
-      else if t < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
-      else if t < 60 then
-        (Int32.logor
-           (Int32.logand !b !c)
-           (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
-         0x8F1BBCDCl)
-      else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
-    in
-    let temp =
-      Int32.add (rotl32 !a 5) (Int32.add f (Int32.add !e (Int32.add k w.(t))))
-    in
-    e := !d;
-    d := !c;
-    c := rotl32 !b 30;
-    b := !a;
-    a := temp
-  done;
-  state.(0) <- Int32.add state.(0) !a;
-  state.(1) <- Int32.add state.(1) !b;
-  state.(2) <- Int32.add state.(2) !c;
-  state.(3) <- Int32.add state.(3) !d;
-  state.(4) <- Int32.add state.(4) !e
+let[@inline] rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
-let feed t s =
-  let len = String.length s in
+(* The working variables rotate through tail-call arguments, which the
+   compiler keeps in registers — refs would be heap loads/stores on every
+   one of the 80 rounds. Top-level (not nested in [compress]) so no closure
+   is allocated per block. *)
+let rec q4 w state i a b c d e =
+  if i = 80 then begin
+    state.(0) <- (state.(0) + a) land mask32;
+    state.(1) <- (state.(1) + b) land mask32;
+    state.(2) <- (state.(2) + c) land mask32;
+    state.(3) <- (state.(3) + d) land mask32;
+    state.(4) <- (state.(4) + e) land mask32
+  end
+  else
+    let f = b lxor c lxor d in
+    let temp = (rotl32 a 5 + f + e + 0xCA62C1D6 + Array.unsafe_get w i) land mask32 in
+    q4 w state (i + 1) temp a (rotl32 b 30) c d
+
+let rec q3 w state i a b c d e =
+  if i = 60 then q4 w state i a b c d e
+  else
+    let f = (b land c) lor (b land d) lor (c land d) in
+    let temp = (rotl32 a 5 + f + e + 0x8F1BBCDC + Array.unsafe_get w i) land mask32 in
+    q3 w state (i + 1) temp a (rotl32 b 30) c d
+
+let rec q2 w state i a b c d e =
+  if i = 40 then q3 w state i a b c d e
+  else
+    let f = b lxor c lxor d in
+    let temp = (rotl32 a 5 + f + e + 0x6ED9EBA1 + Array.unsafe_get w i) land mask32 in
+    q2 w state (i + 1) temp a (rotl32 b 30) c d
+
+let rec q1 w state i a b c d e =
+  if i = 20 then q2 w state i a b c d e
+  else
+    (* (b lxor mask32) = lnot b on clean 32-bit words, one op cheaper *)
+    let f = (b land c) lor ((b lxor mask32) land d) in
+    let temp = (rotl32 a 5 + f + e + 0x5A827999 + Array.unsafe_get w i) land mask32 in
+    q1 w state (i + 1) temp a (rotl32 b 30) c d
+
+let compress t block off =
+  let w = t.w in
+  for i = 0 to 15 do
+    (* four unchecked byte loads: big-endian word without boxing an Int32 *)
+    let base = off + (4 * i) in
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block base) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (base + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (base + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (base + 3)))
+  done;
+  for i = 16 to 79 do
+    let x =
+      Array.unsafe_get w (i - 3)
+      lxor Array.unsafe_get w (i - 8)
+      lxor Array.unsafe_get w (i - 14)
+      lxor Array.unsafe_get w (i - 16)
+    in
+    Array.unsafe_set w i (((x lsl 1) lor (x lsr 31)) land mask32)
+  done;
+  let state = t.state in
+  q1 w state 0 state.(0) state.(1) state.(2) state.(3) state.(4)
+
+let feed_bytes t b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Sha1.feed_bytes";
   t.total <- Int64.add t.total (Int64.of_int len);
-  let pos = ref 0 in
+  let pos = ref pos in
+  let remaining = ref len in
   (* fill a partial buffered block first *)
   if t.buf_len > 0 then begin
-    let take = min (block_size - t.buf_len) len in
-    Bytes.blit_string s 0 t.buf t.buf_len take;
+    let take = min (block_size - t.buf_len) !remaining in
+    Bytes.blit b !pos t.buf t.buf_len take;
     t.buf_len <- t.buf_len + take;
-    pos := take;
+    pos := !pos + take;
+    remaining := !remaining - take;
     if t.buf_len = block_size then begin
-      compress t.state t.buf 0;
+      compress t t.buf 0;
       t.buf_len <- 0
     end
   end;
-  while len - !pos >= block_size do
-    Bytes.blit_string s !pos t.buf 0 block_size;
-    compress t.state t.buf 0;
-    pos := !pos + block_size
+  (* full blocks straight from the caller's buffer, no copy *)
+  while !remaining >= block_size do
+    compress t b !pos;
+    pos := !pos + block_size;
+    remaining := !remaining - block_size
   done;
-  let rest = len - !pos in
-  if rest > 0 then begin
-    Bytes.blit_string s !pos t.buf t.buf_len rest;
-    t.buf_len <- t.buf_len + rest
+  if !remaining > 0 then begin
+    Bytes.blit b !pos t.buf t.buf_len !remaining;
+    t.buf_len <- t.buf_len + !remaining
   end
+
+let feed t s =
+  (* [feed_bytes] never mutates its input, so viewing the immutable string
+     as bytes is safe and saves a copy of every full block *)
+  feed_bytes t (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
 
 let finalize t =
   let bits = Int64.mul t.total 8L in
@@ -108,22 +145,24 @@ let finalize t =
   t.buf_len <- t.buf_len + 1;
   if t.buf_len > block_size - 8 then begin
     Bytes.fill t.buf t.buf_len (block_size - t.buf_len) '\x00';
-    compress t.state t.buf 0;
+    compress t t.buf 0;
     t.buf_len <- 0
   end;
   Bytes.fill t.buf t.buf_len (block_size - 8 - t.buf_len) '\x00';
-  for i = 0 to 7 do
-    Bytes.set t.buf
-      (block_size - 1 - i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  Bytes.set_int64_be t.buf (block_size - 8) bits;
+  compress t t.buf 0;
+  let out = Bytes.create digest_size in
+  for i = 0 to 4 do
+    Bytes.set_int32_be out (4 * i) (Int32.of_int t.state.(i))
   done;
-  compress t.state t.buf 0;
-  String.init digest_size (fun i ->
-      let word = t.state.(i / 4) in
-      let shift = 8 * (3 - (i mod 4)) in
-      Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xFFl)))
+  Bytes.unsafe_to_string out
 
 let digest s =
   let t = init () in
   feed t s;
+  finalize t
+
+let digest_bytes b =
+  let t = init () in
+  feed_bytes t b ~pos:0 ~len:(Bytes.length b);
   finalize t

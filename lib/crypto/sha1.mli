@@ -2,15 +2,28 @@
 
     The paper's Table 1 measures SHA1-HMAC on the prover, and §3.1 costs a
     SHA1-HMAC over the prover's whole writable memory; this module is the
-    functional core of both. Streaming interface plus one-shot digest. *)
+    functional core of both. Streaming interface plus one-shot digest.
+
+    The compression function runs on unboxed native [int] words with a
+    preallocated message schedule — see "Hot-path performance" in DESIGN.md. *)
 
 type ctx
 (** Mutable hashing context. *)
 
 val init : unit -> ctx
 
+val copy : ctx -> ctx
+(** Independent snapshot of a context's midstate. Feeding the copy leaves
+    the original untouched — this is what lets HMAC cache the ipad/opad
+    midstates once per key ({!Hmac.key}). *)
+
 val feed : ctx -> string -> unit
 (** Absorb bytes; may be called repeatedly. *)
+
+val feed_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+(** Absorb [len] bytes of [b] starting at [pos]. Full blocks are compressed
+    straight out of [b] without copying. The input is never mutated.
+    @raise Invalid_argument if [pos]/[len] do not denote a valid range. *)
 
 val finalize : ctx -> string
 (** Complete the hash and return the 20-byte digest. The context must not
@@ -18,6 +31,9 @@ val finalize : ctx -> string
 
 val digest : string -> string
 (** One-shot: [digest s = finalize (feed (init ()) s)]. *)
+
+val digest_bytes : Bytes.t -> string
+(** One-shot over a byte buffer, zero-copy. *)
 
 val digest_size : int
 (** 20 bytes. *)

@@ -1,25 +1,30 @@
-(* SHA-256 with the same streaming skeleton as {!Sha1}. *)
+(* SHA-256 with the same streaming skeleton and unboxed-int kernel as
+   {!Sha1}: flat [int array] state, [Bytes.get_int32_be] word loads, a
+   preallocated 64-word schedule, and explicit 32-bit masking on native
+   ints so compressing a block allocates nothing. *)
 
 let digest_size = 32
 let block_size = 64
+let mask32 = 0xFFFFFFFF
 
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
-     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
-     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
-     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
-     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
-     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
-     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
-     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
-     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
-     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
-     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+     0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+     0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+     0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+     0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+     0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+     0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+     0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+     0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+     0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  state : int32 array;
+  state : int array;
+  w : int array; (* preallocated 64-word schedule *)
   buf : Bytes.t;
   mutable buf_len : int;
   mutable total : int64;
@@ -28,88 +33,105 @@ type ctx = {
 let init () =
   {
     state =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
-         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    w = Array.make 64 0;
     buf = Bytes.create block_size;
     buf_len = 0;
     total = 0L;
   }
 
-let rotr32 x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
-let shr32 x n = Int32.shift_right_logical x n
-let ( +% ) = Int32.add
-let ( ^% ) = Int32.logxor
-let ( &% ) = Int32.logand
+let copy t =
+  {
+    state = Array.copy t.state;
+    w = Array.make 64 0;
+    buf = Bytes.copy t.buf;
+    buf_len = t.buf_len;
+    total = t.total;
+  }
 
-let compress state block off =
-  let w = Array.make 64 0l in
-  for t = 0 to 15 do
-    let base = off + (4 * t) in
-    let b i = Int32.of_int (Char.code (Bytes.get block (base + i))) in
-    w.(t) <-
-      Int32.logor
-        (Int32.shift_left (b 0) 24)
-        (Int32.logor
-           (Int32.shift_left (b 1) 16)
-           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
-  done;
-  for t = 16 to 63 do
-    let s0 = rotr32 w.(t - 15) 7 ^% rotr32 w.(t - 15) 18 ^% shr32 w.(t - 15) 3 in
-    let s1 = rotr32 w.(t - 2) 17 ^% rotr32 w.(t - 2) 19 ^% shr32 w.(t - 2) 10 in
-    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
-  done;
-  let a = ref state.(0) and b = ref state.(1) and c = ref state.(2)
-  and d = ref state.(3) and e = ref state.(4) and f = ref state.(5)
-  and g = ref state.(6) and h = ref state.(7) in
-  for t = 0 to 63 do
-    let s1 = rotr32 !e 6 ^% rotr32 !e 11 ^% rotr32 !e 25 in
-    let ch = (!e &% !f) ^% (Int32.lognot !e &% !g) in
-    let temp1 = !h +% s1 +% ch +% k.(t) +% w.(t) in
-    let s0 = rotr32 !a 2 ^% rotr32 !a 13 ^% rotr32 !a 22 in
-    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
-    let temp2 = s0 +% maj in
-    h := !g;
-    g := !f;
-    f := !e;
-    e := !d +% temp1;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := temp1 +% temp2
-  done;
-  state.(0) <- state.(0) +% !a;
-  state.(1) <- state.(1) +% !b;
-  state.(2) <- state.(2) +% !c;
-  state.(3) <- state.(3) +% !d;
-  state.(4) <- state.(4) +% !e;
-  state.(5) <- state.(5) +% !f;
-  state.(6) <- state.(6) +% !g;
-  state.(7) <- state.(7) +% !h
+let[@inline] rotr32 x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-let feed t s =
-  let len = String.length s in
+(* Working variables rotate through tail-call arguments (registers), not
+   refs (heap traffic); top-level so no closure is allocated per block —
+   see the same structure in {!Sha1}. *)
+let rec round w state i a b c d e f g h =
+  if i = 64 then begin
+    state.(0) <- (state.(0) + a) land mask32;
+    state.(1) <- (state.(1) + b) land mask32;
+    state.(2) <- (state.(2) + c) land mask32;
+    state.(3) <- (state.(3) + d) land mask32;
+    state.(4) <- (state.(4) + e) land mask32;
+    state.(5) <- (state.(5) + f) land mask32;
+    state.(6) <- (state.(6) + g) land mask32;
+    state.(7) <- (state.(7) + h) land mask32
+  end
+  else
+    let s1 = rotr32 e 6 lxor rotr32 e 11 lxor rotr32 e 25 in
+    let ch = (e land f) lxor ((e lxor mask32) land g) in
+    let temp1 =
+      (h + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask32
+    in
+    let s0 = rotr32 a 2 lxor rotr32 a 13 lxor rotr32 a 22 in
+    let maj = (a land b) lxor (a land c) lxor (b land c) in
+    let temp2 = (s0 + maj) land mask32 in
+    round w state (i + 1)
+      ((temp1 + temp2) land mask32)
+      a b c
+      ((d + temp1) land mask32)
+      e f g
+
+let compress t block off =
+  let w = t.w in
+  for i = 0 to 15 do
+    (* four unchecked byte loads: big-endian word without boxing an Int32 *)
+    let base = off + (4 * i) in
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block base) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (base + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (base + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (base + 3)))
+  done;
+  for i = 16 to 63 do
+    let x15 = Array.unsafe_get w (i - 15) and x2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr32 x15 7 lxor rotr32 x15 18 lxor (x15 lsr 3) in
+    let s1 = rotr32 x2 17 lxor rotr32 x2 19 lxor (x2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1) land mask32)
+  done;
+  let state = t.state in
+  round w state 0 state.(0) state.(1) state.(2) state.(3) state.(4) state.(5)
+    state.(6) state.(7)
+
+let feed_bytes t b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Sha256.feed_bytes";
   t.total <- Int64.add t.total (Int64.of_int len);
-  let pos = ref 0 in
+  let pos = ref pos in
+  let remaining = ref len in
   if t.buf_len > 0 then begin
-    let take = min (block_size - t.buf_len) len in
-    Bytes.blit_string s 0 t.buf t.buf_len take;
+    let take = min (block_size - t.buf_len) !remaining in
+    Bytes.blit b !pos t.buf t.buf_len take;
     t.buf_len <- t.buf_len + take;
-    pos := take;
+    pos := !pos + take;
+    remaining := !remaining - take;
     if t.buf_len = block_size then begin
-      compress t.state t.buf 0;
+      compress t t.buf 0;
       t.buf_len <- 0
     end
   end;
-  while len - !pos >= block_size do
-    Bytes.blit_string s !pos t.buf 0 block_size;
-    compress t.state t.buf 0;
-    pos := !pos + block_size
+  while !remaining >= block_size do
+    compress t b !pos;
+    pos := !pos + block_size;
+    remaining := !remaining - block_size
   done;
-  let rest = len - !pos in
-  if rest > 0 then begin
-    Bytes.blit_string s !pos t.buf t.buf_len rest;
-    t.buf_len <- t.buf_len + rest
+  if !remaining > 0 then begin
+    Bytes.blit b !pos t.buf t.buf_len !remaining;
+    t.buf_len <- t.buf_len + !remaining
   end
+
+let feed t s =
+  feed_bytes t (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
 
 let finalize t =
   let bits = Int64.mul t.total 8L in
@@ -117,22 +139,24 @@ let finalize t =
   t.buf_len <- t.buf_len + 1;
   if t.buf_len > block_size - 8 then begin
     Bytes.fill t.buf t.buf_len (block_size - t.buf_len) '\x00';
-    compress t.state t.buf 0;
+    compress t t.buf 0;
     t.buf_len <- 0
   end;
   Bytes.fill t.buf t.buf_len (block_size - 8 - t.buf_len) '\x00';
+  Bytes.set_int64_be t.buf (block_size - 8) bits;
+  compress t t.buf 0;
+  let out = Bytes.create digest_size in
   for i = 0 to 7 do
-    Bytes.set t.buf
-      (block_size - 1 - i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+    Bytes.set_int32_be out (4 * i) (Int32.of_int t.state.(i))
   done;
-  compress t.state t.buf 0;
-  String.init digest_size (fun i ->
-      let word = t.state.(i / 4) in
-      let shift = 8 * (3 - (i mod 4)) in
-      Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xFFl)))
+  Bytes.unsafe_to_string out
 
 let digest s =
   let t = init () in
   feed t s;
+  finalize t
+
+let digest_bytes b =
+  let t = init () in
+  feed_bytes t b ~pos:0 ~len:(Bytes.length b);
   finalize t

@@ -2,17 +2,29 @@
 
     Used by the secure-boot measurement (the boot ROM hashes the loaded
     image and compares it to the reference digest) and available as an
-    alternative HMAC hash. *)
+    alternative HMAC hash. Same unboxed-int kernel design as {!Sha1}. *)
 
 type ctx
 
 val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Independent snapshot of a context's midstate (see {!Sha1.copy}). *)
+
 val feed : ctx -> string -> unit
+
+val feed_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+(** Absorb [len] bytes of [b] starting at [pos], compressing full blocks
+    straight out of [b]. The input is never mutated.
+    @raise Invalid_argument if [pos]/[len] do not denote a valid range. *)
 
 val finalize : ctx -> string
 (** 32-byte digest; the context must not be reused. *)
 
 val digest : string -> string
+
+val digest_bytes : Bytes.t -> string
+(** One-shot over a byte buffer, zero-copy. *)
 
 val digest_size : int
 (** 32 bytes. *)

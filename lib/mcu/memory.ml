@@ -51,10 +51,41 @@ let write_byte t addr v =
     raise (Bus_fault (Printf.sprintf "ROM write at 0x%06x (%s)" addr r.Region.name));
   Bytes.set bytes off (Char.chr (v land 0xff))
 
-let read_bytes t addr len = String.init len (fun i -> Char.chr (read_byte t (addr + i)))
+(* Bulk accessors locate each region once and blit whole runs instead of
+   paying a region lookup per byte — attestation reads the prover's entire
+   writable memory through here, which made this the simulator's real
+   (wall-clock) bottleneck. Faults surface exactly as in the byte-wise
+   versions: at the first unmapped/ROM byte, with prior runs applied. *)
+let read_bytes t addr len =
+  if len = 0 then ""
+  else begin
+    let buf = Bytes.create len in
+    let rec fill off =
+      if off < len then begin
+        let r, bytes, roff = locate t (addr + off) in
+        let n = min (len - off) (r.Region.size - roff) in
+        Bytes.blit bytes roff buf off n;
+        fill (off + n)
+      end
+    in
+    fill 0;
+    Bytes.unsafe_to_string buf
+  end
 
 let write_bytes t addr s =
-  String.iteri (fun i c -> write_byte t (addr + i) (Char.code c)) s
+  let len = String.length s in
+  let rec store off =
+    if off < len then begin
+      let r, bytes, roff = locate t (addr + off) in
+      if t.rom_sealed && r.Region.kind = Region.Rom then
+        raise
+          (Bus_fault (Printf.sprintf "ROM write at 0x%06x (%s)" (addr + off) r.Region.name));
+      let n = min (len - off) (r.Region.size - roff) in
+      Bytes.blit_string s off bytes roff n;
+      store (off + n)
+    end
+  in
+  store 0
 
 let read_u32 t addr =
   read_byte t addr

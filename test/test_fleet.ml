@@ -78,6 +78,56 @@ let test_summary_shape () =
       Alcotest.(check int) (name ^ " one sweep") 1 sweeps)
     (Fleet.summary fleet)
 
+let clocks fleet =
+  List.map
+    (fun m -> Ra_net.Simtime.now (Session.time (Fleet.member_session m)))
+    (Fleet.members fleet)
+
+let test_sweep_par_matches_sweep () =
+  (* identical fleets, one swept sequentially and one on domains, must end in
+     bit-identical states: verdicts, health summary, and simulated clocks *)
+  List.iter
+    (fun domains ->
+      let seq_fleet = make () and par_fleet = make () in
+      Fleet.advance seq_fleet ~seconds:1.0;
+      Fleet.advance par_fleet ~seconds:1.0;
+      let seq_r = Fleet.sweep seq_fleet in
+      let par_r = Fleet.sweep_par ~domains par_fleet in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains: same verdicts in same order" domains)
+        true (seq_r = par_r);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains: same summary" domains)
+        true
+        (Fleet.summary seq_fleet = Fleet.summary par_fleet);
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "%d domains: same member clocks" domains)
+        (clocks seq_fleet) (clocks par_fleet))
+    [ 1; 2; 3; 8 (* more domains than members *) ]
+
+let test_sweep_par_flags_infection () =
+  let fleet = make () in
+  Fleet.advance fleet ~seconds:1.0;
+  let victim = Fleet.find fleet "b" in
+  let device = Session.device (Fleet.member_session victim) in
+  Cpu.store_bytes (Device.cpu device) (Device.attested_base device) "IMPLANT";
+  let results = Fleet.sweep_par ~domains:2 fleet in
+  Alcotest.(check (list string)) "victim flagged" [ "b" ] (Fleet.compromised fleet);
+  Alcotest.(check bool) "verdict present for all members" true
+    (List.for_all (fun (_, v) -> v <> None) results)
+
+let test_sweep_par_repeated () =
+  (* repeated parallel sweeps stay deterministic against the sequential run *)
+  let seq_fleet = make () and par_fleet = make () in
+  Fleet.advance seq_fleet ~seconds:1.0;
+  Fleet.advance par_fleet ~seconds:1.0;
+  for _ = 1 to 3 do
+    let a = Fleet.sweep seq_fleet and b = Fleet.sweep_par ~domains:2 par_fleet in
+    Alcotest.(check bool) "sweep round matches" true (a = b)
+  done;
+  Alcotest.(check (list (float 0.0))) "clocks still in lockstep"
+    (clocks seq_fleet) (clocks par_fleet)
+
 let tests =
   [
     Alcotest.test_case "creation" `Quick test_creation;
@@ -86,4 +136,7 @@ let tests =
     Alcotest.test_case "health recovers after remediation" `Quick test_health_recovers;
     Alcotest.test_case "sweeps staggered" `Quick test_sweeps_are_staggered;
     Alcotest.test_case "summary" `Quick test_summary_shape;
+    Alcotest.test_case "sweep_par = sweep" `Quick test_sweep_par_matches_sweep;
+    Alcotest.test_case "sweep_par flags infection" `Quick test_sweep_par_flags_infection;
+    Alcotest.test_case "sweep_par repeated determinism" `Quick test_sweep_par_repeated;
   ]

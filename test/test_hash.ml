@@ -59,6 +59,48 @@ let qcheck_sha256_streaming =
       Sha256.feed t (String.sub s cut (String.length s - cut));
       Sha256.finalize t = Sha256.digest s)
 
+let test_copy_independence () =
+  (* forking a midstate must leave both contexts correct and independent *)
+  let t = Sha1.init () in
+  Sha1.feed t "abcdbcdecdefdefgefghfghighijhijk";
+  let t' = Sha1.copy t in
+  Sha1.feed t "ijkljklmklmnlmnomnopnopq";
+  Sha1.feed t' "ijkljklmklmnlmnomnopnopq";
+  check "sha1 copy: original" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (hex (Sha1.finalize t));
+  check "sha1 copy: fork" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (hex (Sha1.finalize t'));
+  let u = Sha256.init () in
+  Sha256.feed u "ab";
+  let u' = Sha256.copy u in
+  Sha256.feed u' "c";
+  check "sha256 fork diverges from original" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (hex (Sha256.finalize u'));
+  check "sha256 original unaffected by fork"
+    (hex (Sha256.digest "ab"))
+    (hex (Sha256.finalize u))
+
+let qcheck_feed_bytes_window =
+  QCheck.Test.make ~name:"sha1/sha256: feed_bytes window = digest of sub" ~count:100
+    QCheck.(triple (string_of_size Gen.(0 -- 300)) (int_range 0 300) (int_range 0 300))
+    (fun (s, a, b) ->
+      let pos = min a (String.length s) in
+      let len = min b (String.length s - pos) in
+      let sub = String.sub s pos len in
+      let by = Bytes.of_string s in
+      let t1 = Sha1.init () in
+      Sha1.feed_bytes t1 by ~pos ~len;
+      let t256 = Sha256.init () in
+      Sha256.feed_bytes t256 by ~pos ~len;
+      Sha1.finalize t1 = Sha1.digest sub && Sha256.finalize t256 = Sha256.digest sub)
+
+let qcheck_digest_bytes =
+  QCheck.Test.make ~name:"digest_bytes = digest" ~count:100
+    QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s ->
+      Sha1.digest_bytes (Bytes.of_string s) = Sha1.digest s
+      && Sha256.digest_bytes (Bytes.of_string s) = Sha256.digest s)
+
 let qcheck_sha1_distinct =
   QCheck.Test.make ~name:"sha1: flipping a byte changes the digest" ~count:100
     QCheck.(string_of_size Gen.(1 -- 100))
@@ -73,6 +115,9 @@ let tests =
     Alcotest.test_case "sha1 padding boundaries" `Quick test_sha1_boundary_lengths;
     Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_vectors;
     Alcotest.test_case "digest sizes" `Quick test_digest_sizes;
+    Alcotest.test_case "copy independence" `Quick test_copy_independence;
+    QCheck_alcotest.to_alcotest qcheck_feed_bytes_window;
+    QCheck_alcotest.to_alcotest qcheck_digest_bytes;
     QCheck_alcotest.to_alcotest qcheck_sha1_streaming;
     QCheck_alcotest.to_alcotest qcheck_sha256_streaming;
     QCheck_alcotest.to_alcotest qcheck_sha1_distinct;

@@ -34,6 +34,52 @@ let test_verify () =
   Alcotest.(check bool) "rejects truncated tag" false
     (Hmac.verify Hmac.sha1 ~key ~msg ~tag:(String.sub tag 0 19))
 
+let test_keyed_rfc_vectors () =
+  (* the midstate path must reproduce the RFC vectors, including long keys *)
+  let kc = Hmac.key Hmac.sha1 ~key:(String.make 20 '\x0b') in
+  check "tc1 via key_ctx" "b617318655057264e28bc0b6fb378c8ef146be00"
+    (hex (Hmac.mac_with kc "Hi There"));
+  let kc_long = Hmac.key Hmac.sha1 ~key:(String.make 80 '\xaa') in
+  check "tc6 long key via key_ctx" "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+    (hex
+       (Hmac.mac_with kc_long
+          "Test Using Larger Than Block-Size Key - Hash Key First"));
+  let kc256 = Hmac.key Hmac.sha256 ~key:"Jefe" in
+  check "rfc4231 tc2 via key_ctx"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex (Hmac.mac_with kc256 "what do ya want for nothing?"))
+
+let test_keyed_reuse () =
+  (* a single key_ctx must stay valid across many messages (midstates are
+     copied, never consumed) and match the one-shot path every time *)
+  let key = "attestation-key" in
+  let kc = Hmac.key Hmac.sha1 ~key in
+  for i = 1 to 20 do
+    let msg = Printf.sprintf "nonce-%04d" i in
+    check msg (hex (Hmac.mac Hmac.sha1 ~key msg)) (hex (Hmac.mac_with kc msg))
+  done
+
+let test_verify_with () =
+  let kc = Hmac.key Hmac.sha1 ~key:"k3y" in
+  let tag = Hmac.mac_with kc "msg" in
+  Alcotest.(check bool) "accepts" true (Hmac.verify_with kc ~msg:"msg" ~tag);
+  Alcotest.(check bool) "rejects" false (Hmac.verify_with kc ~msg:"msG" ~tag)
+
+let qcheck_keyed_equiv =
+  QCheck.Test.make ~name:"hmac: mac_with (key k) = mac ~key:k" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 100)) (string_of_size Gen.(0 -- 200)))
+    (fun (key, msg) ->
+      Hmac.mac_with (Hmac.key Hmac.sha1 ~key) msg = Hmac.mac Hmac.sha1 ~key msg
+      && Hmac.mac_with (Hmac.key Hmac.sha256 ~key) msg
+         = Hmac.mac Hmac.sha256 ~key msg)
+
+let qcheck_mac_parts =
+  QCheck.Test.make ~name:"hmac: mac_parts = mac of concatenation" ~count:200
+    QCheck.(pair small_string (list_of_size Gen.(0 -- 5) small_string))
+    (fun (key, parts) ->
+      let kc = Hmac.key Hmac.sha1 ~key in
+      Hmac.mac_parts kc parts = Hmac.mac Hmac.sha1 ~key (String.concat "" parts))
+
 let qcheck_key_sensitivity =
   QCheck.Test.make ~name:"hmac: different keys give different tags" ~count:100
     QCheck.(triple (string_of_size Gen.(1 -- 40)) (string_of_size Gen.(1 -- 40)) small_string)
@@ -55,6 +101,11 @@ let tests =
     Alcotest.test_case "RFC 2202 vectors" `Quick test_rfc2202;
     Alcotest.test_case "RFC 4231 vectors" `Quick test_rfc4231;
     Alcotest.test_case "verify" `Quick test_verify;
+    Alcotest.test_case "keyed midstates: RFC vectors" `Quick test_keyed_rfc_vectors;
+    Alcotest.test_case "keyed midstates: reuse" `Quick test_keyed_reuse;
+    Alcotest.test_case "verify_with" `Quick test_verify_with;
+    QCheck_alcotest.to_alcotest qcheck_keyed_equiv;
+    QCheck_alcotest.to_alcotest qcheck_mac_parts;
     QCheck_alcotest.to_alcotest qcheck_key_sensitivity;
     QCheck_alcotest.to_alcotest qcheck_deterministic;
   ]
