@@ -15,7 +15,7 @@ bench:
 
 # quick hot-path regression check (reduced quotas + small fleet)
 bench-smoke:
-	BENCH_SMOKE=1 dune exec bench/main.exe -- hotpath
+	BENCH_SMOKE=1 dune exec bench/main.exe -- hotpath obs-overhead
 
 examples:
 	dune exec examples/quickstart.exe

@@ -222,10 +222,127 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc:"Print a device-state report after one round")
     Term.(const run_inspect $ spec)
 
+(* ---- stats ---- *)
+
+let run_stats n sweeps selftest =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else begin
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let fleet = Fleet.create ~ram_size:4096 ~names () in
+    for _ = 1 to sweeps do
+      Fleet.advance fleet ~seconds:10.0;
+      ignore (Fleet.sweep fleet)
+    done;
+    (* exercise the service path, including both rejection reasons, on
+       the first member so the rejection-breakdown counters are live *)
+    let first = Fleet.member_session (List.hd (Fleet.members fleet)) in
+    let service_ok = Session.service_round first Service.Ping in
+    let svc = Session.service first in
+    let scheme = Verifier.scheme (Session.verifier first) in
+    let forged =
+      Service.make_request ~sym_key:(String.make 20 'x') ~scheme
+        ~freshness:(Message.F_counter 99L) Service.Ping
+    in
+    let bad_auth_seen =
+      match Service.handle svc forged with
+      | Error Service.Service_bad_auth -> true
+      | Ok _ | Error _ -> false
+    in
+    let stale =
+      Service.make_request ~sym_key:(Session.sym_key first) ~scheme
+        ~freshness:(Message.F_counter 0L) Service.Ping
+    in
+    let not_fresh_seen =
+      match Service.handle svc stale with
+      | Error (Service.Service_not_fresh _) -> true
+      | Ok _ | Error _ -> false
+    in
+    let snapshot = Fleet.health_snapshot fleet in
+    print_string (Fleet.render_health snapshot);
+    print_newline ();
+    let exposition = Ra_obs.Export.render_prometheus Ra_obs.Registry.default in
+    print_string exposition;
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      let has family = Ra_net.Trace.contains_substring ~needle:family exposition in
+      List.iter
+        (fun family -> check ("exposition family " ^ family) (has family))
+        [
+          "ra_attest_requests_total";
+          "ra_auth_verifications_total{";
+          "ra_channel_sent_total{";
+          "ra_channel_delivered_total{";
+          "ra_fleet_sweep_latency_ms_bucket{";
+          "ra_fleet_members{";
+          "ra_service_invocations_total";
+          "ra_service_rejections_total{";
+          "ra_verifier_verdicts_total{";
+          "ra_span_ms_bucket{";
+          "ra_device_cycles{";
+        ];
+      check "service round acknowledged" service_ok;
+      check "bad-auth rejection observed" bad_auth_seen;
+      check "not-fresh rejection observed" not_fresh_seen;
+      check "metrics JSONL parses"
+        (match Ra_obs.Export.parse_jsonl
+                 (Ra_obs.Export.metrics_jsonl Ra_obs.Registry.default)
+         with
+        | Ok (_ :: _) -> true
+        | Ok [] | Error _ -> false);
+      check "spans JSONL parses"
+        (match Ra_obs.Export.parse_jsonl
+                 (Ra_obs.Export.spans_jsonl (Ra_net.Trace.spans (Session.trace first)))
+         with
+        | Ok (_ :: _) -> true
+        | Ok [] | Error _ -> false);
+      List.iter
+        (fun m ->
+          check
+            (Printf.sprintf "spans balanced on %s" (Fleet.member_name m))
+            (Ra_obs.Span.open_count
+               (Ra_net.Trace.spans (Session.trace (Fleet.member_session m)))
+            = 0))
+        (Fleet.members fleet);
+      check "trusted verdict count"
+        (Ra_obs.Registry.Counter.value
+           (Ra_obs.Registry.Counter.get ~labels:[ ("verdict", "trusted") ]
+              "ra_verifier_verdicts_total")
+        = n * sweeps);
+      check "rejection breakdown totals"
+        (let s = Service.stats svc in
+         s.Service.rejected_bad_auth = 1 && s.Service.rejected_not_fresh = 1
+         && Service.rejections s = 2);
+      match !failures with
+      | [] ->
+        print_endline "selftest ok";
+        0
+      | fs ->
+        List.iter (fun f -> Printf.eprintf "selftest FAILED: %s\n" f) (List.rev fs);
+        1
+    end
+  end
+
+let stats_cmd =
+  let n = Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Fleet size.") in
+  let sweeps = Arg.(value & opt int 2 & info [ "sweeps" ] ~docv:"S" ~doc:"Sweeps to run.") in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify the exposition, JSONL sinks and counters; non-zero exit on failure.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Sweep a small fleet and print its health snapshot and Prometheus metrics")
+    Term.(const run_stats $ n $ sweeps $ selftest)
+
 let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -86,8 +86,10 @@ let () =
   | Error e -> Format.printf "replayed update -> %a@." Service.pp_reject e);
 
   let stats = Service.stats svc in
-  Printf.printf "\nservice stats: %d executed, %d rejected\n" stats.Service.invocations
-    stats.Service.rejections;
+  Printf.printf
+    "\nservice stats: %d executed, %d rejected (%d bad auth, %d not fresh, %d fault)\n"
+    stats.Service.invocations (Service.rejections stats) stats.Service.rejected_bad_auth
+    stats.Service.rejected_not_fresh stats.Service.rejected_fault;
 
   (* --- the same services, over the full protocol channel --- *)
   Printf.printf "\n== services over the Dolev-Yao channel (Session integration) ==\n";

@@ -71,7 +71,34 @@ let tag_request ?hmac_keyed scheme secret ~body =
       Message.Tag_ecdsa (C.Ecdsa.signature_to_bytes C.Ec.secp160r1 signature)
     | Vs_symmetric _ -> invalid_arg "Auth.tag_request: ECDSA scheme needs Vs_ecdsa")
 
-let verify_request ?hmac_keyed scheme ~key_blob ~body tag =
+let scheme_label = function
+  | Timing.Auth_hmac_sha1 -> "hmac_sha1"
+  | Timing.Auth_aes128_cbc_mac -> "aes128_cbc_mac"
+  | Timing.Auth_speck64_cbc_mac -> "speck64_cbc_mac"
+  | Timing.Auth_ecdsa_verify -> "ecdsa_verify"
+
+(* Per-verification cost on the hot path is one atomic add: the 4x2
+   scheme/result counter handles are created once here. *)
+let verification_counters =
+  let counter scheme result =
+    Ra_obs.Registry.Counter.get
+      ~labels:[ ("scheme", scheme_label scheme); ("result", result) ]
+      "ra_auth_verifications_total"
+  in
+  List.map
+    (fun scheme -> (scheme, (counter scheme "ok", counter scheme "fail")))
+    [
+      Timing.Auth_hmac_sha1;
+      Timing.Auth_aes128_cbc_mac;
+      Timing.Auth_speck64_cbc_mac;
+      Timing.Auth_ecdsa_verify;
+    ]
+
+let count_verification scheme ok =
+  let ok_c, fail_c = List.assoc scheme verification_counters in
+  Ra_obs.Registry.Counter.inc (if ok then ok_c else fail_c)
+
+let verify_request_raw ?hmac_keyed scheme ~key_blob ~body tag =
   match (scheme, tag) with
   | Timing.Auth_hmac_sha1, Message.Tag_hmac_sha1 t ->
     let kc =
@@ -94,6 +121,11 @@ let verify_request ?hmac_keyed scheme ~key_blob ~body tag =
       ( Message.Tag_none | Message.Tag_hmac_sha1 _ | Message.Tag_aes_cbc_mac _
       | Message.Tag_speck_cbc_mac _ | Message.Tag_ecdsa _ ) ) ->
     false
+
+let verify_request ?hmac_keyed scheme ~key_blob ~body tag =
+  let ok = verify_request_raw ?hmac_keyed scheme ~key_blob ~body tag in
+  count_verification scheme ok;
+  ok
 
 let response_report_keyed ~keyed ~body ~memory_image =
   (* stream the two parts through the inner hash instead of materializing

@@ -36,6 +36,16 @@ let rule_protect_sync_state device =
     write_by = Ea_mpu.Code_in [ Device.region_attest ];
   }
 
+module M = struct
+  let result r =
+    Ra_obs.Registry.Counter.get ~labels:[ ("result", r) ] "ra_clock_sync_requests_total"
+
+  let ok = result "ok"
+  let bad_auth = result "bad_auth"
+  let stale_counter = result "stale_counter"
+  let no_clock = result "no_clock"
+end
+
 let install device = { device; keyed_cache = None }
 
 let cpu t = Device.cpu t.device
@@ -76,7 +86,7 @@ let keyed_for t sym_key =
     t.keyed_cache <- Some (sym_key, kc);
     kc
 
-let handle t wire =
+let handle_raw t wire =
   match wire with
   | Message.Sync_request { verifier_time_ms; sync_counter; sync_tag } ->
     Cpu.with_context (cpu t) Device.region_attest (fun () ->
@@ -106,6 +116,16 @@ let handle t wire =
   | Message.Request _ | Message.Response _ | Message.Sync_response _
   | Message.Service_request _ | Message.Service_ack _ ->
     Error Sync_bad_auth
+
+let handle t wire =
+  let result = handle_raw t wire in
+  Ra_obs.Registry.Counter.inc
+    (match result with
+    | Ok _ -> M.ok
+    | Error Sync_bad_auth -> M.bad_auth
+    | Error (Sync_stale_counter _) -> M.stale_counter
+    | Error Sync_no_clock -> M.no_clock);
+  result
 
 let make_sync_request ~sym_key ~time ~counter =
   let verifier_time_ms = Int64.of_float (Ra_net.Simtime.now time *. 1000.0) in

@@ -18,6 +18,7 @@ type t = {
   scheme : Timing.auth_scheme option;
   freshness : Freshness.state;
   precomputed_key_schedule : bool;
+  spans : Ra_obs.Span.t;
   mutable stats : stats;
   (* HMAC ipad/opad midstates for the current K_attest, rebuilt only if the
      key blob in protected storage changes. Pure wall-clock optimization:
@@ -25,17 +26,30 @@ type t = {
   mutable keyed_cache : (string * Ra_crypto.Hmac.key_ctx) option;
 }
 
+(* outcome counters precreated at module init: one atomic add per request *)
+module M = struct
+  let result r =
+    Ra_obs.Registry.Counter.get ~labels:[ ("result", r) ] "ra_attest_requests_total"
+
+  let attested = result "attested"
+  let bad_auth = result "bad_auth"
+  let not_fresh = result "not_fresh"
+  let fault = result "fault"
+end
+
 (* Modeled instruction cost of the bookkeeping around the crypto
    (parsing, comparisons, the freshness branch). Negligible next to the
    Table 1 costs, but not zero. *)
 let bookkeeping_cycles = 200L
 
 let install device ~scheme ~policy ?(precomputed_key_schedule = false) () =
+  let cpu = Device.cpu device in
   {
     device;
     scheme;
     freshness = Freshness.init device policy;
     precomputed_key_schedule;
+    spans = Ra_obs.Span.create ~clock:(fun () -> Cpu.elapsed_seconds cpu) ();
     stats = { requests_seen = 0; requests_rejected = 0; attestations_performed = 0 };
     keyed_cache = None;
   }
@@ -44,6 +58,7 @@ let device t = t.device
 let freshness t = t.freshness
 let scheme t = t.scheme
 let stats t = t.stats
+let spans t = t.spans
 
 let cpu t = Device.cpu t.device
 
@@ -112,20 +127,31 @@ let handle_request t req =
   bump_seen t;
   let run () =
     Cpu.consume_cycles (cpu t) bookkeeping_cycles;
-    match authenticate t req with
+    match Ra_obs.Span.with_span t.spans "anchor.auth" (fun () -> authenticate t req) with
     | Error e -> Error e
     | Ok () ->
-      (match Freshness.check_and_update t.freshness req.Message.freshness with
+      (match
+         Ra_obs.Span.with_span t.spans "anchor.freshness" (fun () ->
+             Freshness.check_and_update t.freshness req.Message.freshness)
+       with
       | Error e -> Error (Not_fresh e)
-      | Ok () -> Ok (attest t req))
+      | Ok () -> Ok (Ra_obs.Span.with_span t.spans "anchor.mac" (fun () -> attest t req)))
   in
   let result =
     try Cpu.with_context (cpu t) Device.region_attest run
     with Cpu.Protection_fault fault -> Error (Anchor_fault fault)
   in
   (match result with
-  | Ok _ -> bump_attested t
-  | Error _ -> bump_rejected t);
+  | Ok _ ->
+    Ra_obs.Registry.Counter.inc M.attested;
+    bump_attested t
+  | Error e ->
+    Ra_obs.Registry.Counter.inc
+      (match e with
+      | Bad_auth -> M.bad_auth
+      | Not_fresh _ -> M.not_fresh
+      | Anchor_fault _ -> M.fault);
+    bump_rejected t);
   result
 
 let pp_reject fmt = function

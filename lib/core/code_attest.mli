@@ -41,6 +41,11 @@ val freshness : t -> Freshness.state
 val scheme : t -> Ra_mcu.Timing.auth_scheme option
 val stats : t -> stats
 
+val spans : t -> Ra_obs.Span.t
+(** Span context clocked by the device CPU's elapsed seconds:
+    [anchor.auth], [anchor.freshness] and [anchor.mac] spans time the
+    phases of each {!handle_request} in simulated milliseconds. *)
+
 val handle_request : t -> Message.attreq -> (Message.attresp, reject) result
 (** Process one attestation request end to end. *)
 

@@ -5,6 +5,7 @@ type member = {
   session : Session.t;
   mutable health : health;
   mutable sweeps : int;
+  mutable history : (float * Verifier.verdict option) list; (* newest first *)
 }
 
 type t = {
@@ -16,6 +17,15 @@ let member_name m = m.name
 let member_session m = m.session
 let member_health m = m.health
 let sweeps_of m = m.sweeps
+let member_history m = List.rev m.history
+
+let sweep_latency_buckets =
+  [| 1.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 750.0; 1000.0; 2500.0 |]
+
+(* observed from sweep_par workers too: handle is atomic, created once *)
+let sweep_latency =
+  Ra_obs.Registry.Histogram.get ~buckets:sweep_latency_buckets
+    "ra_fleet_sweep_latency_ms"
 
 let stagger_seconds = 1.0
 
@@ -30,7 +40,13 @@ let create ?(spec = Architecture.trustlite_base) ?ram_size ~names () =
   let members =
     List.map
       (fun name ->
-        { name; session = Session.create ~spec ?ram_size (); health = Unknown; sweeps = 0 })
+        {
+          name;
+          session = Session.create ~spec ?ram_size ();
+          health = Unknown;
+          sweeps = 0;
+          history = [];
+        })
       names
   in
   let index = Hashtbl.create (List.length members) in
@@ -53,9 +69,14 @@ let classify = function
   | None -> Unresponsive
 
 let sweep_member m =
+  let time = Session.time m.session in
+  let before = Ra_net.Simtime.now time in
   let verdict = Session.attest_round m.session in
+  let after = Ra_net.Simtime.now time in
+  Ra_obs.Registry.Histogram.observe sweep_latency ((after -. before) *. 1000.0);
   m.health <- classify verdict;
   m.sweeps <- m.sweeps + 1;
+  m.history <- (after, verdict) :: m.history;
   verdict
 
 let sweep_one t name = sweep_member (find t name)
@@ -129,3 +150,109 @@ let pp_health fmt = function
   | Compromised -> Format.pp_print_string fmt "COMPROMISED"
   | Unresponsive -> Format.pp_print_string fmt "unresponsive"
   | Unknown -> Format.pp_print_string fmt "unknown"
+
+let health_label = function
+  | Healthy -> "healthy"
+  | Compromised -> "compromised"
+  | Unresponsive -> "unresponsive"
+  | Unknown -> "unknown"
+
+type member_report = {
+  r_name : string;
+  r_health : health;
+  r_sweeps : int;
+  r_history : (float * Verifier.verdict option) list; (* chronological *)
+  r_service_stats : Service.stats;
+  r_anchor_stats : Code_attest.stats;
+}
+
+type snapshot = {
+  s_members : member_report list;
+  s_healthy : int;
+  s_compromised : int;
+  s_unresponsive : int;
+  s_unknown : int;
+  s_sweep_latency_p50_ms : float;
+  s_sweep_latency_p90_ms : float;
+  s_sweep_latency_p99_ms : float;
+}
+
+let count_health members h =
+  List.length (List.filter (fun m -> m.health = h) members)
+
+let health_snapshot ?(registry = Ra_obs.Registry.default) t =
+  let reports =
+    List.map
+      (fun m ->
+        Ra_mcu.Device.observe_gauges ~registry
+          ~labels:[ ("device", m.name) ]
+          (Session.device m.session);
+        {
+          r_name = m.name;
+          r_health = m.health;
+          r_sweeps = m.sweeps;
+          r_history = member_history m;
+          r_service_stats = Service.stats (Session.service m.session);
+          r_anchor_stats = Code_attest.stats (Session.anchor m.session);
+        })
+      t.members
+  in
+  let set_members h n =
+    Ra_obs.Registry.Gauge.set
+      (Ra_obs.Registry.Gauge.get ~registry
+         ~labels:[ ("health", health_label h) ]
+         "ra_fleet_members")
+      (float_of_int n)
+  in
+  let healthy = count_health t.members Healthy in
+  let comp = count_health t.members Compromised in
+  let unresp = count_health t.members Unresponsive in
+  let unknown = count_health t.members Unknown in
+  set_members Healthy healthy;
+  set_members Compromised comp;
+  set_members Unresponsive unresp;
+  set_members Unknown unknown;
+  {
+    s_members = reports;
+    s_healthy = healthy;
+    s_compromised = comp;
+    s_unresponsive = unresp;
+    s_unknown = unknown;
+    s_sweep_latency_p50_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 50.0;
+    s_sweep_latency_p90_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 90.0;
+    s_sweep_latency_p99_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 99.0;
+  }
+
+let pp_verdict_opt fmt = function
+  | None -> Format.pp_print_string fmt "no response"
+  | Some v -> Verifier.pp_verdict fmt v
+
+let render_health snapshot =
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "fleet: %d healthy, %d compromised, %d unresponsive, %d unknown@."
+    snapshot.s_healthy snapshot.s_compromised snapshot.s_unresponsive
+    snapshot.s_unknown;
+  Format.fprintf fmt "sweep latency: p50 <= %.0f ms, p90 <= %.0f ms, p99 <= %.0f ms@."
+    snapshot.s_sweep_latency_p50_ms snapshot.s_sweep_latency_p90_ms
+    snapshot.s_sweep_latency_p99_ms;
+  List.iter
+    (fun r ->
+      let last =
+        match List.rev r.r_history with
+        | [] -> Format.asprintf "never swept"
+        | (at, v) :: _ -> Format.asprintf "last %a at %.1f s" pp_verdict_opt v at
+      in
+      Format.fprintf fmt
+        "  %-12s %-12s sweeps=%-3d attested=%d/%d svc ok=%d bad_auth=%d \
+         not_fresh=%d fault=%d (%s)@."
+        r.r_name
+        (health_label r.r_health)
+        r.r_sweeps r.r_anchor_stats.Code_attest.attestations_performed
+        r.r_anchor_stats.Code_attest.requests_seen r.r_service_stats.Service.invocations
+        r.r_service_stats.Service.rejected_bad_auth
+        r.r_service_stats.Service.rejected_not_fresh
+        r.r_service_stats.Service.rejected_fault last)
+    snapshot.s_members;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

@@ -21,6 +21,9 @@ val member_session : member -> Session.t
 val member_health : member -> health
 val sweeps_of : member -> int
 
+val member_history : member -> (float * Verifier.verdict option) list
+(** Every sweep's (simulated completion time, verdict), chronological. *)
+
 type t
 
 val create : ?spec:Architecture.spec -> ?ram_size:int -> names:string list -> unit -> t
@@ -61,3 +64,42 @@ val compromised : t -> string list
 (** Names currently flagged. *)
 
 val pp_health : Format.formatter -> health -> unit
+
+val health_label : health -> string
+(** Lower-case metric label (["healthy"], ["compromised"], ...). *)
+
+(** {2 Health snapshot (observability export)}
+
+    Sweep latencies are recorded per sweep into the
+    [ra_fleet_sweep_latency_ms] histogram (simulated milliseconds from
+    request send to verdict, including any DoS-induced queueing). *)
+
+type member_report = {
+  r_name : string;
+  r_health : health;
+  r_sweeps : int;
+  r_history : (float * Verifier.verdict option) list; (* chronological *)
+  r_service_stats : Service.stats; (* rejection breakdown by reason *)
+  r_anchor_stats : Code_attest.stats;
+}
+
+type snapshot = {
+  s_members : member_report list;
+  s_healthy : int;
+  s_compromised : int;
+  s_unresponsive : int;
+  s_unknown : int;
+  s_sweep_latency_p50_ms : float;
+  s_sweep_latency_p90_ms : float;
+  s_sweep_latency_p99_ms : float;
+}
+
+val sweep_latency_buckets : float array
+
+val health_snapshot : ?registry:Ra_obs.Registry.t -> t -> snapshot
+(** Build the fleet health snapshot and mirror it into gauges:
+    [ra_fleet_members{health=...}] plus every member's device meters via
+    {!Ra_mcu.Device.observe_gauges} with a [device="<name>"] label. *)
+
+val render_health : snapshot -> string
+(** Human-readable health table (used by [ra_cli stats]). *)

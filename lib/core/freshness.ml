@@ -89,16 +89,57 @@ let check_timestamp t window ts =
     Ok ()
   end
 
+let policy_label = function
+  | No_freshness -> "no_freshness"
+  | Nonce_history _ -> "nonce_history"
+  | Counter -> "counter"
+  | Timestamp _ -> "timestamp"
+
+let reject_label = function
+  | Missing_field -> "missing_field"
+  | Wrong_field -> "wrong_field"
+  | Replayed_nonce -> "replayed_nonce"
+  | Stale_counter _ -> "stale_counter"
+  | Stale_or_reordered_timestamp _ -> "stale_or_reordered_timestamp"
+  | Delayed_timestamp _ -> "delayed_timestamp"
+  | Future_timestamp _ -> "future_timestamp"
+
+let check_counter_name = "ra_freshness_checks_total"
+
+(* ok-path handles precreated per policy (hot path); the reject arms are
+   rare, so those handles are looked up on demand *)
+let ok_counters =
+  List.map
+    (fun p ->
+      ( p,
+        Ra_obs.Registry.Counter.get
+          ~labels:[ ("policy", p); ("result", "ok") ]
+          check_counter_name ))
+    [ "no_freshness"; "nonce_history"; "counter"; "timestamp" ]
+
+let count_check policy outcome =
+  match outcome with
+  | Ok () -> Ra_obs.Registry.Counter.inc (List.assoc (policy_label policy) ok_counters)
+  | Error r ->
+    Ra_obs.Registry.Counter.inc
+      (Ra_obs.Registry.Counter.get
+         ~labels:[ ("policy", policy_label policy); ("result", reject_label r) ]
+         check_counter_name)
+
 let check_and_update t field =
-  match (t.policy, field) with
-  | No_freshness, _ -> Ok ()
-  | Nonce_history { max_entries }, Message.F_nonce n -> check_nonce t max_entries n
-  | Counter, Message.F_counter c -> check_counter t c
-  | Timestamp { window_ms }, Message.F_timestamp ts -> check_timestamp t window_ms ts
-  | (Nonce_history _ | Counter | Timestamp _), Message.F_none -> Error Missing_field
-  | ( (Nonce_history _ | Counter | Timestamp _),
-      (Message.F_nonce _ | Message.F_counter _ | Message.F_timestamp _) ) ->
-    Error Wrong_field
+  let outcome =
+    match (t.policy, field) with
+    | No_freshness, _ -> Ok ()
+    | Nonce_history { max_entries }, Message.F_nonce n -> check_nonce t max_entries n
+    | Counter, Message.F_counter c -> check_counter t c
+    | Timestamp { window_ms }, Message.F_timestamp ts -> check_timestamp t window_ms ts
+    | (Nonce_history _ | Counter | Timestamp _), Message.F_none -> Error Missing_field
+    | ( (Nonce_history _ | Counter | Timestamp _),
+        (Message.F_nonce _ | Message.F_counter _ | Message.F_timestamp _) ) ->
+      Error Wrong_field
+  in
+  count_check t.policy outcome;
+  outcome
 
 let history_bytes t = List.fold_left (fun acc n -> acc + String.length n) 0 t.nonces
 let history_length t = t.nonce_count

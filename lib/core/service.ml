@@ -22,16 +22,37 @@ type reject =
   | Service_not_fresh of Freshness.reject
   | Service_fault of Cpu.fault
 
-type stats = { invocations : int; rejections : int }
+type stats = {
+  invocations : int;
+  rejected_bad_auth : int;
+  rejected_not_fresh : int;
+  rejected_fault : int;
+}
+
+let rejections s = s.rejected_bad_auth + s.rejected_not_fresh + s.rejected_fault
 
 type t = {
   device : Device.t;
   scheme : Timing.auth_scheme option;
   freshness : Freshness.state;
+  spans : Ra_obs.Span.t;
   mutable stats : stats;
   (* HMAC midstates for the current K_attest (see Code_attest.keyed_cache) *)
   mutable keyed_cache : (string * C.Hmac.key_ctx) option;
 }
+
+(* one atomic add per outcome; handles created at module init *)
+module M = struct
+  let invocations = Ra_obs.Registry.Counter.get "ra_service_invocations_total"
+
+  let rejected reason =
+    Ra_obs.Registry.Counter.get ~labels:[ ("reason", reason) ]
+      "ra_service_rejections_total"
+
+  let bad_auth = rejected "bad_auth"
+  let not_fresh = rejected "not_fresh"
+  let fault = rejected "fault"
+end
 
 let service_cell_offset = 24
 
@@ -45,17 +66,20 @@ let rule_protect_service_state device =
   }
 
 let install device ~scheme ~policy =
+  let cpu = Device.cpu device in
   {
     device;
     scheme;
     freshness =
       Freshness.init ~cell_addr:(Device.counter_addr device + service_cell_offset)
         device policy;
-    stats = { invocations = 0; rejections = 0 };
+    spans = Ra_obs.Span.create ~clock:(fun () -> Cpu.elapsed_seconds cpu) ();
+    stats = { invocations = 0; rejected_bad_auth = 0; rejected_not_fresh = 0; rejected_fault = 0 };
     keyed_cache = None;
   }
 
 let stats t = t.stats
+let spans t = t.spans
 
 let command_name = function
   | Secure_erase -> "secure-erase"
@@ -132,20 +156,29 @@ let handle t req =
       match t.scheme with
       | None -> true
       | Some scheme ->
-        Cpu.consume_cycles (cpu t) (Timing.request_auth_cycles scheme);
-        let blob = key_blob t in
-        Auth.verify_request
-          ~hmac_keyed:(keyed_for t (Auth.blob_sym_key blob))
-          scheme ~key_blob:blob
-          ~body:(request_body req.command req.freshness)
-          req.tag
+        Ra_obs.Span.with_span t.spans "service.auth" (fun () ->
+            Cpu.consume_cycles (cpu t) (Timing.request_auth_cycles scheme);
+            let blob = key_blob t in
+            Auth.verify_request
+              ~hmac_keyed:(keyed_for t (Auth.blob_sym_key blob))
+              scheme ~key_blob:blob
+              ~body:(request_body req.command req.freshness)
+              req.tag)
     in
     if not authenticated then Error Service_bad_auth
     else
-      match Freshness.check_and_update t.freshness req.freshness with
+      match
+        Ra_obs.Span.with_span t.spans "service.freshness" (fun () ->
+            Freshness.check_and_update t.freshness req.freshness)
+      with
       | Error e -> Error (Service_not_fresh e)
       | Ok () ->
-        let result = execute t req.command in
+        let result =
+          Ra_obs.Span.with_span t.spans
+            ~labels:[ ("command", command_name req.command) ]
+            "service.execute"
+            (fun () -> execute t req.command)
+        in
         let key = Auth.blob_sym_key (key_blob t) in
         Ok
           {
@@ -158,8 +191,18 @@ let handle t req =
     with Cpu.Protection_fault fault -> Error (Service_fault fault)
   in
   (match result with
-  | Ok _ -> t.stats <- { t.stats with invocations = t.stats.invocations + 1 }
-  | Error _ -> t.stats <- { t.stats with rejections = t.stats.rejections + 1 });
+  | Ok _ ->
+    Ra_obs.Registry.Counter.inc M.invocations;
+    t.stats <- { t.stats with invocations = t.stats.invocations + 1 }
+  | Error Service_bad_auth ->
+    Ra_obs.Registry.Counter.inc M.bad_auth;
+    t.stats <- { t.stats with rejected_bad_auth = t.stats.rejected_bad_auth + 1 }
+  | Error (Service_not_fresh _) ->
+    Ra_obs.Registry.Counter.inc M.not_fresh;
+    t.stats <- { t.stats with rejected_not_fresh = t.stats.rejected_not_fresh + 1 }
+  | Error (Service_fault _) ->
+    Ra_obs.Registry.Counter.inc M.fault;
+    t.stats <- { t.stats with rejected_fault = t.stats.rejected_fault + 1 });
   result
 
 let command_payload = function

@@ -30,7 +30,15 @@ type reject =
   | Service_not_fresh of Freshness.reject
   | Service_fault of Ra_mcu.Cpu.fault
 
-type stats = { invocations : int; rejections : int }
+type stats = {
+  invocations : int; (* accepted and executed *)
+  rejected_bad_auth : int;
+  rejected_not_fresh : int;
+  rejected_fault : int;
+}
+
+val rejections : stats -> int
+(** Total across the three rejection reasons. *)
 
 type t
 
@@ -47,6 +55,11 @@ val install :
   t
 
 val stats : t -> stats
+
+val spans : t -> Ra_obs.Span.t
+(** The service's span context, clocked by the device CPU's elapsed
+    seconds: [service.auth], [service.freshness] and [service.execute]
+    spans cover each {!handle}. *)
 
 val command_name : command -> string
 

@@ -94,9 +94,23 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
       | Message.Request req ->
         let cpu = Device.cpu prover.Architecture.device in
         let before = Cpu.elapsed_seconds cpu in
+        (* the span closes after Simtime catches up with the consumed
+           cycles, so its duration equals the anchor's simulated work *)
+        let span = Ra_obs.Span.enter (Trace.spans trace) "prover.attest" in
         let result = Code_attest.handle_request prover.Architecture.anchor req in
         let spent = Cpu.elapsed_seconds cpu -. before in
         Simtime.advance_by time spent;
+        Ra_obs.Span.exit (Trace.spans trace)
+          ~labels:
+            [
+              ( "result",
+                match result with
+                | Ok _ -> "attested"
+                | Error (Code_attest.Bad_auth) -> "bad_auth"
+                | Error (Code_attest.Not_fresh _) -> "not_fresh"
+                | Error (Code_attest.Anchor_fault _) -> "fault" );
+            ]
+          span;
         (match result with
         | Ok resp ->
           Trace.recordf trace "prover: attested (%.3f ms of work)" (spent *. 1000.0);
@@ -164,6 +178,8 @@ let verifier t = t.verifier
 let prover t = t.prover
 let anchor t = t.prover.Architecture.anchor
 let device t = t.prover.Architecture.device
+let service t = t.service
+let sym_key t = t.sym_key
 let verdicts t = List.rev t.verdicts
 
 let send_request t =
@@ -186,48 +202,55 @@ let deliver_next_to_verifier t =
   Channel.forward_next t.channel ~dst:Channel.Verifier_side
 
 let attest_round t =
-  let before = List.length t.verdicts in
-  let _req = send_request t in
-  let _ = deliver_next_to_prover t in
-  (* drain the prover->verifier direction until this round's verdict
-     lands or the wire is empty — under a DoS flood the sweep's response
-     queues behind the attacker's junk *)
-  let rec drain () =
-    if List.length t.verdicts = before && deliver_next_to_verifier t then drain ()
-  in
-  drain ();
-  if List.length t.verdicts > before then Some (snd (List.nth t.verdicts 0)) else None
+  Trace.with_span t.trace "attest.round" (fun () ->
+      let before = List.length t.verdicts in
+      let _req = send_request t in
+      let _ = deliver_next_to_prover t in
+      (* drain the prover->verifier direction until this round's verdict
+         lands or the wire is empty — under a DoS flood the sweep's response
+         queues behind the attacker's junk *)
+      let rec drain () =
+        if List.length t.verdicts = before && deliver_next_to_verifier t then drain ()
+      in
+      drain ();
+      if List.length t.verdicts > before then Some (snd (List.nth t.verdicts 0))
+      else None)
 
 let sync_round t =
-  t.sync_counter <- Int64.add t.sync_counter 1L;
-  let req = Clock_sync.make_sync_request ~sym_key:t.sym_key ~time:t.time
-      ~counter:t.sync_counter
-  in
-  let before = t.sync_acks in
-  Channel.send t.channel ~src:Channel.Verifier_side (Message.wire_to_bytes req);
-  let _ = deliver_next_to_prover t in
-  let rec drain () =
-    if t.sync_acks = before && deliver_next_to_verifier t then drain ()
-  in
-  drain ();
-  t.sync_acks > before
+  Trace.with_span t.trace "sync.round" (fun () ->
+      t.sync_counter <- Int64.add t.sync_counter 1L;
+      let req = Clock_sync.make_sync_request ~sym_key:t.sym_key ~time:t.time
+          ~counter:t.sync_counter
+      in
+      let before = t.sync_acks in
+      Channel.send t.channel ~src:Channel.Verifier_side (Message.wire_to_bytes req);
+      let _ = deliver_next_to_prover t in
+      let rec drain () =
+        if t.sync_acks = before && deliver_next_to_verifier t then drain ()
+      in
+      drain ();
+      t.sync_acks > before)
 
 let service_round t command =
-  t.service_counter <- Int64.add t.service_counter 1L;
-  let req =
-    Service.make_request ~sym_key:t.sym_key ~scheme:(Verifier.scheme t.verifier)
-      ~freshness:(Message.F_counter t.service_counter)
-      command
-  in
-  let before = List.length t.service_acks in
-  Channel.send t.channel ~src:Channel.Verifier_side
-    (Message.wire_to_bytes (Service.request_to_wire req));
-  let _ = deliver_next_to_prover t in
-  let rec drain () =
-    if List.length t.service_acks = before && deliver_next_to_verifier t then drain ()
-  in
-  drain ();
-  List.length t.service_acks > before
+  Trace.with_span t.trace
+    ~labels:[ ("command", Service.command_name command) ]
+    "service.round"
+    (fun () ->
+      t.service_counter <- Int64.add t.service_counter 1L;
+      let req =
+        Service.make_request ~sym_key:t.sym_key ~scheme:(Verifier.scheme t.verifier)
+          ~freshness:(Message.F_counter t.service_counter)
+          command
+      in
+      let before = List.length t.service_acks in
+      Channel.send t.channel ~src:Channel.Verifier_side
+        (Message.wire_to_bytes (Service.request_to_wire req));
+      let _ = deliver_next_to_prover t in
+      let rec drain () =
+        if List.length t.service_acks = before && deliver_next_to_verifier t then drain ()
+      in
+      drain ();
+      List.length t.service_acks > before)
 
 let prover_wall_ms t =
   match t.clock_sync with None -> 0L | Some sync -> Clock_sync.now_ms sync

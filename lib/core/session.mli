@@ -31,6 +31,8 @@ val verifier : t -> Verifier.t
 val prover : t -> Architecture.prover
 val anchor : t -> Code_attest.t
 val device : t -> Ra_mcu.Device.t
+val service : t -> Service.t
+val sym_key : t -> string
 
 val verdicts : t -> (float * Verifier.verdict) list
 (** Every response verdict the verifier reached, with its time,

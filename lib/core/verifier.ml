@@ -62,7 +62,20 @@ let make_freshness t =
     Message.F_counter t.counter
   | Fk_timestamp -> Message.F_timestamp (now_ms t)
 
+(* verdict/request counters precreated at module init *)
+module M = struct
+  let requests = Ra_obs.Registry.Counter.get "ra_verifier_requests_total"
+
+  let verdict v =
+    Ra_obs.Registry.Counter.get ~labels:[ ("verdict", v) ] "ra_verifier_verdicts_total"
+
+  let trusted = verdict "trusted"
+  let untrusted_state = verdict "untrusted_state"
+  let invalid_response = verdict "invalid_response"
+end
+
 let make_request t =
+  Ra_obs.Registry.Counter.inc M.requests;
   let challenge = C.Drbg.generate t.drbg 16 in
   let freshness = make_freshness t in
   let body = Message.request_body ~challenge ~freshness in
@@ -80,17 +93,26 @@ let make_request t =
   { Message.challenge; freshness; tag }
 
 let check_response t ~request (resp : Message.attresp) =
-  if
-    resp.Message.echo_challenge <> request.Message.challenge
-    || resp.Message.echo_freshness <> request.Message.freshness
-  then Invalid_response
-  else begin
-    let body = Message.response_body resp in
-    let expected =
-      Auth.response_report_keyed ~keyed:t.keyed ~body ~memory_image:t.reference_image
-    in
-    if C.Hexutil.equal_ct expected resp.Message.report then Trusted else Untrusted_state
-  end
+  let verdict =
+    if
+      resp.Message.echo_challenge <> request.Message.challenge
+      || resp.Message.echo_freshness <> request.Message.freshness
+    then Invalid_response
+    else begin
+      let body = Message.response_body resp in
+      let expected =
+        Auth.response_report_keyed ~keyed:t.keyed ~body ~memory_image:t.reference_image
+      in
+      if C.Hexutil.equal_ct expected resp.Message.report then Trusted
+      else Untrusted_state
+    end
+  in
+  Ra_obs.Registry.Counter.inc
+    (match verdict with
+    | Trusted -> M.trusted
+    | Untrusted_state -> M.untrusted_state
+    | Invalid_response -> M.invalid_response);
+  verdict
 
 let set_reference_image t image = t.reference_image <- image
 

@@ -67,6 +67,10 @@ let faults t = t.faults
 let deny t addr mode =
   let fault = { fault_code = t.context; fault_addr = addr; fault_mode = mode } in
   t.faults <- fault :: t.faults;
+  Ra_obs.Registry.Counter.inc
+    (Ra_obs.Registry.Counter.get
+       ~labels:[ ("context", t.context) ]
+       "ra_mpu_violations_total");
   raise (Protection_fault fault)
 
 let guard t addr len mode =

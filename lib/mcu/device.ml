@@ -259,3 +259,13 @@ let fill_ram_deterministic t ~seed =
   loop 0
 
 let idle t ~seconds = Cpu.idle_seconds t.cpu seconds
+
+let observe_gauges ?registry ?(labels = []) t =
+  let set name v =
+    Ra_obs.Registry.Gauge.set (Ra_obs.Registry.Gauge.get ?registry ~labels name) v
+  in
+  set "ra_device_cycles" (Int64.to_float (Cpu.cycles t.cpu));
+  set "ra_device_work_cycles" (Int64.to_float (Cpu.work_cycles t.cpu));
+  set "ra_device_energy_consumed_joules" (Energy.consumed_joules t.energy);
+  set "ra_device_energy_remaining_joules" (Energy.remaining_joules t.energy);
+  set "ra_device_faults" (float_of_int (List.length (Cpu.faults t.cpu)))

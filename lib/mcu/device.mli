@@ -122,6 +122,13 @@ val idle : t -> seconds:float -> unit
 (** Let wall-clock time pass with the CPU asleep: clock ticks advance,
     sleep energy is charged. *)
 
+val observe_gauges :
+  ?registry:Ra_obs.Registry.t -> ?labels:Ra_obs.Registry.labels -> t -> unit
+(** Snapshot the device's meters into gauges: [ra_device_cycles],
+    [ra_device_work_cycles], [ra_device_energy_consumed_joules],
+    [ra_device_energy_remaining_joules] and [ra_device_faults], all
+    carrying [labels] (callers add e.g. [("device", name)]). *)
+
 val power_cycle : t -> t
 (** Reboot the device: a new platform with the same configuration and
     battery, whose {e non-volatile} contents (ROM, flash — thus the key,

@@ -6,6 +6,14 @@ type stats = {
 
 type registered = { code_region : string; handler : unit -> unit }
 
+(* One atomic add per IRQ; handles created at module init. *)
+module M = struct
+  let outcome o = Ra_obs.Registry.Counter.get ~labels:[ ("outcome", o) ] "ra_interrupts_total"
+  let delivered = outcome "delivered"
+  let lost_no_handler = outcome "lost_no_handler"
+  let suppressed_disabled = outcome "suppressed_disabled"
+end
+
 type t = {
   cpu : Cpu.t;
   idt_base : int;
@@ -54,14 +62,19 @@ let enabled t = Memory.read_byte (Cpu.memory t.cpu) t.ctrl_addr land 1 = 1
 
 let raise_irq t ~vector =
   check_vector t vector;
-  if not (enabled t) then
-    t.stats <- { t.stats with suppressed_disabled = t.stats.suppressed_disabled + 1 }
+  if not (enabled t) then begin
+    t.stats <- { t.stats with suppressed_disabled = t.stats.suppressed_disabled + 1 };
+    Ra_obs.Registry.Counter.inc M.suppressed_disabled
+  end
   else begin
     let entry = vector_entry t ~vector in
     match Hashtbl.find_opt t.registry entry with
-    | None -> t.stats <- { t.stats with lost_no_handler = t.stats.lost_no_handler + 1 }
+    | None ->
+      t.stats <- { t.stats with lost_no_handler = t.stats.lost_no_handler + 1 };
+      Ra_obs.Registry.Counter.inc M.lost_no_handler
     | Some { code_region; handler } ->
       t.stats <- { t.stats with delivered = t.stats.delivered + 1 };
+      Ra_obs.Registry.Counter.inc M.delivered;
       Cpu.with_context t.cpu code_region handler
   end
 

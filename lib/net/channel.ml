@@ -7,16 +7,43 @@ type 'msg t = {
   trace : Trace.t;
   mutable transcript : 'msg sent list; (* newest first *)
   mutable pending : 'msg sent list; (* newest first *)
+  seen : ('msg, unit) Hashtbl.t; (* every payload ever sent *)
   mutable rx_verifier : ('msg -> unit) option;
   mutable rx_prover : ('msg -> unit) option;
 }
+
+(* Handles are created once at module init; per-event cost is one
+   atomic add. *)
+module M = struct
+  open Ra_obs.Registry
+
+  let sent_verifier = Counter.get ~labels:[ ("side", "verifier") ] "ra_channel_sent_total"
+  let sent_prover = Counter.get ~labels:[ ("side", "prover") ] "ra_channel_sent_total"
+
+  let delivered kind =
+    Counter.get ~labels:[ ("kind", kind) ] "ra_channel_delivered_total"
+
+  let delivered_forwarded = delivered "forwarded"
+  let delivered_injected = delivered "injected"
+  let delivered_replayed = delivered "replayed"
+  let dropped = Counter.get "ra_channel_dropped_total"
+  let lost = Counter.get "ra_channel_lost_total"
+end
 
 let pp_side fmt = function
   | Verifier_side -> Format.pp_print_string fmt "verifier"
   | Prover_side -> Format.pp_print_string fmt "prover"
 
 let create time trace =
-  { time; trace; transcript = []; pending = []; rx_verifier = None; rx_prover = None }
+  {
+    time;
+    trace;
+    transcript = [];
+    pending = [];
+    seen = Hashtbl.create 64;
+    rx_verifier = None;
+    rx_prover = None;
+  }
 
 let time t = t.time
 let trace t = t.trace
@@ -30,18 +57,36 @@ let send t ~src payload =
   let entry = { sent_at = Simtime.now t.time; src; payload } in
   t.transcript <- entry :: t.transcript;
   t.pending <- entry :: t.pending;
+  if not (Hashtbl.mem t.seen payload) then Hashtbl.replace t.seen payload ();
+  Ra_obs.Registry.Counter.inc
+    (match src with Verifier_side -> M.sent_verifier | Prover_side -> M.sent_prover);
   Trace.recordf t.trace "net: %a sent a message" pp_side src
 
 let transcript t = List.rev t.transcript
 let undelivered t = List.rev t.pending
 
-let deliver t ~dst payload =
+type delivery_kind = Forwarded | Adversarial
+
+let deliver_kind t ~kind ~dst payload =
   let rx = match dst with Verifier_side -> t.rx_verifier | Prover_side -> t.rx_prover in
   match rx with
-  | None -> Trace.recordf t.trace "net: delivery to %a lost (no receiver)" pp_side dst
+  | None ->
+    Ra_obs.Registry.Counter.inc M.lost;
+    Trace.recordf t.trace "net: delivery to %a lost (no receiver)" pp_side dst
   | Some f ->
+    let counter, label =
+      match kind with
+      | Forwarded -> (M.delivered_forwarded, "forwarded")
+      | Adversarial ->
+        if Hashtbl.mem t.seen payload then (M.delivered_replayed, "replayed")
+        else (M.delivered_injected, "injected")
+    in
+    Ra_obs.Registry.Counter.inc counter;
     Trace.recordf t.trace "net: delivered to %a" pp_side dst;
-    f payload
+    Trace.with_span t.trace ~labels:[ ("kind", label) ] "channel.deliver" (fun () ->
+        f payload)
+
+let deliver t ~dst payload = deliver_kind t ~kind:Adversarial ~dst payload
 
 let take_oldest t ~src =
   match List.rev t.pending with
@@ -63,12 +108,13 @@ let forward_next t ~dst =
   match take_oldest t ~src with
   | None -> false
   | Some e ->
-    deliver t ~dst e.payload;
+    deliver_kind t ~kind:Forwarded ~dst e.payload;
     true
 
 let drop_next t ~src =
   match take_oldest t ~src with
   | None -> false
   | Some _ ->
+    Ra_obs.Registry.Counter.inc M.dropped;
     Trace.recordf t.trace "net: adversary dropped a message from %a" pp_side src;
     true

@@ -1,8 +1,24 @@
 type entry = { at : float; label : string }
 
-type t = { time : Simtime.t; mutable entries : entry list (* newest first *) }
+type t = {
+  time : Simtime.t;
+  mutable entries : entry list; (* newest first *)
+  spans : Ra_obs.Span.t;
+}
 
-let create time = { time; entries = [] }
+let create time =
+  let spans = Ra_obs.Span.create ~clock:(fun () -> Simtime.now time) () in
+  let t = { time; entries = []; spans } in
+  Ra_obs.Span.on_finish spans (fun f ->
+      t.entries <-
+        {
+          at = f.Ra_obs.Span.f_stop;
+          label =
+            Printf.sprintf "span %s: %.3f ms" f.Ra_obs.Span.f_name
+              (Ra_obs.Span.duration_ms f);
+        }
+        :: t.entries);
+  t
 
 let record t label = t.entries <- { at = Simtime.now t.time; label } :: t.entries
 
@@ -10,10 +26,20 @@ let recordf t fmt = Format.kasprintf (record t) fmt
 
 let entries t = List.rev t.entries
 
+let spans t = t.spans
+
+let with_span t ?labels name f = Ra_obs.Span.with_span t.spans ?labels name f
+
 let contains_substring ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
-  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
-  nl = 0 || loop 0
+  if nl = 0 then true
+  else begin
+    (* allocation-free: compare characters in place instead of carving a
+       [String.sub] out of the haystack at every candidate offset *)
+    let rec matches_at i j = j >= nl || (haystack.[i + j] = needle.[j] && matches_at i (j + 1)) in
+    let rec loop i = i + nl <= hl && (matches_at i 0 || loop (i + 1)) in
+    loop 0
+  end
 
 let find t ~substring =
   List.filter (fun e -> contains_substring ~needle:substring e.label) (entries t)

@@ -13,3 +13,16 @@ val entries : t -> entry list
 
 val find : t -> substring:string -> entry list
 val pp : Format.formatter -> t -> unit
+
+val contains_substring : needle:string -> string -> bool
+(** Allocation-free substring search (exposed for property tests). *)
+
+(** {2 Spans}
+
+    Each trace owns a {!Ra_obs.Span} context clocked by its
+    {!Simtime.t}. Finished spans are mirrored into the event log as
+    ["span <name>: <ms> ms"] entries and into the process-wide metrics
+    registry as [ra_span_ms{span="<name>"}] observations. *)
+
+val spans : t -> Ra_obs.Span.t
+val with_span : t -> ?labels:Ra_obs.Registry.labels -> string -> (unit -> 'a) -> 'a

@@ -1,0 +1,151 @@
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let format_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    let parts =
+      List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels
+    in
+    "{" ^ String.concat "," parts ^ "}"
+
+(* %g gives "0.005"/"1"/"+Inf"-free bounds; infinity is special-cased. *)
+let format_bound b = if b = infinity then "+Inf" else Printf.sprintf "%g" b
+
+let format_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let sample_type = function
+  | Registry.Counter_sample _ -> "counter"
+  | Registry.Gauge_sample _ -> "gauge"
+  | Registry.Histogram_sample _ -> "histogram"
+
+let render_prometheus registry =
+  let rows = Registry.snapshot registry in
+  let buf = Buffer.create 1024 in
+  let last_family = ref "" in
+  List.iter
+    (fun (name, labels, sample) ->
+      if name <> !last_family then begin
+        last_family := name;
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name (sample_type sample))
+      end;
+      match sample with
+      | Registry.Counter_sample v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" name (format_labels labels) v)
+      | Registry.Gauge_sample v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" name (format_labels labels) (format_value v))
+      | Registry.Histogram_sample { hs_sum; hs_count; hs_buckets } ->
+        let cumulative = ref 0 in
+        List.iter
+          (fun (bound, n) ->
+            cumulative := !cumulative + n;
+            let le = ("le", format_bound bound) in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (format_labels (labels @ [ le ]))
+                 !cumulative))
+          hs_buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" name (format_labels labels)
+             (format_value hs_sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" name (format_labels labels) hs_count))
+    rows;
+  Buffer.contents buf
+
+let labels_obj labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let metrics_jsonl registry =
+  let rows = Registry.snapshot registry in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, labels, sample) ->
+      let base =
+        [
+          ("metric", Json.Str name);
+          ("type", Json.Str (sample_type sample));
+          ("labels", labels_obj labels);
+        ]
+      in
+      let value_fields =
+        match sample with
+        | Registry.Counter_sample v -> [ ("value", Json.Num (float_of_int v)) ]
+        | Registry.Gauge_sample v -> [ ("value", Json.Num v) ]
+        | Registry.Histogram_sample { hs_sum; hs_count; hs_buckets } ->
+          [
+            ("sum", Json.Num hs_sum);
+            ("count", Json.Num (float_of_int hs_count));
+            ( "buckets",
+              Json.Arr
+                (List.map
+                   (fun (bound, n) ->
+                     Json.Obj
+                       [
+                         ( "le",
+                           if bound = infinity then Json.Str "+Inf"
+                           else Json.Num bound );
+                         ("count", Json.Num (float_of_int n));
+                       ])
+                   hs_buckets) );
+          ]
+      in
+      Buffer.add_string buf (Json.to_string (Json.Obj (base @ value_fields)));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let spans_jsonl ctx =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (f : Span.finished) ->
+      let obj =
+        Json.Obj
+          [
+            ("span", Json.Str f.f_name);
+            ("id", Json.Num (float_of_int f.f_id));
+            ( "parent",
+              match f.f_parent with
+              | None -> Json.Null
+              | Some p -> Json.Num (float_of_int p) );
+            ("depth", Json.Num (float_of_int f.f_depth));
+            ("start_s", Json.Num f.f_start);
+            ("stop_s", Json.Num f.f_stop);
+            ("duration_ms", Json.Num (Span.duration_ms f));
+            ("labels", labels_obj f.f_labels);
+          ]
+      in
+      Buffer.add_string buf (Json.to_string obj);
+      Buffer.add_char buf '\n')
+    (Span.finished ctx);
+  Buffer.contents buf
+
+let parse_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" then loop (lineno + 1) acc rest
+      else begin
+        match Json.of_string trimmed with
+        | Ok v -> loop (lineno + 1) (v :: acc) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      end
+  in
+  loop 1 [] lines

@@ -1,0 +1,25 @@
+(** Sinks: Prometheus text exposition and JSONL export for metrics and
+    spans, plus a line-oriented parser used by round-trip tests and the
+    [ra_cli stats --selftest] gate. *)
+
+val render_prometheus : Registry.t -> string
+(** Prometheus text exposition format, version 0.0.4: one [# TYPE] line
+    per metric family, histograms expanded into cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]. Families are
+    sorted by name, series by label set, so output is deterministic. *)
+
+val metrics_jsonl : Registry.t -> string
+(** One JSON object per line:
+    [{"metric": name, "type": "counter"|"gauge"|"histogram",
+      "labels": {...}, ...value fields...}]. Histogram lines carry
+    ["sum"], ["count"] and ["buckets"] (le/count pairs; the overflow
+    bound is the string ["+Inf"]). *)
+
+val spans_jsonl : Span.t -> string
+(** One JSON object per finished span, chronological:
+    [{"span": name, "id", "parent" (or null), "depth",
+      "start_s", "stop_s", "duration_ms", "labels": {...}}]. *)
+
+val parse_jsonl : string -> (Json.t list, string) result
+(** Parse a JSONL document (blank lines skipped); the first bad line
+    aborts with its line number in the error. *)

@@ -1,0 +1,25 @@
+(** A dependency-free JSON value type with printer and parser — just
+    enough for the JSONL metric/span sinks and their round-trip tests.
+    Non-finite numbers print as [null] (JSON has no Inf/NaN); histogram
+    exporters encode the overflow bound as the string ["+Inf"]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** [Error msg] carries a position-annotated description. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val as_float : t -> float option
+val as_string : t -> string option

@@ -1,0 +1,221 @@
+type labels = (string * string) list
+
+let canonical labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_bits : int64 Atomic.t (* IEEE bits of the float value *) }
+
+type histogram = {
+  h_bounds : float array; (* strictly increasing upper bounds *)
+  h_buckets : int Atomic.t array; (* length = bounds + 1 (overflow) *)
+  h_count : int Atomic.t;
+  h_sum_bits : int64 Atomic.t;
+}
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+type kind = K_counter | K_gauge | K_histogram
+
+type t = {
+  mutex : Mutex.t;
+  table : (string * labels, metric) Hashtbl.t;
+  kinds : (string, kind) Hashtbl.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; kinds = Hashtbl.create 32 }
+
+let default = create ()
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let kind_name = function
+  | K_counter -> "counter"
+  | K_gauge -> "gauge"
+  | K_histogram -> "histogram"
+
+let register t name labels kind make =
+  let labels = canonical labels in
+  with_lock t (fun () ->
+      (match Hashtbl.find_opt t.kinds name with
+      | Some k when k <> kind ->
+        invalid_arg
+          (Printf.sprintf "Ra_obs.Registry: %s is already registered as a %s" name
+             (kind_name k))
+      | Some _ -> ()
+      | None -> Hashtbl.replace t.kinds name kind);
+      match Hashtbl.find_opt t.table (name, labels) with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace t.table (name, labels) m;
+        m)
+
+let zero_bits = Int64.bits_of_float 0.0
+
+let reset t =
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> Atomic.set c.c_value 0
+          | M_gauge g -> Atomic.set g.g_bits zero_bits
+          | M_histogram h ->
+            Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+            Atomic.set h.h_count 0;
+            Atomic.set h.h_sum_bits zero_bits)
+        t.table)
+
+(* lock-free float accumulation: CAS on the IEEE bit pattern *)
+let atomic_float_add bits delta =
+  let rec loop () =
+    let old = Atomic.get bits in
+    let updated = Int64.bits_of_float (Int64.float_of_bits old +. delta) in
+    if not (Atomic.compare_and_set bits old updated) then loop ()
+  in
+  loop ()
+
+module Counter = struct
+  type nonrec t = counter
+
+  let get ?(registry = default) ?(labels = []) name =
+    match
+      register registry name labels K_counter (fun () ->
+          M_counter { c_value = Atomic.make 0 })
+    with
+    | M_counter c -> c
+    | M_gauge _ | M_histogram _ -> assert false
+
+  let inc ?(by = 1) c =
+    if by < 0 then invalid_arg "Ra_obs counter: negative increment";
+    ignore (Atomic.fetch_and_add c.c_value by)
+
+  let value c = Atomic.get c.c_value
+end
+
+module Gauge = struct
+  type nonrec t = gauge
+
+  let get ?(registry = default) ?(labels = []) name =
+    match
+      register registry name labels K_gauge (fun () ->
+          M_gauge { g_bits = Atomic.make zero_bits })
+    with
+    | M_gauge g -> g
+    | M_counter _ | M_histogram _ -> assert false
+
+  let set g v = Atomic.set g.g_bits (Int64.bits_of_float v)
+  let add g d = atomic_float_add g.g_bits d
+  let value g = Int64.float_of_bits (Atomic.get g.g_bits)
+end
+
+module Histogram = struct
+  type nonrec t = histogram
+
+  let default_buckets =
+    [|
+      0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0;
+      100.0; 250.0; 500.0; 1000.0; 2500.0;
+    |]
+
+  let validate_bounds bounds =
+    if Array.length bounds = 0 then
+      invalid_arg "Ra_obs histogram: empty bucket bounds";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= bounds.(i - 1) then
+          invalid_arg "Ra_obs histogram: bucket bounds must be strictly increasing")
+      bounds
+
+  let get ?(registry = default) ?(labels = []) ?(buckets = default_buckets) name =
+    match
+      register registry name labels K_histogram (fun () ->
+          validate_bounds buckets;
+          M_histogram
+            {
+              h_bounds = Array.copy buckets;
+              h_buckets = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+              h_count = Atomic.make 0;
+              h_sum_bits = Atomic.make zero_bits;
+            })
+    with
+    | M_histogram h -> h
+    | M_counter _ | M_gauge _ -> assert false
+
+  let observe h v =
+    let n = Array.length h.h_bounds in
+    let rec idx i = if i >= n || v <= h.h_bounds.(i) then i else idx (i + 1) in
+    ignore (Atomic.fetch_and_add h.h_buckets.(idx 0) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_float_add h.h_sum_bits v
+
+  let count h = Atomic.get h.h_count
+  let sum h = Int64.float_of_bits (Atomic.get h.h_sum_bits)
+
+  let buckets h =
+    List.init
+      (Array.length h.h_buckets)
+      (fun i ->
+        let bound =
+          if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity
+        in
+        (bound, Atomic.get h.h_buckets.(i)))
+
+  let percentile h p =
+    if p < 0.0 || p > 100.0 then invalid_arg "Ra_obs percentile: p must be 0..100";
+    let total = count h in
+    if total = 0 then nan
+    else begin
+      let rank = Float.max 1.0 (Float.round (p /. 100.0 *. float_of_int total)) in
+      let rec walk i cum =
+        if i >= Array.length h.h_buckets then infinity
+        else begin
+          let cum = cum + Atomic.get h.h_buckets.(i) in
+          if float_of_int cum >= rank then
+            if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity
+          else walk (i + 1) cum
+        end
+      in
+      walk 0 0
+    end
+end
+
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of float
+  | Histogram_sample of {
+      hs_sum : float;
+      hs_count : int;
+      hs_buckets : (float * int) list;
+    }
+
+let snapshot t =
+  let rows =
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun (name, labels) m acc ->
+            let sample =
+              match m with
+              | M_counter c -> Counter_sample (Counter.value c)
+              | M_gauge g -> Gauge_sample (Gauge.value g)
+              | M_histogram h ->
+                Histogram_sample
+                  {
+                    hs_sum = Histogram.sum h;
+                    hs_count = Histogram.count h;
+                    hs_buckets = Histogram.buckets h;
+                  }
+            in
+            (name, labels, sample) :: acc)
+          t.table [])
+  in
+  List.sort
+    (fun (n1, l1, _) (n2, l2, _) ->
+      match String.compare n1 n2 with 0 -> compare l1 l2 | c -> c)
+    rows

@@ -1,0 +1,87 @@
+(** Typed metrics registry: monotonic counters, gauges and fixed-bucket
+    histograms keyed by [(name, labels)].
+
+    Registration ([get]) takes a mutex; the returned handle updates with
+    plain atomics, so hot paths on separate domains (e.g.
+    [Fleet.sweep_par] workers) can record without races or locks. Handles
+    survive {!reset}, which zeroes values in place — instrument sites can
+    therefore create their handles once at module initialisation. *)
+
+type t
+(** A registry. Metric families are typed: re-registering a name with a
+    different metric kind raises [Invalid_argument]. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every built-in instrumentation site uses. *)
+
+val reset : t -> unit
+(** Zero every metric in place (handles stay valid). Test helper. *)
+
+type labels = (string * string) list
+(** Label pairs; order is irrelevant (canonicalised by key). *)
+
+type registry := t
+(** Local alias so submodule signatures can refer to the registry while
+    shadowing [t] with their own handle type. *)
+
+module Counter : sig
+  type t
+
+  val get : ?registry:registry -> ?labels:labels -> string -> t
+  (** Register (or fetch) the counter [(name, labels)]. *)
+
+  val inc : ?by:int -> t -> unit
+  (** @raise Invalid_argument on a negative increment (monotonic). *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val get : ?registry:registry -> ?labels:labels -> string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Upper bounds in milliseconds, 0.005 .. 2500 (log-ish spacing). *)
+
+  val get :
+    ?registry:registry -> ?labels:labels -> ?buckets:float array -> string -> t
+  (** [buckets] must be strictly increasing; it is fixed by the first
+      registration of the family instance and ignored afterwards. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val buckets : t -> (float * int) list
+  (** Per-bucket (upper bound, count); the final overflow bucket has
+      bound [infinity]. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0..100]: the upper bound of the
+      bucket holding the p-th percentile observation; [nan] when empty,
+      [infinity] when it falls in the overflow bucket. *)
+end
+
+(** {2 Snapshots (for exporters)} *)
+
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of float
+  | Histogram_sample of {
+      hs_sum : float;
+      hs_count : int;
+      hs_buckets : (float * int) list; (* per-bucket, not cumulative *)
+    }
+
+val snapshot : t -> (string * labels * sample) list
+(** Consistent point-in-time view, sorted by name then labels. *)

@@ -1,0 +1,96 @@
+type finished = {
+  f_name : string;
+  f_labels : Registry.labels;
+  f_id : int;
+  f_parent : int option;
+  f_parent_name : string option;
+  f_depth : int;
+  f_start : float;
+  f_stop : float;
+}
+
+type span = {
+  o_id : int;
+  o_name : string;
+  o_labels : Registry.labels;
+  o_parent : int option;
+  o_parent_name : string option;
+  o_depth : int;
+  o_start : float;
+}
+
+type t = {
+  clock : unit -> float;
+  registry : Registry.t option;
+  histogram : string;
+  mutable callback : (finished -> unit) option;
+  mutable stack : span list; (* innermost first *)
+  mutable log : finished list; (* newest first *)
+  mutable next_id : int;
+}
+
+let make registry ~histogram ~clock =
+  { clock; registry; histogram; callback = None; stack = []; log = []; next_id = 0 }
+
+let create ?(registry = Registry.default) ?(histogram = "ra_span_ms") ~clock () =
+  make (Some registry) ~histogram ~clock
+
+let no_registry ~clock () = make None ~histogram:"ra_span_ms" ~clock
+
+let on_finish t cb = t.callback <- Some cb
+
+let enter t ?(labels = []) name =
+  let parent = match t.stack with [] -> None | p :: _ -> Some p in
+  let sp =
+    {
+      o_id = t.next_id;
+      o_name = name;
+      o_labels = labels;
+      o_parent = Option.map (fun p -> p.o_id) parent;
+      o_parent_name = Option.map (fun p -> p.o_name) parent;
+      o_depth = (match parent with None -> 0 | Some p -> p.o_depth + 1);
+      o_start = t.clock ();
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.stack <- sp :: t.stack;
+  sp
+
+let exit t ?(labels = []) sp =
+  let stop = t.clock () in
+  t.stack <- List.filter (fun o -> o.o_id <> sp.o_id) t.stack;
+  let f =
+    {
+      f_name = sp.o_name;
+      f_labels = sp.o_labels @ labels;
+      f_id = sp.o_id;
+      f_parent = sp.o_parent;
+      f_parent_name = sp.o_parent_name;
+      f_depth = sp.o_depth;
+      f_start = sp.o_start;
+      f_stop = stop;
+    }
+  in
+  t.log <- f :: t.log;
+  (match t.registry with
+  | None -> ()
+  | Some registry ->
+    let h =
+      Registry.Histogram.get ~registry ~labels:[ ("span", sp.o_name) ] t.histogram
+    in
+    Registry.Histogram.observe h ((stop -. sp.o_start) *. 1000.0));
+  match t.callback with None -> () | Some cb -> cb f
+
+let with_span t ?labels name f =
+  let sp = enter t ?labels name in
+  match f () with
+  | v ->
+    exit t sp;
+    v
+  | exception e ->
+    exit t ~labels:[ ("outcome", "raised") ] sp;
+    raise e
+
+let finished t = List.rev t.log
+let open_count t = List.length t.stack
+let duration_ms f = (f.f_stop -. f.f_start) *. 1000.0

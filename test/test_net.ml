@@ -25,6 +25,46 @@ let test_trace () =
   | entries -> Alcotest.failf "expected 2 entries, got %d" (List.length entries));
   Alcotest.(check int) "find" 1 (List.length (Trace.find trace ~substring:"second"))
 
+(* reference implementation the allocation-free search must agree with:
+   the old O(n*m)-allocation [String.sub]-per-position scan *)
+let contains_substring_ref ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 then true
+  else if n > h then false
+  else begin
+    let found = ref false in
+    for i = 0 to h - n do
+      if (not !found) && String.sub hay i n = needle then found := true
+    done;
+    !found
+  end
+
+let prop_contains_substring =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 6))
+        (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 40)))
+  in
+  (* a 3-letter alphabet makes both hits and near-misses common *)
+  QCheck.Test.make ~count:2000
+    ~name:"Trace.contains_substring agrees with String.sub reference"
+    (QCheck.make gen ~print:(fun (n, h) -> Printf.sprintf "needle=%S hay=%S" n h))
+    (fun (needle, hay) ->
+      Trace.contains_substring ~needle hay = contains_substring_ref ~needle hay)
+
+let test_contains_substring_edges () =
+  let check name expect needle hay =
+    Alcotest.(check bool) name expect (Trace.contains_substring ~needle hay)
+  in
+  check "empty needle" true "" "abc";
+  check "empty both" true "" "";
+  check "needle longer" false "abc" "ab";
+  check "exact" true "abc" "abc";
+  check "suffix" true "bc" "abc";
+  check "false prefix then match" true "aab" "aaab";
+  check "near miss" false "abd" "abcabc"
+
 let make_channel () =
   let time = Simtime.create () in
   let trace = Trace.create time in
@@ -99,4 +139,7 @@ let tests =
     Alcotest.test_case "drop" `Quick test_drop;
     Alcotest.test_case "deliver without receiver" `Quick test_deliver_without_receiver;
     Alcotest.test_case "replay from transcript" `Quick test_replay_from_transcript;
+    Alcotest.test_case "contains_substring edges" `Quick
+      test_contains_substring_edges;
+    QCheck_alcotest.to_alcotest prop_contains_substring;
   ]

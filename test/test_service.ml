@@ -50,7 +50,8 @@ let test_bad_auth_rejected () =
   | Error Service.Service_bad_auth -> ()
   | Ok _ -> Alcotest.fail "forged erase accepted!"
   | Error e -> Alcotest.failf "wrong reject: %a" Service.pp_reject e);
-  Alcotest.(check int) "counted" 1 (Service.stats svc).Service.rejections
+  Alcotest.(check int) "counted" 1 (Service.stats svc).Service.rejected_bad_auth;
+  Alcotest.(check int) "total" 1 (Service.rejections (Service.stats svc))
 
 let test_replay_rejected () =
   let _, svc = make () in
