@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke examples docs clean loc
 
 all: build
 
@@ -16,6 +16,11 @@ bench:
 # quick hot-path regression check (reduced quotas + small fleet)
 bench-smoke:
 	BENCH_SMOKE=1 dune exec bench/main.exe -- hotpath obs-overhead
+
+# impairment + retry-engine sanity: CLI selftest, then a reduced chaos grid
+chaos-smoke:
+	dune exec bin/ra_cli.exe -- chaos --selftest
+	BENCH_SMOKE=1 dune exec bench/main.exe -- chaos
 
 examples:
 	dune exec examples/quickstart.exe

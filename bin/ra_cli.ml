@@ -34,9 +34,11 @@ let run_attest spec_name rounds ram_kb =
     Printf.printf "spec: %s, attested memory: %d KB\n\n" spec_name ram_kb;
     for i = 1 to rounds do
       Session.advance_time session ~seconds:1.0;
-      match Session.attest_round session with
-      | Some verdict -> Format.printf "round %d: %a@." i Verifier.pp_verdict verdict
-      | None -> Format.printf "round %d: no response (request rejected)@." i
+      let r = Session.attest_round_r session in
+      Format.printf "round %d: %a (%d attempt%s, %.3f s)@." i Verdict.pp
+        r.Session.r_verdict r.Session.r_attempts
+        (if r.Session.r_attempts = 1 then "" else "s")
+        r.Session.r_elapsed_s
     done;
     let device = Session.device session in
     Printf.printf "\nprover work: %.3f ms, energy: %.6f J\n"
@@ -339,10 +341,111 @@ let stats_cmd =
        ~doc:"Sweep a small fleet and print its health snapshot and Prometheus metrics")
     Term.(const run_stats $ n $ sweeps $ selftest)
 
+(* ---- chaos ---- *)
+
+let run_chaos n rounds loss selftest =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else if not (loss >= 0.0 && loss < 1.0) then begin
+    Printf.eprintf "loss must be in [0, 1)\n";
+    1
+  end
+  else begin
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let fleet = Fleet.create ~ram_size:4096 ~names () in
+    let losses = if loss > 0.0 then [ 0.0; loss ] else [ 0.0; 0.2 ] in
+    let policies = [ ("no-retry", Retry.no_retry); ("default", Retry.default) ] in
+    let grid = Fleet.chaos_sweep ~rounds_per_member:rounds ~losses ~policies fleet in
+    let snapshot = Fleet.health_snapshot fleet in
+    print_string (Fleet.render_health snapshot);
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      let exposition = Ra_obs.Export.render_prometheus Ra_obs.Registry.default in
+      let has family = Ra_net.Trace.contains_substring ~needle:family exposition in
+      List.iter
+        (fun family -> check ("exposition family " ^ family) (has family))
+        [
+          "ra_channel_impairments_total{";
+          "ra_chaos_rounds_total{";
+          "ra_chaos_round_time_ms_bucket{";
+          "ra_session_rounds_total{";
+        ];
+      let cell l p =
+        List.find_opt
+          (fun c -> c.Fleet.c_loss = l && c.Fleet.c_policy = p)
+          grid
+      in
+      check "pristine wire converges 100%"
+        (match cell 0.0 "default" with
+        | Some c -> Fleet.convergence_pct c = 100.0 && c.Fleet.c_mean_attempts = 1.0
+        | None -> false);
+      check "lossy wire converges >= 99% under default backoff"
+        (match cell (List.nth losses 1) "default" with
+        | Some c -> Fleet.convergence_pct c >= 99.0
+        | None -> false);
+      check "retry engine actually retries on a lossy wire"
+        (match cell (List.nth losses 1) "default" with
+        | Some c -> c.Fleet.c_mean_attempts > 1.0
+        | None -> false);
+      (* verdict JSON round-trips through the obs sink *)
+      let verdicts =
+        [
+          Verdict.Trusted;
+          Verdict.Untrusted_state;
+          Verdict.Invalid_response;
+          Verdict.Bad_auth;
+          Verdict.Not_fresh (Verdict.Stale_counter { got = 5L; stored = 9L });
+          Verdict.Fault { fault_addr = 0x123; fault_code = "rom_attest" };
+          Verdict.Timed_out { attempts = 8; waited_s = 42.5 };
+        ]
+      in
+      check "verdicts round-trip through JSON"
+        (List.for_all
+           (fun v ->
+             match
+               Ra_obs.Json.of_string (Ra_obs.Json.to_string (Verdict.to_json v))
+             with
+             | Ok j -> Verdict.of_json j = Some v
+             | Error _ -> false)
+           verdicts);
+      check "snapshot carries the chaos grid" (snapshot.Fleet.s_chaos = grid);
+      match !failures with
+      | [] ->
+        print_endline "chaos selftest ok";
+        0
+      | fs ->
+        List.iter (fun f -> Printf.eprintf "chaos selftest FAILED: %s\n" f) (List.rev fs);
+        1
+    end
+  end
+
+let chaos_cmd =
+  let n = Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Fleet size.") in
+  let rounds =
+    Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds per member per cell.")
+  in
+  let loss =
+    Arg.(value & opt float 0.2 & info [ "loss" ] ~docv:"P"
+           ~doc:"Per-direction loss probability for the lossy cells.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify convergence targets, verdict JSON round-trips and the new \
+                 metric families; non-zero exit on failure.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Sweep loss rates x backoff policies over an impaired fleet")
+    Term.(const run_chaos $ n $ rounds $ loss $ selftest)
+
 let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

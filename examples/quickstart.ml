@@ -18,9 +18,9 @@ let () =
   Session.advance_time session ~seconds:1.0;
 
   Printf.printf "== quickstart: one benign attestation round ==\n";
-  (match Session.attest_round session with
-  | Some verdict -> Format.printf "verifier verdict: %a@." Verifier.pp_verdict verdict
-  | None -> Format.printf "prover sent no response@.");
+  let round = Session.attest_round_r session in
+  Format.printf "verifier verdict: %a (attempt %d, %.3f s)@." Verdict.pp
+    round.Session.r_verdict round.Session.r_attempts round.Session.r_elapsed_s;
 
   let device = Session.device session in
   Printf.printf "prover work: %.3f ms of CPU time at 24 MHz\n"
@@ -32,9 +32,9 @@ let () =
      resident. The next round must flag the device. *)
   Printf.printf "\n== after infecting the prover's RAM ==\n";
   Cpu.store_bytes (Device.cpu device) (Device.attested_base device) "MALWARE";
-  (match Session.attest_round session with
-  | Some verdict -> Format.printf "verifier verdict: %a@." Verifier.pp_verdict verdict
-  | None -> Format.printf "prover sent no response@.");
+  Session.advance_time session ~seconds:1.0;
+  let round = Session.attest_round_r session in
+  Format.printf "verifier verdict: %a@." Verdict.pp round.Session.r_verdict;
 
   Printf.printf "\n== protocol trace ==\n";
   Format.printf "%a" Ra_net.Trace.pp (Session.trace session)

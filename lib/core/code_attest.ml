@@ -154,6 +154,15 @@ let handle_request t req =
     bump_rejected t);
   result
 
+let to_verdict = function
+  | Bad_auth -> Verdict.Bad_auth
+  | Not_fresh r -> Verdict.Not_fresh r
+  | Anchor_fault f ->
+    Verdict.Fault { fault_addr = f.Cpu.fault_addr; fault_code = f.Cpu.fault_code }
+
+let handle_request_r t req =
+  Result.map_error to_verdict (handle_request t req)
+
 let pp_reject fmt = function
   | Bad_auth -> Format.pp_print_string fmt "authentication failed"
   | Not_fresh r -> Format.fprintf fmt "not fresh: %a" Freshness.pp_reject r

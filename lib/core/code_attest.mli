@@ -49,6 +49,12 @@ val spans : t -> Ra_obs.Span.t
 val handle_request : t -> Message.attreq -> (Message.attresp, reject) result
 (** Process one attestation request end to end. *)
 
+val to_verdict : reject -> Verdict.t
+(** Embed an anchor reject into the unified {!Verdict.t}. *)
+
+val handle_request_r : t -> Message.attreq -> (Message.attresp, Verdict.t) result
+(** {!handle_request} with the error in the unified vocabulary. *)
+
 val measure_memory : t -> string
 (** The raw attested-memory image as [Code_attest] reads it (for tests
     and for provisioning the verifier's reference image). *)

@@ -8,9 +8,21 @@ type member = {
   mutable history : (float * Verifier.verdict option) list; (* newest first *)
 }
 
+type chaos_cell = {
+  c_loss : float;
+  c_policy : string;
+  c_rounds : int;
+  c_converged : int;
+  c_mean_attempts : float;
+  c_p50_s : float;
+  c_p90_s : float;
+  c_p99_s : float;
+}
+
 type t = {
   members : member list;
   index : (string, member) Hashtbl.t; (* name -> member, O(1) find *)
+  mutable last_chaos : chaos_cell list; (* most recent chaos_sweep grid *)
 }
 
 let member_name m = m.name
@@ -51,7 +63,7 @@ let create ?(spec = Architecture.trustlite_base) ?ram_size ~names () =
   in
   let index = Hashtbl.create (List.length members) in
   List.iter (fun m -> Hashtbl.replace index m.name m) members;
-  { members; index }
+  { members; index; last_chaos = [] }
 
 let members t = t.members
 
@@ -136,6 +148,151 @@ let sweep_par ?(domains = 4) t =
          members)
   end
 
+(* ---- chaos sweeps: convergence under an impaired wire ---- *)
+
+let chaos_latency_buckets =
+  [|
+    1.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0; 5000.0;
+    10000.0; 30000.0; 60000.0; 120000.0;
+  |]
+
+(* observed from chaos workers on several domains: handles are atomic *)
+module Mc = struct
+  let round r =
+    Ra_obs.Registry.Counter.get ~labels:[ ("result", r) ] "ra_chaos_rounds_total"
+
+  let converged = round "converged"
+  let timed_out = round "timed_out"
+
+  let time =
+    Ra_obs.Registry.Histogram.get ~buckets:chaos_latency_buckets
+      "ra_chaos_round_time_ms"
+end
+
+let classify_verdict = function
+  | Verdict.Trusted -> Healthy
+  | Verdict.Untrusted_state | Verdict.Invalid_response | Verdict.Fault _ -> Compromised
+  | Verdict.Timed_out _ | Verdict.Bad_auth | Verdict.Not_fresh _ -> Unresponsive
+
+(* history entries keep the verifier-local verdict where one exists so the
+   pre-chaos ledger format (and render_health) is unchanged *)
+let verifier_verdict_opt = function
+  | Verdict.Trusted -> Some Verifier.Trusted
+  | Verdict.Untrusted_state -> Some Verifier.Untrusted_state
+  | Verdict.Invalid_response -> Some Verifier.Invalid_response
+  | Verdict.Bad_auth | Verdict.Not_fresh _ | Verdict.Fault _ | Verdict.Timed_out _ ->
+    None
+
+(* nearest-rank percentile over an already-sorted sample *)
+let percentile_of_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+(* Run one member through one (loss, policy) cell: install its private
+   seeded impairment, attest [rounds] times with the 1 s stagger advance
+   between rounds (same unit steps as [sweep], so timestamp freshness
+   behaves identically), then put the wire back to pristine. Touches only
+   the member's own world — safe to run members on separate domains. *)
+let chaos_member m ~imp_seed ~loss ~policy ~rounds =
+  let session = m.session in
+  let profile =
+    if loss <= 0.0 then Ra_net.Impairment.pristine else Ra_net.Impairment.lossy loss
+  in
+  Session.set_impairment session
+    (Some
+       (Ra_net.Impairment.create ~to_prover:profile ~to_verifier:profile ~seed:imp_seed
+          ()));
+  let converged = ref 0 in
+  let attempts = ref 0 in
+  let durations = ref [] in
+  for _ = 1 to rounds do
+    Session.advance_time session ~seconds:stagger_seconds;
+    let time = Session.time session in
+    let at = Ra_net.Simtime.now time in
+    let r = Session.attest_round_r ~policy session in
+    Ra_obs.Registry.Histogram.observe Mc.time (r.Session.r_elapsed_s *. 1000.0);
+    attempts := !attempts + r.Session.r_attempts;
+    (match r.Session.r_verdict with
+    | Verdict.Timed_out _ -> Ra_obs.Registry.Counter.inc Mc.timed_out
+    | _ ->
+      Ra_obs.Registry.Counter.inc Mc.converged;
+      incr converged;
+      durations := r.Session.r_elapsed_s :: !durations);
+    m.health <- classify_verdict r.Session.r_verdict;
+    m.sweeps <- m.sweeps + 1;
+    m.history <- (at +. r.Session.r_elapsed_s, verifier_verdict_opt r.Session.r_verdict) :: m.history
+  done;
+  Session.set_impairment session None;
+  (!converged, !attempts, !durations)
+
+let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10) ~losses
+    ~policies t =
+  if losses = [] then invalid_arg "Fleet.chaos_sweep: no loss rates";
+  if policies = [] then invalid_arg "Fleet.chaos_sweep: no policies";
+  if rounds_per_member < 1 then invalid_arg "Fleet.chaos_sweep: rounds_per_member < 1";
+  List.iter (fun (_, p) -> Retry.validate p) policies;
+  let members = Array.of_list t.members in
+  let n = Array.length members in
+  let domains = max 1 (min domains n) in
+  let seeder = Ra_crypto.Prng.create seed in
+  let cells =
+    List.concat_map
+      (fun loss -> List.map (fun (name, policy) -> (loss, name, policy)) policies)
+      losses
+  in
+  let run_cell (loss, policy_name, policy) =
+    (* per-member impairment seeds drawn sequentially from the root seed,
+       so the schedule is identical however many domains run the cell *)
+    let seeds = Array.init n (fun _ -> Ra_crypto.Prng.next_int64 seeder) in
+    let results = Array.make n (0, 0, []) in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          chaos_member members.(i) ~imp_seed:seeds.(i) ~loss ~policy
+            ~rounds:rounds_per_member;
+        worker ()
+      end
+    in
+    if domains = 1 then worker ()
+    else begin
+      let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned
+    end;
+    let total = n * rounds_per_member in
+    let converged = Array.fold_left (fun acc (c, _, _) -> acc + c) 0 results in
+    let attempts = Array.fold_left (fun acc (_, a, _) -> acc + a) 0 results in
+    let durations =
+      Array.of_list
+        (Array.fold_left (fun acc (_, _, ds) -> List.rev_append ds acc) [] results)
+    in
+    Array.sort compare durations;
+    {
+      c_loss = loss;
+      c_policy = policy_name;
+      c_rounds = total;
+      c_converged = converged;
+      c_mean_attempts = float_of_int attempts /. float_of_int total;
+      c_p50_s = percentile_of_sorted durations 50.0;
+      c_p90_s = percentile_of_sorted durations 90.0;
+      c_p99_s = percentile_of_sorted durations 99.0;
+    }
+  in
+  let grid = List.map run_cell cells in
+  t.last_chaos <- grid;
+  grid
+
+let last_chaos t = t.last_chaos
+
+let convergence_pct cell =
+  100.0 *. float_of_int cell.c_converged /. float_of_int cell.c_rounds
+
 let summary t = List.map (fun m -> (m.name, m.health, m.sweeps)) t.members
 
 let compromised t =
@@ -175,6 +332,7 @@ type snapshot = {
   s_sweep_latency_p50_ms : float;
   s_sweep_latency_p90_ms : float;
   s_sweep_latency_p99_ms : float;
+  s_chaos : chaos_cell list;
 }
 
 let count_health members h =
@@ -221,6 +379,7 @@ let health_snapshot ?(registry = Ra_obs.Registry.default) t =
     s_sweep_latency_p50_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 50.0;
     s_sweep_latency_p90_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 90.0;
     s_sweep_latency_p99_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 99.0;
+    s_chaos = t.last_chaos;
   }
 
 let pp_verdict_opt fmt = function
@@ -233,9 +392,24 @@ let render_health snapshot =
   Format.fprintf fmt "fleet: %d healthy, %d compromised, %d unresponsive, %d unknown@."
     snapshot.s_healthy snapshot.s_compromised snapshot.s_unresponsive
     snapshot.s_unknown;
-  Format.fprintf fmt "sweep latency: p50 <= %.0f ms, p90 <= %.0f ms, p99 <= %.0f ms@."
-    snapshot.s_sweep_latency_p50_ms snapshot.s_sweep_latency_p90_ms
-    snapshot.s_sweep_latency_p99_ms;
+  (* the percentiles are nan when no plain sweep ever fed the histogram
+     (e.g. a chaos-only run) — skip the line rather than print nan *)
+  if Float.is_finite snapshot.s_sweep_latency_p50_ms then
+    Format.fprintf fmt
+      "sweep latency: p50 <= %.0f ms, p90 <= %.0f ms, p99 <= %.0f ms@."
+      snapshot.s_sweep_latency_p50_ms snapshot.s_sweep_latency_p90_ms
+      snapshot.s_sweep_latency_p99_ms;
+  if snapshot.s_chaos <> [] then begin
+    Format.fprintf fmt "chaos sweep (loss x policy -> convergence):@.";
+    List.iter
+      (fun c ->
+        Format.fprintf fmt
+          "  loss=%4.0f%% policy=%-10s %5.1f%% converged (%d/%d) mean attempts %.2f \
+           p50 %.3f s p90 %.3f s p99 %.3f s@."
+          (100.0 *. c.c_loss) c.c_policy (convergence_pct c) c.c_converged c.c_rounds
+          c.c_mean_attempts c.c_p50_s c.c_p90_s c.c_p99_s)
+      snapshot.s_chaos
+  end;
   List.iter
     (fun r ->
       let last =

@@ -57,6 +57,62 @@ val sweep_par : ?domains:int -> t -> (string * Verifier.verdict option) list
 val stagger_seconds : float
 (** 1 s between consecutive devices in a sweep. *)
 
+(** {2 Chaos sweeps}
+
+    A chaos sweep runs the retry engine against a deliberately impaired
+    wire, over a grid of loss rates × backoff policies, and reports how
+    often — and how fast — rounds still converge. This is the §3.1
+    availability question asked from the network side: the paper hardens
+    the prover against bogus requests; the chaos sweep measures what the
+    *benign* protocol machinery must tolerate. *)
+
+type chaos_cell = {
+  c_loss : float;  (** per-direction i.i.d. loss probability *)
+  c_policy : string;  (** policy name as given to {!chaos_sweep} *)
+  c_rounds : int;  (** members × rounds_per_member *)
+  c_converged : int;  (** rounds that produced a verdict *)
+  c_mean_attempts : float;  (** transmissions per round, averaged *)
+  c_p50_s : float;
+      (** convergence-time percentiles (simulated s), over converged
+          rounds only; 0 when nothing converged *)
+  c_p90_s : float;
+  c_p99_s : float;
+}
+
+val chaos_latency_buckets : float array
+(** Buckets of [ra_chaos_round_time_ms] — wider than the sweep-latency
+    buckets, since backed-off rounds legitimately take tens of seconds. *)
+
+val classify_verdict : Verdict.t -> health
+(** Unified-verdict analogue of the sweep classifier: [Trusted] is
+    healthy; wrong state, invalid responses and anchor faults are
+    compromised; timeouts and rejected requests are unresponsive. *)
+
+val chaos_sweep :
+  ?seed:int64 ->
+  ?domains:int ->
+  ?rounds_per_member:int ->
+  losses:float list ->
+  policies:(string * Retry.policy) list ->
+  t ->
+  chaos_cell list
+(** For every (loss, policy) cell: give each member its own
+    deterministically-seeded impairment (derived from [seed], stable
+    across [domains] settings), run [rounds_per_member] retry-engine
+    rounds per member with the usual 1 s stagger, then restore a pristine
+    wire. Updates each member's health ledger from its last round, feeds
+    [ra_chaos_rounds_total{result}] and [ra_chaos_round_time_ms], and
+    remembers the grid for {!health_snapshot}. Members run on up to
+    [domains] OCaml domains (default 4); results are deterministic in
+    [seed] regardless.
+    @raise Invalid_argument on an empty grid or an invalid policy. *)
+
+val last_chaos : t -> chaos_cell list
+(** The grid from the most recent {!chaos_sweep} (empty before any). *)
+
+val convergence_pct : chaos_cell -> float
+(** [100 * converged / rounds]. *)
+
 val summary : t -> (string * health * int) list
 (** (name, current health, sweeps performed) for every member. *)
 
@@ -92,6 +148,7 @@ type snapshot = {
   s_sweep_latency_p50_ms : float;
   s_sweep_latency_p90_ms : float;
   s_sweep_latency_p99_ms : float;
+  s_chaos : chaos_cell list; (* last chaos grid, empty before any sweep *)
 }
 
 val sweep_latency_buckets : float array

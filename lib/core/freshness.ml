@@ -8,7 +8,7 @@ type policy =
   | Counter
   | Timestamp of { window_ms : int64 }
 
-type reject =
+type reject = Verdict.freshness_reject =
   | Missing_field
   | Wrong_field
   | Replayed_nonce
@@ -95,14 +95,7 @@ let policy_label = function
   | Counter -> "counter"
   | Timestamp _ -> "timestamp"
 
-let reject_label = function
-  | Missing_field -> "missing_field"
-  | Wrong_field -> "wrong_field"
-  | Replayed_nonce -> "replayed_nonce"
-  | Stale_counter _ -> "stale_counter"
-  | Stale_or_reordered_timestamp _ -> "stale_or_reordered_timestamp"
-  | Delayed_timestamp _ -> "delayed_timestamp"
-  | Future_timestamp _ -> "future_timestamp"
+let reject_label = Verdict.freshness_label
 
 let check_counter_name = "ra_freshness_checks_total"
 
@@ -144,17 +137,5 @@ let check_and_update t field =
 let history_bytes t = List.fold_left (fun acc n -> acc + String.length n) 0 t.nonces
 let history_length t = t.nonce_count
 
-let pp_reject fmt = function
-  | Missing_field -> Format.pp_print_string fmt "missing freshness field"
-  | Wrong_field -> Format.pp_print_string fmt "freshness field of wrong kind"
-  | Replayed_nonce -> Format.pp_print_string fmt "replayed nonce"
-  | Stale_counter { got; stored } ->
-    Format.fprintf fmt "stale counter (got %Ld, stored %Ld)" got stored
-  | Stale_or_reordered_timestamp { got; last } ->
-    Format.fprintf fmt "stale/reordered timestamp (got %Ld, last %Ld)" got last
-  | Delayed_timestamp { got; now; window } ->
-    Format.fprintf fmt "delayed timestamp (got %Ld, prover now %Ld, window %Ld)" got now
-      window
-  | Future_timestamp { got; now; window } ->
-    Format.fprintf fmt "future timestamp (got %Ld, prover now %Ld, window %Ld)" got now
-      window
+let pp_reject = Verdict.pp_freshness_reject
+let current_cell = load_cell

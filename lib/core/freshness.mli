@@ -20,7 +20,9 @@ type policy =
   | Counter
   | Timestamp of { window_ms : int64 }
 
-type reject =
+(** Re-export of {!Verdict.freshness_reject}: the same value flows
+    unchanged into a [Not_fresh] verdict, so the two types are one. *)
+type reject = Verdict.freshness_reject =
   | Missing_field (* request lacks the field the policy needs *)
   | Wrong_field (* field of another policy's type *)
   | Replayed_nonce
@@ -57,5 +59,9 @@ val history_bytes : state -> int
     other policies beyond their fixed 8-byte cell). *)
 
 val history_length : state -> int
+
+val current_cell : state -> int64
+(** Read the 8-byte freshness cell (stored counter / last accepted
+    timestamp) through the MPU — test hook for monotonicity checks. *)
 
 val pp_reject : Format.formatter -> reject -> unit

@@ -1,0 +1,34 @@
+type policy = {
+  max_attempts : int;
+  base_timeout_s : float;
+  multiplier : float;
+  max_timeout_s : float;
+  jitter : float;
+}
+
+let default =
+  {
+    max_attempts = 8;
+    base_timeout_s = 0.5;
+    multiplier = 2.0;
+    max_timeout_s = 30.0;
+    jitter = 0.1;
+  }
+
+let no_retry = { default with max_attempts = 1; jitter = 0.0 }
+let impatient = { default with max_attempts = 3; base_timeout_s = 0.2 }
+
+let validate p =
+  if p.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if not (p.base_timeout_s > 0.0) then invalid_arg "Retry: base_timeout_s must be > 0";
+  if not (p.multiplier >= 1.0) then invalid_arg "Retry: multiplier must be >= 1";
+  if not (p.max_timeout_s >= p.base_timeout_s) then
+    invalid_arg "Retry: max_timeout_s must be >= base_timeout_s";
+  if not (p.jitter >= 0.0 && p.jitter <= 1.0) then
+    invalid_arg "Retry: jitter must be in [0, 1]"
+
+let timeout_s p ~attempt ~u =
+  if attempt < 1 then invalid_arg "Retry.timeout_s: attempt is 1-based";
+  let raw = p.base_timeout_s *. (p.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw p.max_timeout_s in
+  capped *. (1.0 -. (p.jitter /. 2.0) +. (p.jitter *. u))

@@ -1,0 +1,37 @@
+(** Retransmission policy for attestation rounds over a lossy channel.
+
+    Timeouts grow exponentially and carry jitter so a fleet of provers
+    that lost the same burst does not retransmit in lockstep:
+
+    {v timeout(n) = min(base * multiplier^(n-1), cap) * (1 - j/2 + j*u) v}
+
+    with [u] uniform in [0,1). With the {!default} policy (8 attempts)
+    and 20% loss in each direction — per-attempt success 0.8 * 0.8 =
+    0.64 — a round fails only with probability 0.36^8 ≈ 3e-4, which is
+    what makes the ≥99% convergence target of the chaos sweeps hold. *)
+
+type policy = {
+  max_attempts : int;  (** total transmissions, including the first *)
+  base_timeout_s : float;  (** reply window for attempt 1 *)
+  multiplier : float;  (** window growth per attempt, ≥ 1 *)
+  max_timeout_s : float;  (** cap on the un-jittered window *)
+  jitter : float;  (** full width of the jitter band, in [0, 1] *)
+}
+
+val default : policy
+(** 8 attempts, 0.5 s base, ×2 growth capped at 30 s, 10% jitter. *)
+
+val no_retry : policy
+(** A single attempt — the pre-retry-engine behaviour. *)
+
+val impatient : policy
+(** 3 attempts, 0.2 s base — gives up fast; for latency-sensitive
+    services that prefer a quick [Timed_out] over a long stall. *)
+
+val validate : policy -> unit
+(** @raise Invalid_argument on non-positive attempts/timeouts,
+    [multiplier < 1] or [jitter] outside [0, 1]. *)
+
+val timeout_s : policy -> attempt:int -> u:float -> float
+(** The jittered reply window for [attempt] (1-based), with [u] the
+    uniform draw in [0, 1). *)

@@ -239,6 +239,14 @@ let request_of_wire = function
 let ack_to_wire ack =
   Message.Service_ack { acked_command = ack.acked_command; ack_report = ack.ack_report }
 
+let to_verdict = function
+  | Service_bad_auth -> Verdict.Bad_auth
+  | Service_not_fresh r -> Verdict.Not_fresh r
+  | Service_fault f ->
+    Verdict.Fault { fault_addr = f.Cpu.fault_addr; fault_code = f.Cpu.fault_code }
+
+let handle_r t req = Result.map_error to_verdict (handle t req)
+
 let pp_reject fmt = function
   | Service_bad_auth -> Format.pp_print_string fmt "service authentication failed"
   | Service_not_fresh r -> Format.fprintf fmt "service not fresh: %a" Freshness.pp_reject r

@@ -79,6 +79,12 @@ val handle : t -> request -> (ack, reject) result
     modeled cycle cost (erase: one write per byte; update: one flash word
     program per 4 bytes; ping: bookkeeping only). *)
 
+val to_verdict : reject -> Verdict.t
+(** Embed a service reject into the unified {!Verdict.t}. *)
+
+val handle_r : t -> request -> (ack, Verdict.t) result
+(** {!handle} with the error in the unified vocabulary. *)
+
 val request_to_wire : request -> Message.wire
 (** Serialize for the channel (frame type [V]). *)
 

@@ -15,6 +15,8 @@ type t = {
   sym_key : string;
   pending : (string, Message.attreq) Hashtbl.t; (* challenge -> request *)
   mutable verdicts : (float * Verifier.verdict) list; (* newest first *)
+  mutable verdict_count : int; (* = List.length verdicts, O(1) *)
+  retry_prng : Ra_crypto.Prng.t; (* jitter draws for the retry engine *)
   mutable sync_counter : int64;
   mutable sync_acks : int;
   mutable service_counter : int64;
@@ -68,6 +70,8 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
       sym_key;
       pending = Hashtbl.create 8;
       verdicts = [];
+      verdict_count = 0;
+      retry_prng = Ra_crypto.Prng.create 0x5e551017L;
       sync_counter = 0L;
       sync_acks = 0;
       service_counter = 0L;
@@ -78,7 +82,8 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
      dropped with a trace record, the radio cost is still paid), run the
      trust anchor, keep wall time in lock-step with consumed device
      cycles, answer on the wire. *)
-  Channel.on_receive channel Channel.Prover_side (fun frame ->
+  let (_ : string Channel.Endpoint.handle) =
+    Channel.Endpoint.attach channel Channel.Prover_side (fun frame ->
       match Message.wire_of_bytes frame with
       | None ->
         Ra_mcu.Energy.consume_radio
@@ -144,8 +149,10 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
           | Error reject ->
             Trace.recordf trace "prover: service rejected: %a" Service.pp_reject reject))
       | Message.Sync_response _ | Message.Response _ | Message.Service_ack _ ->
-        Trace.record trace "prover: ignored non-request message");
-  Channel.on_receive channel Channel.Verifier_side (fun frame ->
+        Trace.record trace "prover: ignored non-request message")
+  in
+  let (_ : string Channel.Endpoint.handle) =
+    Channel.Endpoint.attach channel Channel.Verifier_side (fun frame ->
       match Message.wire_of_bytes frame with
       | None -> Trace.record trace "verifier: malformed frame dropped"
       | Some wire ->
@@ -157,6 +164,7 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
           Hashtbl.remove t.pending resp.Message.echo_challenge;
           let verdict = Verifier.check_response verifier ~request:req resp in
           t.verdicts <- (Simtime.now time, verdict) :: t.verdicts;
+          t.verdict_count <- t.verdict_count + 1;
           Trace.recordf trace "verifier: verdict %a" Verifier.pp_verdict verdict)
       | Message.Sync_response _ as ack ->
         if Clock_sync.check_sync_ack ~sym_key:t.sym_key ~counter:t.sync_counter ack then begin
@@ -168,7 +176,8 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
         t.service_acks <- acked_command :: t.service_acks;
         Trace.recordf trace "verifier: service %s acknowledged" acked_command
       | Message.Request _ | Message.Sync_request _ | Message.Service_request _ ->
-        Trace.record trace "verifier: ignored non-response message");
+        Trace.record trace "verifier: ignored non-response message")
+  in
   t
 
 let time t = t.time
@@ -203,18 +212,17 @@ let deliver_next_to_verifier t =
 
 let attest_round t =
   Trace.with_span t.trace "attest.round" (fun () ->
-      let before = List.length t.verdicts in
+      let before = t.verdict_count in
       let _req = send_request t in
       let _ = deliver_next_to_prover t in
       (* drain the prover->verifier direction until this round's verdict
          lands or the wire is empty — under a DoS flood the sweep's response
          queues behind the attacker's junk *)
       let rec drain () =
-        if List.length t.verdicts = before && deliver_next_to_verifier t then drain ()
+        if t.verdict_count = before && deliver_next_to_verifier t then drain ()
       in
       drain ();
-      if List.length t.verdicts > before then Some (snd (List.nth t.verdicts 0))
-      else None)
+      if t.verdict_count > before then Some (snd (List.nth t.verdicts 0)) else None)
 
 let sync_round t =
   Trace.with_span t.trace "sync.round" (fun () ->
@@ -258,3 +266,95 @@ let prover_wall_ms t =
 let advance_time t ~seconds =
   Simtime.advance_by t.time seconds;
   Device.idle t.prover.Architecture.device ~seconds
+
+(* ---- impaired channel + retry engine ---- *)
+
+let set_impairment t imp =
+  match imp with
+  | None -> Channel.set_impairment t.channel None
+  | Some _ -> Channel.set_impairment t.channel ~mangle:Channel.mangle_string imp
+
+type round = { r_verdict : Verdict.t; r_attempts : int; r_elapsed_s : float }
+
+(* per-verdict round counters, precreated: one atomic add per round *)
+module Mr = struct
+  let round v =
+    Ra_obs.Registry.Counter.get ~labels:[ ("verdict", v) ] "ra_session_rounds_total"
+
+  let handles =
+    List.map
+      (fun v -> (v, round v))
+      [
+        "trusted";
+        "untrusted_state";
+        "invalid_response";
+        "bad_auth";
+        "not_fresh";
+        "fault";
+        "timed_out";
+      ]
+
+  let count verdict =
+    Ra_obs.Registry.Counter.inc (List.assoc (Verdict.label verdict) handles)
+end
+
+let attest_round_r ?(policy = Retry.default) t =
+  Retry.validate policy;
+  let started = Simtime.now t.time in
+  let finish ~attempts verdict =
+    Mr.count verdict;
+    { r_verdict = verdict; r_attempts = attempts; r_elapsed_s = Simtime.now t.time -. started }
+  in
+  Trace.with_span t.trace "attest.round" (fun () ->
+      let rec attempt n =
+        (* A fresh request per attempt — never a byte-identical
+           retransmission. The freshness counter/timestamp advances with
+           every attempt, so a replay of any earlier transmission stays
+           rejectable and the prover's cell is monotone across the whole
+           retry schedule. *)
+        let before = t.verdict_count in
+        let _req = send_request t in
+        let window =
+          Retry.timeout_s policy ~attempt:n ~u:(Ra_crypto.Prng.float t.retry_prng 1.0)
+        in
+        let deadline = Simtime.deadline t.time ~after:window in
+        (* Pump both directions until a verdict lands or the wire goes
+           quiet. In-flight traffic is always processed — the reply
+           window only governs how long the device idles once nothing is
+           moving. A step cap keeps this total under pathological
+           impairments (reorder probability 1 ping-pongs two messages
+           forever). *)
+        let rec pump steps =
+          if t.verdict_count > before then ()
+          else begin
+            let moved_fwd = deliver_next_to_prover t in
+            let moved_back = deliver_next_to_verifier t in
+            if t.verdict_count = before && (moved_fwd || moved_back) then
+              if steps < 100_000 then pump (steps + 1)
+              else Trace.record t.trace "retry: pump step cap hit, backing off"
+          end
+        in
+        pump 0;
+        if t.verdict_count > before then begin
+          let verdict = Verifier.to_verdict (snd (List.nth t.verdicts 0)) in
+          Trace.recordf t.trace "retry: verdict on attempt %d" n;
+          finish ~attempts:n verdict
+        end
+        else begin
+          (* wire is quiet: the device idles away the rest of the reply
+             window (battery drains while it waits) *)
+          let rest = Simtime.remaining t.time deadline in
+          if rest > 0.0 then advance_time t ~seconds:rest;
+          if n < policy.Retry.max_attempts then begin
+            Trace.recordf t.trace "retry: attempt %d timed out, retransmitting" n;
+            attempt (n + 1)
+          end
+          else begin
+            Trace.recordf t.trace "retry: giving up after %d attempts" n;
+            finish ~attempts:n
+              (Verdict.Timed_out
+                 { attempts = n; waited_s = Simtime.now t.time -. started })
+          end
+        end
+      in
+      attempt 1)

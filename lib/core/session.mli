@@ -57,6 +57,28 @@ val attest_round : t -> Verifier.verdict option
 (** One benign end-to-end round; [None] if the prover sent no response
     (rejected request). *)
 
+val set_impairment : t -> Ra_net.Impairment.t option -> unit
+(** Install (or clear) a seeded impairment model on the session's
+    channel; frames corrupt via {!Ra_net.Channel.mangle_string}. *)
+
+type round = {
+  r_verdict : Verdict.t;
+  r_attempts : int;  (** transmissions used, ≥ 1 *)
+  r_elapsed_s : float;  (** simulated seconds from first send to verdict *)
+}
+
+val attest_round_r : ?policy:Retry.policy -> t -> round
+(** One attestation round under the retry engine: send, pump the
+    (possibly impaired) wire until it goes quiet, idle out whatever
+    remains of the jittered reply window, retransmit with an
+    exponentially grown window —
+    until a verdict lands or the policy's attempts run out, which yields
+    [Timed_out]. Every attempt is a {e fresh} request (new challenge,
+    advanced freshness field), so retransmissions never weaken replay
+    protection and the prover's freshness cell stays monotone. With no
+    impairment installed this is byte-for-byte the classic benign round,
+    resolved on attempt 1. *)
+
 val sync_round : t -> bool
 (** One authenticated clock-synchronization exchange (future-work
     item 2) over the same channel; [true] when the verifier receives a

@@ -1,0 +1,59 @@
+(** The one vocabulary every handler's outcome is expressed in.
+
+    Before this module, the library had three ad-hoc rejection types —
+    [Code_attest.reject], [Service.reject] and the verifier's bare
+    [verdict] — that all said overlapping things ("authentication
+    failed", "not fresh", "the MPU faulted") in incompatible ways, and no
+    way at all to say "the round never resolved". Each of those types
+    survives as a thin alias/conversion so existing callers compile, but
+    the [*_r] handler variants and the retry engine speak {!t}.
+
+    Depends on nothing above the obs layer, so every core module
+    (including {!Freshness}, whose reject type is re-exported from here)
+    can use it without cycles. *)
+
+(** Why a freshness check failed — shared by the attestation anchor, the
+    service envelope and the clock-sync handler. [Freshness.reject] is an
+    equation for this type. *)
+type freshness_reject =
+  | Missing_field  (** request lacks the field the policy needs *)
+  | Wrong_field  (** field of another policy's type *)
+  | Replayed_nonce
+  | Stale_counter of { got : int64; stored : int64 }
+  | Stale_or_reordered_timestamp of { got : int64; last : int64 }
+  | Delayed_timestamp of { got : int64; now : int64; window : int64 }
+  | Future_timestamp of { got : int64; now : int64; window : int64 }
+
+type t =
+  | Trusted  (** report matches the reference state *)
+  | Untrusted_state  (** authentic-looking response, wrong memory *)
+  | Invalid_response  (** echo mismatch / malformed *)
+  | Bad_auth  (** request/invocation authentication failed *)
+  | Not_fresh of freshness_reject
+  | Fault of { fault_addr : int; fault_code : string }
+      (** the EA-MPU denied the handler an access *)
+  | Timed_out of { attempts : int; waited_s : float }
+      (** the round never resolved: every attempt's reply window expired *)
+
+val accepted : t -> bool
+(** [true] only for [Trusted]. *)
+
+val label : t -> string
+(** Stable lower-snake metric label ([trusted], [untrusted_state],
+    [invalid_response], [bad_auth], [not_fresh], [fault], [timed_out]). *)
+
+val freshness_label : freshness_reject -> string
+(** The label set {!Freshness} has always exported ([missing_field],
+    [stale_counter], ...). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_freshness_reject : Format.formatter -> freshness_reject -> unit
+
+(** {2 Obs JSON sink}
+
+    Int64 payloads are encoded as decimal strings (JSON numbers are
+    doubles; counters are not). *)
+
+val to_json : t -> Ra_obs.Json.t
+val of_json : Ra_obs.Json.t -> t option
+(** Total inverse of {!to_json}; [None] on anything else. *)

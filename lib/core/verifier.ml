@@ -114,6 +114,13 @@ let check_response t ~request (resp : Message.attresp) =
     | Invalid_response -> M.invalid_response);
   verdict
 
+let to_verdict = function
+  | Trusted -> Verdict.Trusted
+  | Untrusted_state -> Verdict.Untrusted_state
+  | Invalid_response -> Verdict.Invalid_response
+
+let check_response_r t ~request resp = to_verdict (check_response t ~request resp)
+
 let set_reference_image t image = t.reference_image <- image
 
 let pp_verdict fmt = function

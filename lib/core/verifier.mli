@@ -39,6 +39,13 @@ val make_request : t -> Message.attreq
 
 val check_response : t -> request:Message.attreq -> Message.attresp -> verdict
 
+val to_verdict : verdict -> Verdict.t
+(** Embed the verifier-local verdict into the unified {!Verdict.t}. *)
+
+val check_response_r : t -> request:Message.attreq -> Message.attresp -> Verdict.t
+(** {!check_response} expressed in the unified vocabulary; the retry
+    engine and new callers should prefer this. *)
+
 val set_reference_image : t -> string -> unit
 (** Update the known-good state (e.g. after an authorized code update). *)
 

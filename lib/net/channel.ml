@@ -2,14 +2,35 @@ type side = Verifier_side | Prover_side
 
 type 'msg sent = { sent_at : float; src : side; payload : 'msg }
 
-type 'msg t = {
+(* Growable buffers instead of newest-first lists: campaign runs append
+   hundreds of thousands of entries, and List-based appends made every
+   transcript/pending access an O(n) reverse (O(n^2) across a run). The
+   transcript is append-only; pending entries are consumed possibly out
+   of order (take-oldest-from-src skips the other side's messages), so
+   its cells carry a [taken] flag and a head index skips the consumed
+   prefix. *)
+type 'msg cell = { entry : 'msg sent; mutable taken : bool }
+
+type 'msg handle = {
+  h_side : side;
+  h_fn : 'msg -> unit;
+  mutable h_active : bool;
+  h_owner : 'msg t;
+}
+
+and 'msg t = {
   time : Simtime.t;
   trace : Trace.t;
-  mutable transcript : 'msg sent list; (* newest first *)
-  mutable pending : 'msg sent list; (* newest first *)
+  mutable transcript : 'msg sent array; (* first t_len slots are live *)
+  mutable t_len : int;
+  mutable pending : 'msg cell array; (* live window is [p_head, p_len) *)
+  mutable p_len : int;
+  mutable p_head : int;
   seen : ('msg, unit) Hashtbl.t; (* every payload ever sent *)
-  mutable rx_verifier : ('msg -> unit) option;
-  mutable rx_prover : ('msg -> unit) option;
+  mutable rx_verifier : 'msg handle list; (* newest-attached first *)
+  mutable rx_prover : 'msg handle list;
+  mutable impairment : Impairment.t option;
+  mutable mangle : ('msg -> salt:int -> 'msg) option;
 }
 
 (* Handles are created once at module init; per-event cost is one
@@ -38,38 +59,105 @@ let create time trace =
   {
     time;
     trace;
-    transcript = [];
-    pending = [];
+    transcript = [||];
+    t_len = 0;
+    pending = [||];
+    p_len = 0;
+    p_head = 0;
     seen = Hashtbl.create 64;
-    rx_verifier = None;
-    rx_prover = None;
+    rx_verifier = [];
+    rx_prover = [];
+    impairment = None;
+    mangle = None;
   }
 
 let time t = t.time
 let trace t = t.trace
 
-let on_receive t side f =
-  match side with
-  | Verifier_side -> t.rx_verifier <- Some f
-  | Prover_side -> t.rx_prover <- Some f
+(* ---- endpoints ---- *)
+
+module Endpoint = struct
+  type nonrec 'msg handle = 'msg handle
+
+  let stack t side =
+    match side with Verifier_side -> t.rx_verifier | Prover_side -> t.rx_prover
+
+  let set_stack t side v =
+    match side with Verifier_side -> t.rx_verifier <- v | Prover_side -> t.rx_prover <- v
+
+  let attach t side f =
+    let h = { h_side = side; h_fn = f; h_active = true; h_owner = t } in
+    set_stack t side (h :: stack t side);
+    h
+
+  let detach h =
+    if h.h_active then begin
+      h.h_active <- false;
+      let t = h.h_owner in
+      set_stack t h.h_side (List.filter (fun h' -> h' != h) (stack t h.h_side))
+    end
+
+  let is_attached h = h.h_active
+  let side h = h.h_side
+end
+
+let on_receive t side f = ignore (Endpoint.attach t side f)
+
+let receiver t side =
+  match Endpoint.stack t side with [] -> None | h :: _ -> Some h.h_fn
+
+(* ---- growable buffers ---- *)
+
+let push_transcript t entry =
+  if t.t_len = Array.length t.transcript then begin
+    let grown = Array.make (max 16 (2 * t.t_len)) entry in
+    Array.blit t.transcript 0 grown 0 t.t_len;
+    t.transcript <- grown
+  end;
+  t.transcript.(t.t_len) <- entry;
+  t.t_len <- t.t_len + 1
+
+let push_pending t entry =
+  let cell = { entry; taken = false } in
+  if t.p_len = Array.length t.pending then begin
+    (* compact the consumed prefix before growing *)
+    if t.p_head > 0 then begin
+      Array.blit t.pending t.p_head t.pending 0 (t.p_len - t.p_head);
+      t.p_len <- t.p_len - t.p_head;
+      t.p_head <- 0
+    end;
+    if t.p_len = Array.length t.pending then begin
+      let grown = Array.make (max 16 (2 * t.p_len)) cell in
+      Array.blit t.pending 0 grown 0 t.p_len;
+      t.pending <- grown
+    end
+  end;
+  t.pending.(t.p_len) <- cell;
+  t.p_len <- t.p_len + 1
 
 let send t ~src payload =
   let entry = { sent_at = Simtime.now t.time; src; payload } in
-  t.transcript <- entry :: t.transcript;
-  t.pending <- entry :: t.pending;
+  push_transcript t entry;
+  push_pending t entry;
   if not (Hashtbl.mem t.seen payload) then Hashtbl.replace t.seen payload ();
   Ra_obs.Registry.Counter.inc
     (match src with Verifier_side -> M.sent_verifier | Prover_side -> M.sent_prover);
   Trace.recordf t.trace "net: %a sent a message" pp_side src
 
-let transcript t = List.rev t.transcript
-let undelivered t = List.rev t.pending
+let transcript t = List.init t.t_len (fun i -> t.transcript.(i))
+
+let undelivered t =
+  let out = ref [] in
+  for i = t.p_len - 1 downto t.p_head do
+    let cell = t.pending.(i) in
+    if not cell.taken then out := cell.entry :: !out
+  done;
+  !out
 
 type delivery_kind = Forwarded | Adversarial
 
 let deliver_kind t ~kind ~dst payload =
-  let rx = match dst with Verifier_side -> t.rx_verifier | Prover_side -> t.rx_prover in
-  match rx with
+  match receiver t dst with
   | None ->
     Ra_obs.Registry.Counter.inc M.lost;
     Trace.recordf t.trace "net: delivery to %a lost (no receiver)" pp_side dst
@@ -88,27 +176,104 @@ let deliver_kind t ~kind ~dst payload =
 
 let deliver t ~dst payload = deliver_kind t ~kind:Adversarial ~dst payload
 
+let skip_taken t =
+  while t.p_head < t.p_len && t.pending.(t.p_head).taken do
+    t.p_head <- t.p_head + 1
+  done;
+  if t.p_head = t.p_len then begin
+    (* everything consumed: recycle the window *)
+    t.p_head <- 0;
+    t.p_len <- 0
+  end
+
 let take_oldest t ~src =
-  match List.rev t.pending with
-  | [] -> None
-  | oldest_first ->
-    let rec split acc = function
-      | [] -> None
-      | e :: rest when e.src = src -> Some (e, List.rev_append acc rest)
-      | e :: rest -> split (e :: acc) rest
-    in
-    (match split [] oldest_first with
-    | None -> None
-    | Some (e, remaining_oldest_first) ->
-      t.pending <- List.rev remaining_oldest_first;
-      Some e)
+  skip_taken t;
+  let rec scan i =
+    if i >= t.p_len then None
+    else begin
+      let cell = t.pending.(i) in
+      if (not cell.taken) && cell.entry.src = src then begin
+        cell.taken <- true;
+        skip_taken t;
+        Some cell.entry
+      end
+      else scan (i + 1)
+    end
+  in
+  scan t.p_head
+
+let has_pending t ~src =
+  let rec scan i =
+    if i >= t.p_len then false
+    else begin
+      let cell = t.pending.(i) in
+      ((not cell.taken) && cell.entry.src = src) || scan (i + 1)
+    end
+  in
+  scan t.p_head
+
+(* ---- impairment ---- *)
+
+let set_impairment t ?mangle imp =
+  t.impairment <- imp;
+  t.mangle <- mangle
+
+let impairment t = t.impairment
+
+let mangle_string s ~salt =
+  let len = String.length s in
+  if len = 0 then s
+  else begin
+    let i = salt mod len in
+    let mask = 1 + ((salt lsr 8) mod 255) in
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+    Bytes.unsafe_to_string b
+  end
+
+let forward_impaired t imp ~dst entry =
+  let dir =
+    match dst with
+    | Prover_side -> Impairment.To_prover
+    | Verifier_side -> Impairment.To_verifier
+  in
+  let src = entry.src in
+  let impaired what =
+    Trace.recordf t.trace "net: impairment %s a message to %a" what pp_side dst
+  in
+  match Impairment.decide imp ~dir with
+  | Impairment.Pass -> deliver_kind t ~kind:Forwarded ~dst entry.payload
+  | Impairment.Drop -> impaired "dropped"
+  | Impairment.Duplicate ->
+    impaired "duplicated";
+    deliver_kind t ~kind:Forwarded ~dst entry.payload;
+    deliver_kind t ~kind:Forwarded ~dst entry.payload
+  | Impairment.Reorder ->
+    if has_pending t ~src then begin
+      (* overtaken by the next message: back of the queue it goes *)
+      impaired "reordered";
+      push_pending t entry
+    end
+    else deliver_kind t ~kind:Forwarded ~dst entry.payload
+  | Impairment.Corrupt { salt } ->
+    (match t.mangle with
+    | Some mangle ->
+      impaired "corrupted";
+      deliver_kind t ~kind:Forwarded ~dst (mangle entry.payload ~salt)
+    | None -> impaired "dropped (corrupt, no mangler)")
+  | Impairment.Delay extra ->
+    impaired "delayed";
+    Simtime.advance_by t.time extra;
+    deliver_kind t ~kind:Forwarded ~dst entry.payload
 
 let forward_next t ~dst =
   let src = match dst with Verifier_side -> Prover_side | Prover_side -> Verifier_side in
   match take_oldest t ~src with
   | None -> false
   | Some e ->
-    deliver_kind t ~kind:Forwarded ~dst e.payload;
+    (match t.impairment with
+    | None -> deliver_kind t ~kind:Forwarded ~dst e.payload
+    | Some imp -> forward_impaired t imp ~dst e);
     true
 
 let drop_next t ~src =

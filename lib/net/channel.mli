@@ -4,6 +4,12 @@
     the paper's `Adv_ext` drops, delays, reorders, replays (the full
     transcript stays available forever) and injects its own messages.
 
+    On top of the adversary, an optional {!Impairment} model chaos-tests
+    the {e benign} forwarding path ({!forward_next}): seeded loss,
+    duplication, reordering, corruption and delay, with
+    [ra_channel_impairments_total] counters per kind. With no impairment
+    installed, behaviour is byte-identical to the unimpaired channel.
+
     ['msg] is the wire message type (defined in the attestation core). *)
 
 type side = Verifier_side | Prover_side
@@ -17,8 +23,32 @@ val create : Simtime.t -> Trace.t -> 'msg t
 val time : 'msg t -> Simtime.t
 val trace : 'msg t -> Trace.t
 
+(** {2 Endpoints}
+
+    Receivers are attached as explicit handles. The newest attached
+    handle on a side receives deliveries; detaching it restores the
+    previously attached one (attachments nest like a stack), which fixes
+    the old setter API's silent-replacement bug: installing a receiver no
+    longer destroys the previous one with no way back. *)
+
+module Endpoint : sig
+  type 'msg handle
+
+  val attach : 'msg t -> side -> ('msg -> unit) -> 'msg handle
+  (** Attach a receiver; it shadows (does not destroy) any receiver
+      already attached on that side. *)
+
+  val detach : 'msg handle -> unit
+  (** Detach; the most recently attached still-active receiver on that
+      side (if any) resumes receiving. Idempotent. *)
+
+  val is_attached : 'msg handle -> bool
+  val side : 'msg handle -> side
+end
+
 val on_receive : 'msg t -> side -> ('msg -> unit) -> unit
-(** Install the receiver callback for a side (replaces any previous). *)
+(** Deprecated alias for {!Endpoint.attach} that discards the handle.
+    Kept so existing callers compile; new code should hold the handle. *)
 
 val send : 'msg t -> src:side -> 'msg -> unit
 (** Put a message on the wire: recorded in the transcript, given to
@@ -32,13 +62,35 @@ val undelivered : 'msg t -> 'msg sent list
 
 val deliver : 'msg t -> dst:side -> 'msg -> unit
 (** Hand a message (genuine, replayed or forged) to a receiver. No-op
-    with a trace record if the side has no receiver installed. *)
+    with a trace record if the side has no receiver installed. Never
+    impaired: adversarial delivery is the adversary's own choice. *)
 
 val forward_next : 'msg t -> dst:side -> bool
 (** Convenience for benign runs: deliver the oldest undelivered message
-    that was sent by the opposite side; [false] if none pending. *)
+    that was sent by the opposite side; [false] if none pending. When an
+    impairment model is installed the delivery may be dropped, duplicated,
+    reordered behind the next pending message, corrupted (via the mangle
+    hook) or delayed (simulated time advances); [true] still means one
+    pending message was consumed or re-queued. *)
 
 val drop_next : 'msg t -> src:side -> bool
 (** Discard the oldest undelivered message from [src]. *)
+
+(** {2 Impairment} *)
+
+val set_impairment :
+  'msg t -> ?mangle:('msg -> salt:int -> 'msg) -> Impairment.t option -> unit
+(** Install (or, with [None], remove) the impairment model consulted by
+    {!forward_next}. [mangle] realizes the [Corrupt] action on the
+    message representation; when omitted, corrupt decisions drop the
+    message instead (the receiver cannot be handed a frame nobody can
+    flip a byte of). *)
+
+val impairment : 'msg t -> Impairment.t option
+
+val mangle_string : string -> salt:int -> string
+(** XOR one salt-chosen byte with a salt-derived non-zero mask — the
+    [mangle] hook for [string]-framed channels. Empty strings pass
+    through unchanged. *)
 
 val pp_side : Format.formatter -> side -> unit

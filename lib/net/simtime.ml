@@ -10,3 +10,13 @@ let advance_by t dt =
 let advance_to t target =
   if target < t.now then invalid_arg "Simtime.advance_to: target in the past";
   t.now <- target
+
+type deadline = float
+
+let deadline t ~after =
+  if after < 0.0 then invalid_arg "Simtime.deadline: negative delay";
+  t.now +. after
+
+let expired t d = t.now >= d
+
+let remaining t d = Float.max 0.0 (d -. t.now)

@@ -14,3 +14,20 @@ val advance_by : t -> float -> unit
 
 val advance_to : t -> float -> unit
 (** @raise Invalid_argument if the target is in the past. *)
+
+(** {2 Timers}
+
+    A deadline is an absolute instant on this clock; the retry engine
+    arms one per attempt and sleeps the remaining simulated time when the
+    wire goes quiet. *)
+
+type deadline = private float
+
+val deadline : t -> after:float -> deadline
+(** The instant [after] seconds from now.
+    @raise Invalid_argument on a negative delay. *)
+
+val expired : t -> deadline -> bool
+
+val remaining : t -> deadline -> float
+(** Seconds until the deadline; 0 once it has passed. *)

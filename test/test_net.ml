@@ -128,6 +128,63 @@ let test_replay_from_transcript () =
   | _ -> Alcotest.fail "expected one transcript entry");
   Alcotest.(check int) "three deliveries total" 3 !count
 
+let test_endpoint_attach_shadows () =
+  let _, ch = make_channel () in
+  let got = ref [] in
+  let tag name m = got := (name, m) :: !got in
+  let base = Channel.Endpoint.attach ch Channel.Prover_side (tag "base") in
+  Channel.send ch ~src:Channel.Verifier_side "m1";
+  ignore (Channel.forward_next ch ~dst:Channel.Prover_side);
+  (* a newer handle shadows, not destroys, the existing receiver *)
+  let shadow = Channel.Endpoint.attach ch Channel.Prover_side (tag "shadow") in
+  Channel.send ch ~src:Channel.Verifier_side "m2";
+  ignore (Channel.forward_next ch ~dst:Channel.Prover_side);
+  (* detaching the shadow restores the original *)
+  Channel.Endpoint.detach shadow;
+  Channel.send ch ~src:Channel.Verifier_side "m3";
+  ignore (Channel.forward_next ch ~dst:Channel.Prover_side);
+  Alcotest.(check (list (pair string string)))
+    "stacked receivers"
+    [ ("base", "m3"); ("shadow", "m2"); ("base", "m1") ]
+    !got;
+  Alcotest.(check bool) "shadow detached" false
+    (Channel.Endpoint.is_attached shadow);
+  Alcotest.(check bool) "base still attached" true
+    (Channel.Endpoint.is_attached base);
+  Alcotest.(check bool) "side recorded" true
+    (Channel.Endpoint.side base = Channel.Prover_side)
+
+let test_endpoint_detach_idempotent () =
+  let _, ch = make_channel () in
+  let got = ref 0 in
+  let a = Channel.Endpoint.attach ch Channel.Prover_side (fun _ -> incr got) in
+  let b = Channel.Endpoint.attach ch Channel.Prover_side (fun _ -> ()) in
+  Channel.Endpoint.detach b;
+  Channel.Endpoint.detach b;
+  (* double-detach must not pop the restored receiver underneath *)
+  Channel.send ch ~src:Channel.Verifier_side "m";
+  ignore (Channel.forward_next ch ~dst:Channel.Prover_side);
+  Alcotest.(check int) "original receiver survives double detach" 1 !got;
+  Channel.Endpoint.detach a;
+  Alcotest.(check bool) "fully detached" false (Channel.Endpoint.is_attached a);
+  (* no receiver left: delivery records a trace entry instead of raising *)
+  Channel.deliver ch ~dst:Channel.Prover_side "orphan";
+  Alcotest.(check int) "nothing received" 1 !got
+
+let test_endpoint_mid_stack_detach () =
+  let _, ch = make_channel () in
+  let got = ref [] in
+  let tag name m = got := (name, m) :: !got in
+  let _a = Channel.Endpoint.attach ch Channel.Prover_side (tag "a") in
+  let b = Channel.Endpoint.attach ch Channel.Prover_side (tag "b") in
+  let _c = Channel.Endpoint.attach ch Channel.Prover_side (tag "c") in
+  (* detaching below the top must not change who receives *)
+  Channel.Endpoint.detach b;
+  Channel.send ch ~src:Channel.Verifier_side "m";
+  ignore (Channel.forward_next ch ~dst:Channel.Prover_side);
+  Alcotest.(check (list (pair string string))) "top still receives"
+    [ ("c", "m") ] !got
+
 let tests =
   [
     Alcotest.test_case "simtime" `Quick test_simtime;
@@ -142,4 +199,10 @@ let tests =
     Alcotest.test_case "contains_substring edges" `Quick
       test_contains_substring_edges;
     QCheck_alcotest.to_alcotest prop_contains_substring;
+    Alcotest.test_case "endpoint attach shadows" `Quick
+      test_endpoint_attach_shadows;
+    Alcotest.test_case "endpoint detach idempotent" `Quick
+      test_endpoint_detach_idempotent;
+    Alcotest.test_case "endpoint mid-stack detach" `Quick
+      test_endpoint_mid_stack_detach;
   ]
