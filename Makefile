@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke chaos-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke examples docs clean loc
 
 all: build
 
@@ -21,6 +21,12 @@ bench-smoke:
 chaos-smoke:
 	dune exec bin/ra_cli.exe -- chaos --selftest
 	BENCH_SMOKE=1 dune exec bench/main.exe -- chaos
+
+# causal-tracing sanity: CLI selftest (Perfetto export, wire neutrality,
+# SLO edge cases), then the tracing-overhead gate
+trace-smoke:
+	dune exec bin/ra_cli.exe -- trace --selftest
+	BENCH_SMOKE=1 dune exec bench/main.exe -- trace
 
 examples:
 	dune exec examples/quickstart.exe

@@ -442,10 +442,205 @@ let chaos_cmd =
        ~doc:"Sweep loss rates x backoff policies over an impaired fleet")
     Term.(const run_chaos $ n $ rounds $ loss $ selftest)
 
+(* ---- trace ---- *)
+
+let run_trace n rounds loss out selftest =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else if not (loss >= 0.0 && loss < 1.0) then begin
+    Printf.eprintf "loss must be in [0, 1)\n";
+    1
+  end
+  else begin
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let fleet = Fleet.create ~ram_size:4096 ~names () in
+    Fleet.enable_tracing fleet;
+    let policies = [ ("default", Retry.default) ] in
+    let grid =
+      Fleet.chaos_sweep ~rounds_per_member:rounds ~losses:[ loss ] ~policies fleet
+    in
+    let recorded = Fleet.recent_rounds fleet in
+    let perfetto = Ra_obs.Export.perfetto_string recorded in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc perfetto;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes) — load it at ui.perfetto.dev or chrome://tracing\n"
+        path (String.length perfetto));
+    let events = List.fold_left (fun acc r -> acc + List.length r.Ra_obs.Trace.rd_events) 0 recorded in
+    Printf.printf "chaos cell: loss=%.0f%% policy=default, %d members x %d rounds\n"
+      (100.0 *. loss) n rounds;
+    Printf.printf "flight recorder: %d rounds, %d events, %d distinct trace ids\n"
+      (List.length recorded) events
+      (List.length
+         (List.sort_uniq compare
+            (List.map (fun r -> (r.Ra_obs.Trace.rd_device, r.Ra_obs.Trace.rd_trace_id)) recorded)));
+    let checks = Fleet.slo_watch fleet in
+    List.iter (fun c -> Format.printf "slo: %a@." Ra_obs.Slo.pp_check c) checks;
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      (* --- every recorded round is a well-formed causal tree --- *)
+      check "all rounds recorded" (List.length recorded = n * rounds);
+      let well_formed (r : Ra_obs.Trace.round) =
+        let ids = List.map (fun e -> e.Ra_obs.Trace.ev_id) r.Ra_obs.Trace.rd_events in
+        let id_set = List.sort_uniq compare ids in
+        List.length id_set = List.length ids
+        && (match r.Ra_obs.Trace.rd_events with
+           | root :: _ ->
+             root.Ra_obs.Trace.ev_id = 0
+             && root.Ra_obs.Trace.ev_name = Ra_obs.Trace.root_span_name
+             && root.Ra_obs.Trace.ev_parent = None
+           | [] -> false)
+        && List.for_all
+             (fun (e : Ra_obs.Trace.event) ->
+               match e.Ra_obs.Trace.ev_parent with
+               | None -> e.Ra_obs.Trace.ev_id = 0
+               | Some p -> List.mem p ids)
+             r.Ra_obs.Trace.rd_events
+      in
+      check "rounds are well-formed causal trees" (List.for_all well_formed recorded);
+      let count_named name r =
+        List.length
+          (List.filter
+             (fun (e : Ra_obs.Trace.event) -> e.Ra_obs.Trace.ev_name = name)
+             r.Ra_obs.Trace.rd_events)
+      in
+      check "one attempt span per transmission"
+        (List.for_all
+           (fun r -> count_named "retry.attempt" r = r.Ra_obs.Trace.rd_attempts)
+           recorded);
+      check "every round carries its final verdict"
+        (List.for_all (fun r -> count_named "verdict" r = 1) recorded);
+      check "impairment events captured"
+        (loss = 0.0
+        || List.exists (fun r -> count_named "net.drop" r > 0) recorded);
+      check "retries causally linked to drops"
+        (loss = 0.0
+        || List.exists (fun r -> r.Ra_obs.Trace.rd_attempts > 1) recorded);
+      (* --- Perfetto export parses; every event rides one trace id --- *)
+      (match Ra_obs.Json.of_string perfetto with
+      | Error _ -> check "perfetto JSON parses" false
+      | Ok j ->
+        let evs =
+          match Ra_obs.Json.member "traceEvents" j with
+          | Some (Ra_obs.Json.Arr evs) -> evs
+          | _ -> []
+        in
+        check "perfetto traceEvents non-empty" (evs <> []);
+        check "perfetto events carry tid = args.trace_id"
+          (List.for_all
+             (fun ev ->
+               match Ra_obs.Json.member "ph" ev with
+               | Some (Ra_obs.Json.Str "M") -> true (* metadata *)
+               | _ -> (
+                 match
+                   ( Ra_obs.Json.member "tid" ev,
+                     Option.bind (Ra_obs.Json.member "args" ev)
+                       (Ra_obs.Json.member "trace_id") )
+                 with
+                 | Some (Ra_obs.Json.Num tid), Some (Ra_obs.Json.Num tr) -> tid = tr
+                 | _ -> false))
+             evs));
+      (* --- JSONL round-trip --- *)
+      check "rounds JSONL round-trips"
+        (match Ra_obs.Export.parse_jsonl (Ra_obs.Export.rounds_jsonl recorded) with
+        | Ok js ->
+          List.length js = List.length recorded
+          && List.for_all2
+               (fun j r -> Ra_obs.Trace.round_of_json j = Some r)
+               js recorded
+        | Error _ -> false);
+      (* --- tracing never touches the wire: byte-identical transcripts --- *)
+      let transcript_of traced =
+        let s = Session.create ~ram_size:4096 () in
+        if traced then ignore (Session.enable_tracing s);
+        Session.advance_time s ~seconds:1.0;
+        Session.set_impairment s
+          (Some
+             (Ra_net.Impairment.create
+                ~to_prover:(Ra_net.Impairment.lossy 0.3)
+                ~to_verifier:(Ra_net.Impairment.lossy 0.3)
+                ~seed:42L ()));
+        let r = Session.attest_round_r s in
+        ( r.Session.r_verdict,
+          r.Session.r_attempts,
+          List.map
+            (fun e -> e.Ra_net.Channel.payload)
+            (Ra_net.Channel.transcript (Session.channel s)) )
+      in
+      check "transcripts byte-identical with tracing on/off"
+        (transcript_of true = transcript_of false);
+      check "paper model unchanged" (Experiment.table2 () = Experiment.expected_table2);
+      (* --- SLO watchdog --- *)
+      check "slo watchdog produced checks" (checks <> []);
+      check "default objectives met at this loss rate"
+        (Ra_obs.Slo.breaches checks = []);
+      check "impossible objective breaches"
+        (Fleet.slo_watch
+           ~policy:{ Fleet.default_slo_policy with slo_max_p99_s = 0.0 }
+           fleet
+        |> Ra_obs.Slo.breaches <> []);
+      check "exact-threshold observation is compliant"
+        (let c = List.hd grid in
+         (Ra_obs.Slo.evaluate ~scope:"selftest"
+            (Ra_obs.Slo.objective ~name:"selftest_exact"
+               ~limit:c.Fleet.c_p99_s Ra_obs.Slo.At_most)
+            ~observed:c.Fleet.c_p99_s)
+           .Ra_obs.Slo.ck_ok);
+      let exposition = Ra_obs.Export.render_prometheus Ra_obs.Registry.default in
+      let has family = Ra_net.Trace.contains_substring ~needle:family exposition in
+      List.iter
+        (fun family -> check ("exposition family " ^ family) (has family))
+        [
+          "ra_trace_rounds_total";
+          "ra_trace_events_total";
+          "ra_slo_evaluations_total{";
+          "ra_slo_breaches_total{";
+          "ra_slo_margin{";
+        ];
+      match !failures with
+      | [] ->
+        print_endline "trace selftest ok";
+        0
+      | fs ->
+        List.iter (fun f -> Printf.eprintf "trace selftest FAILED: %s\n" f) (List.rev fs);
+        1
+    end
+  end
+
+let trace_cmd =
+  let n = Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Fleet size.") in
+  let rounds =
+    Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"R" ~doc:"Traced rounds per member.")
+  in
+  let loss =
+    Arg.(value & opt float 0.2 & info [ "loss" ] ~docv:"P"
+           ~doc:"Per-direction loss probability for the traced chaos cell.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the Perfetto trace-event JSON here.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify causal linking, wire-neutrality, Perfetto/JSONL exports \
+                 and the SLO watchdog; non-zero exit on failure.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record causally-traced chaos rounds and export a Perfetto trace")
+    Term.(const run_trace $ n $ rounds $ loss $ out $ selftest)
+
 let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -293,6 +293,91 @@ let last_chaos t = t.last_chaos
 let convergence_pct cell =
   100.0 *. float_of_int cell.c_converged /. float_of_int cell.c_rounds
 
+(* ---- causal tracing: per-member flight recorders ---- *)
+
+let enable_tracing ?capacity ?max_events t =
+  List.iter
+    (fun m ->
+      ignore
+        (Session.enable_tracing ?capacity ?max_events ~device:m.name m.session))
+    t.members
+
+let disable_tracing t = List.iter (fun m -> Session.disable_tracing m.session) t.members
+
+let recent_rounds t =
+  List.concat_map
+    (fun m ->
+      match Session.tracing m.session with
+      | None -> []
+      | Some tracer -> Ra_obs.Trace.rounds tracer)
+    t.members
+
+(* ---- SLO watchdog over chaos cells and member ledgers ---- *)
+
+type slo_policy = {
+  slo_min_convergence_pct : float;
+  slo_max_p99_s : float;
+  slo_max_rejection_pct : float;
+}
+
+let default_slo_policy =
+  { slo_min_convergence_pct = 99.0; slo_max_p99_s = 60.0; slo_max_rejection_pct = 1.0 }
+
+let slo_watch ?(policy = default_slo_policy) t =
+  let open Ra_obs in
+  let convergence =
+    Slo.objective ~unit:"%" ~name:"chaos_convergence"
+      ~limit:policy.slo_min_convergence_pct Slo.At_least
+  in
+  let p99 =
+    Slo.objective ~unit:"s" ~name:"chaos_p99_latency" ~limit:policy.slo_max_p99_s
+      Slo.At_most
+  in
+  let rejection =
+    Slo.objective ~unit:"%" ~name:"fleet_rejection_rate"
+      ~limit:policy.slo_max_rejection_pct Slo.At_most
+  in
+  let cell_checks =
+    List.concat_map
+      (fun c ->
+        let scope =
+          Printf.sprintf "loss=%.0f%% policy=%s" (100.0 *. c.c_loss) c.c_policy
+        in
+        let conv = Slo.evaluate ~scope convergence ~observed:(convergence_pct c) in
+        (* p99 over converged rounds only; a cell where nothing converged
+           has no latency distribution to judge (convergence already
+           flags it) *)
+        if c.c_converged > 0 then
+          [ conv; Slo.evaluate ~scope p99 ~observed:c.c_p99_s ]
+        else [ conv ])
+      t.last_chaos
+  in
+  let total, rejected =
+    List.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun (total, rejected) (_, verdict) ->
+            match verdict with
+            | Some Verifier.Trusted -> (total + 1, rejected)
+            | Some Verifier.Untrusted_state | Some Verifier.Invalid_response
+            | None ->
+              (total + 1, rejected + 1))
+          acc m.history)
+      (0, 0) t.members
+  in
+  let ledger_checks =
+    (* an empty ledger (no sweeps yet) yields no checks rather than a
+       vacuous 0% pass *)
+    if total = 0 then []
+    else
+      [
+        Slo.evaluate ~scope:"fleet"
+          rejection
+          ~observed:(100.0 *. float_of_int rejected /. float_of_int total);
+      ]
+  in
+  cell_checks @ ledger_checks
+
 let summary t = List.map (fun m -> (m.name, m.health, m.sweeps)) t.members
 
 let compromised t =
@@ -333,6 +418,7 @@ type snapshot = {
   s_sweep_latency_p90_ms : float;
   s_sweep_latency_p99_ms : float;
   s_chaos : chaos_cell list;
+  s_slo : Ra_obs.Slo.check list;
 }
 
 let count_health members h =
@@ -380,6 +466,7 @@ let health_snapshot ?(registry = Ra_obs.Registry.default) t =
     s_sweep_latency_p90_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 90.0;
     s_sweep_latency_p99_ms = Ra_obs.Registry.Histogram.percentile sweep_latency 99.0;
     s_chaos = t.last_chaos;
+    s_slo = slo_watch t;
   }
 
 let pp_verdict_opt fmt = function
@@ -409,6 +496,16 @@ let render_health snapshot =
           (100.0 *. c.c_loss) c.c_policy (convergence_pct c) c.c_converged c.c_rounds
           c.c_mean_attempts c.c_p50_s c.c_p90_s c.c_p99_s)
       snapshot.s_chaos
+  end;
+  if snapshot.s_slo <> [] then begin
+    let breaches = Ra_obs.Slo.breaches snapshot.s_slo in
+    if breaches = [] then
+      Format.fprintf fmt "slo: all %d objectives met@."
+        (List.length snapshot.s_slo)
+    else
+      List.iter
+        (fun c -> Format.fprintf fmt "  slo: %a@." Ra_obs.Slo.pp_check c)
+        breaches
   end;
   List.iter
     (fun r ->

@@ -113,6 +113,47 @@ val last_chaos : t -> chaos_cell list
 val convergence_pct : chaos_cell -> float
 (** [100 * converged / rounds]. *)
 
+(** {2 Causal tracing}
+
+    With tracing enabled every member session carries a flight recorder
+    (see {!Session.enable_tracing}); each retry-engine round — including
+    every chaos round — is recorded as one {!Ra_obs.Trace.round} under
+    its own trace id, exportable with {!Ra_obs.Export.perfetto}. *)
+
+val enable_tracing : ?capacity:int -> ?max_events:int -> t -> unit
+(** Enable per-member flight recorders; the member name becomes the
+    Perfetto process name. *)
+
+val disable_tracing : t -> unit
+
+val recent_rounds : t -> Ra_obs.Trace.round list
+(** Sealed rounds still held in the members' rings, member order then
+    oldest first. Empty when tracing was never enabled. *)
+
+(** {2 SLO watchdog}
+
+    Typed objectives evaluated over the most recent chaos grid and the
+    members' sweep ledgers, emitting [ra_slo_*] metrics (see
+    {!Ra_obs.Slo}). *)
+
+type slo_policy = {
+  slo_min_convergence_pct : float;
+      (** per chaos cell, [At_least] ({!default_slo_policy}: 99%) *)
+  slo_max_p99_s : float;
+      (** per chaos cell with ≥ 1 converged round, [At_most] (60 s) *)
+  slo_max_rejection_pct : float;
+      (** fleet-wide share of ledger entries that are not [Trusted] —
+          rejections {e and} unanswered sweeps, [At_most] (1%) *)
+}
+
+val default_slo_policy : slo_policy
+
+val slo_watch : ?policy:slo_policy -> t -> Ra_obs.Slo.check list
+(** Evaluate the objectives now: two checks per chaos cell (latency
+    skipped for cells where nothing converged) plus the fleet rejection
+    rate (skipped while the ledgers are empty — an empty sweep yields no
+    checks rather than vacuous passes). *)
+
 val summary : t -> (string * health * int) list
 (** (name, current health, sweeps performed) for every member. *)
 
@@ -149,6 +190,7 @@ type snapshot = {
   s_sweep_latency_p90_ms : float;
   s_sweep_latency_p99_ms : float;
   s_chaos : chaos_cell list; (* last chaos grid, empty before any sweep *)
+  s_slo : Ra_obs.Slo.check list; (* = slo_watch with the default policy *)
 }
 
 val sweep_latency_buckets : float array

@@ -97,6 +97,7 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
         ~bytes:(Message.wire_size wire);
       match wire with
       | Message.Request req ->
+        Trace.causal_span trace ~cat:"prover" "prover.attest" (fun () ->
         let cpu = Device.cpu prover.Architecture.device in
         let before = Cpu.elapsed_seconds cpu in
         (* the span closes after Simtime catches up with the consumed
@@ -105,18 +106,20 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
         let result = Code_attest.handle_request prover.Architecture.anchor req in
         let spent = Cpu.elapsed_seconds cpu -. before in
         Simtime.advance_by time spent;
+        let result_label =
+          match result with
+          | Ok _ -> "attested"
+          | Error (Code_attest.Bad_auth) -> "bad_auth"
+          | Error (Code_attest.Not_fresh _) -> "not_fresh"
+          | Error (Code_attest.Anchor_fault _) -> "fault"
+        in
         Ra_obs.Span.exit (Trace.spans trace)
-          ~labels:
-            [
-              ( "result",
-                match result with
-                | Ok _ -> "attested"
-                | Error (Code_attest.Bad_auth) -> "bad_auth"
-                | Error (Code_attest.Not_fresh _) -> "not_fresh"
-                | Error (Code_attest.Anchor_fault _) -> "fault" );
-            ]
+          ~labels:[ ("result", result_label) ]
           span;
-        (match result with
+        Trace.causal_instant trace ~cat:"prover"
+          ~labels:[ ("result", result_label) ]
+          "prover.result";
+        match result with
         | Ok resp ->
           Trace.recordf trace "prover: attested (%.3f ms of work)" (spent *. 1000.0);
           Ra_mcu.Energy.consume_radio
@@ -162,9 +165,16 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
         | None -> Trace.record trace "verifier: unsolicited response ignored"
         | Some req ->
           Hashtbl.remove t.pending resp.Message.echo_challenge;
-          let verdict = Verifier.check_response verifier ~request:req resp in
+          let verdict =
+            Trace.causal_span trace ~cat:"verifier" "verifier.check" (fun () ->
+                Verifier.check_response verifier ~request:req resp)
+          in
           t.verdicts <- (Simtime.now time, verdict) :: t.verdicts;
           t.verdict_count <- t.verdict_count + 1;
+          Trace.causal_instant trace ~cat:"verifier"
+            ~labels:
+              [ ("verdict", Verdict.label (Verifier.to_verdict verdict)) ]
+            "verifier.verdict";
           Trace.recordf trace "verifier: verdict %a" Verifier.pp_verdict verdict)
       | Message.Sync_response _ as ack ->
         if Clock_sync.check_sync_ack ~sym_key:t.sym_key ~counter:t.sync_counter ack then begin
@@ -298,13 +308,62 @@ module Mr = struct
     Ra_obs.Registry.Counter.inc (List.assoc (Verdict.label verdict) handles)
 end
 
+(* ---- causal tracing -------------------------------------------------- *)
+
+let tracing t = Trace.tracer t.trace
+
+let enable_tracing ?capacity ?max_events ?(device = "prover") t =
+  let tracer =
+    Ra_obs.Trace.create ?capacity ?max_events ~device
+      ~clock:(fun () -> Simtime.now t.time)
+      ()
+  in
+  Trace.set_tracer t.trace (Some tracer);
+  (* Mirror the prover-side CPU-clocked sub-step spans (anchor.auth,
+     anchor.freshness, anchor.mac and the service ones) into the causal
+     timeline.
+     Their clock is prover CPU work, not Simtime, so they land as instants
+     at the current simulated time carrying the work as a cpu_ms label —
+     mixing the two timebases as span bounds would skew the timeline. *)
+  let mirror cat (f : Ra_obs.Span.finished) =
+    Trace.causal_instant t.trace ~cat
+      ~labels:
+        (("cpu_ms", Printf.sprintf "%.4f" (Ra_obs.Span.duration_ms f))
+        :: f.Ra_obs.Span.f_labels)
+      f.Ra_obs.Span.f_name
+  in
+  Ra_obs.Span.on_finish (Code_attest.spans t.prover.Architecture.anchor) (mirror "prover");
+  Ra_obs.Span.on_finish (Service.spans t.service) (mirror "service");
+  tracer
+
+let disable_tracing t = Trace.set_tracer t.trace None
+
 let attest_round_r ?(policy = Retry.default) t =
   Retry.validate policy;
   let started = Simtime.now t.time in
+  let tracer = Trace.tracer t.trace in
+  let cspan ?(labels = []) name =
+    Option.map (fun tr -> Ra_obs.Trace.span tr ~cat:"retry" ~labels name) tracer
+  in
+  let cfinish ?labels sp =
+    match (tracer, sp) with
+    | Some tr, Some sp -> Ra_obs.Trace.finish_span tr ?labels sp
+    | _ -> ()
+  in
   let finish ~attempts verdict =
     Mr.count verdict;
+    (match tracer with
+    | Some tr ->
+      (* the final verdict instant hangs off the round root, after the
+         last attempt span has closed *)
+      Trace.causal_instant t.trace ~cat:"verdict"
+        ~labels:[ ("verdict", Verdict.label verdict) ]
+        "verdict";
+      Ra_obs.Trace.end_round tr ~verdict:(Verdict.label verdict) ~attempts
+    | None -> ());
     { r_verdict = verdict; r_attempts = attempts; r_elapsed_s = Simtime.now t.time -. started }
   in
+  Option.iter (fun tr -> ignore (Ra_obs.Trace.begin_round tr)) tracer;
   Trace.with_span t.trace "attest.round" (fun () ->
       let rec attempt n =
         (* A fresh request per attempt — never a byte-identical
@@ -313,6 +372,9 @@ let attest_round_r ?(policy = Retry.default) t =
            rejectable and the prover's cell is monotone across the whole
            retry schedule. *)
         let before = t.verdict_count in
+        let attempt_sp =
+          cspan ~labels:[ ("attempt", string_of_int n) ] "retry.attempt"
+        in
         let _req = send_request t in
         let window =
           Retry.timeout_s policy ~attempt:n ~u:(Ra_crypto.Prng.float t.retry_prng 1.0)
@@ -338,13 +400,27 @@ let attest_round_r ?(policy = Retry.default) t =
         if t.verdict_count > before then begin
           let verdict = Verifier.to_verdict (snd (List.nth t.verdicts 0)) in
           Trace.recordf t.trace "retry: verdict on attempt %d" n;
+          cfinish ~labels:[ ("outcome", "verdict") ] attempt_sp;
           finish ~attempts:n verdict
         end
         else begin
           (* wire is quiet: the device idles away the rest of the reply
              window (battery drains while it waits) *)
           let rest = Simtime.remaining t.time deadline in
-          if rest > 0.0 then advance_time t ~seconds:rest;
+          if rest > 0.0 then begin
+            let backoff_sp =
+              cspan
+                ~labels:
+                  [
+                    ("attempt", string_of_int n);
+                    ("wait_s", Printf.sprintf "%.6f" rest);
+                  ]
+                "retry.backoff"
+            in
+            advance_time t ~seconds:rest;
+            cfinish backoff_sp
+          end;
+          cfinish ~labels:[ ("outcome", "timeout") ] attempt_sp;
           if n < policy.Retry.max_attempts then begin
             Trace.recordf t.trace "retry: attempt %d timed out, retransmitting" n;
             attempt (n + 1)

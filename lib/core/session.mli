@@ -93,6 +93,32 @@ val service_round : t -> Service.command -> bool
 val prover_wall_ms : t -> int64
 (** The prover's offset-corrected wall-clock (0 without a clock). *)
 
+(** {2 Causal tracing}
+
+    When enabled, every {!attest_round_r} call mints a trace id and
+    records one {!Ra_obs.Trace.round}: retry attempts and backoff waits
+    as child spans, channel tx/impairment events as instants, the
+    prover's anchor work and the verifier's check as child spans of the
+    delivery that caused them, and the final verdict — all under the
+    round's single trace id. The id is carried in process (through the
+    session's {!Ra_net.Trace.t}), never in a wire message; recording
+    only reads the simulated clock, so transcripts are byte-identical
+    with tracing on or off. *)
+
+val enable_tracing :
+  ?capacity:int -> ?max_events:int -> ?device:string -> t -> Ra_obs.Trace.t
+(** Attach a flight recorder ([capacity] sealed rounds, default 64) to
+    the session and mirror the prover-side CPU sub-step spans
+    (anchor/service auth, freshness, MAC) into it as instants carrying a
+    [cpu_ms] label. [device] (default ["prover"]) names the Perfetto
+    process. *)
+
+val disable_tracing : t -> unit
+(** Detach the tracer; already-sealed rounds stay readable via the
+    returned tracer. *)
+
+val tracing : t -> Ra_obs.Trace.t option
+
 val advance_time : t -> seconds:float -> unit
 (** Let wall-clock time pass for everyone: the network clock and the
     prover's sleeping device. *)

@@ -55,6 +55,8 @@ let pp_side fmt = function
   | Verifier_side -> Format.pp_print_string fmt "verifier"
   | Prover_side -> Format.pp_print_string fmt "prover"
 
+let side_label = function Verifier_side -> "verifier" | Prover_side -> "prover"
+
 let create time trace =
   {
     time;
@@ -142,7 +144,8 @@ let send t ~src payload =
   if not (Hashtbl.mem t.seen payload) then Hashtbl.replace t.seen payload ();
   Ra_obs.Registry.Counter.inc
     (match src with Verifier_side -> M.sent_verifier | Prover_side -> M.sent_prover);
-  Trace.recordf t.trace "net: %a sent a message" pp_side src
+  Trace.recordf t.trace "net: %a sent a message" pp_side src;
+  Trace.causal_instant t.trace ~cat:"net" ~labels:[ ("src", side_label src) ] "net.tx"
 
 let transcript t = List.init t.t_len (fun i -> t.transcript.(i))
 
@@ -160,7 +163,10 @@ let deliver_kind t ~kind ~dst payload =
   match receiver t dst with
   | None ->
     Ra_obs.Registry.Counter.inc M.lost;
-    Trace.recordf t.trace "net: delivery to %a lost (no receiver)" pp_side dst
+    Trace.recordf t.trace "net: delivery to %a lost (no receiver)" pp_side dst;
+    Trace.causal_instant t.trace ~cat:"net"
+      ~labels:[ ("dst", side_label dst) ]
+      "net.lost"
   | Some f ->
     let counter, label =
       match kind with
@@ -171,8 +177,12 @@ let deliver_kind t ~kind ~dst payload =
     in
     Ra_obs.Registry.Counter.inc counter;
     Trace.recordf t.trace "net: delivered to %a" pp_side dst;
-    Trace.with_span t.trace ~labels:[ ("kind", label) ] "channel.deliver" (fun () ->
-        f payload)
+    Trace.causal_span t.trace ~cat:"net"
+      ~labels:[ ("kind", label); ("dst", side_label dst) ]
+      "net.deliver"
+      (fun () ->
+        Trace.with_span t.trace ~labels:[ ("kind", label) ] "channel.deliver"
+          (fun () -> f payload))
 
 let deliver t ~dst payload = deliver_kind t ~kind:Adversarial ~dst payload
 
@@ -238,31 +248,35 @@ let forward_impaired t imp ~dst entry =
     | Verifier_side -> Impairment.To_verifier
   in
   let src = entry.src in
-  let impaired what =
-    Trace.recordf t.trace "net: impairment %s a message to %a" what pp_side dst
+  let impaired ?(labels = []) what event =
+    Trace.recordf t.trace "net: impairment %s a message to %a" what pp_side dst;
+    Trace.causal_instant t.trace ~cat:"impairment"
+      ~labels:(("dst", side_label dst) :: labels)
+      event
   in
   match Impairment.decide imp ~dir with
   | Impairment.Pass -> deliver_kind t ~kind:Forwarded ~dst entry.payload
-  | Impairment.Drop -> impaired "dropped"
+  | Impairment.Drop -> impaired "dropped" "net.drop"
   | Impairment.Duplicate ->
-    impaired "duplicated";
+    impaired "duplicated" "net.duplicate";
     deliver_kind t ~kind:Forwarded ~dst entry.payload;
     deliver_kind t ~kind:Forwarded ~dst entry.payload
   | Impairment.Reorder ->
     if has_pending t ~src then begin
       (* overtaken by the next message: back of the queue it goes *)
-      impaired "reordered";
+      impaired "reordered" "net.reorder";
       push_pending t entry
     end
     else deliver_kind t ~kind:Forwarded ~dst entry.payload
   | Impairment.Corrupt { salt } ->
     (match t.mangle with
     | Some mangle ->
-      impaired "corrupted";
+      impaired "corrupted" "net.corrupt";
       deliver_kind t ~kind:Forwarded ~dst (mangle entry.payload ~salt)
-    | None -> impaired "dropped (corrupt, no mangler)")
+    | None -> impaired "dropped (corrupt, no mangler)" "net.corrupt_drop")
   | Impairment.Delay extra ->
-    impaired "delayed";
+    impaired ~labels:[ ("delay_s", Printf.sprintf "%.6f" extra) ] "delayed"
+      "net.delay";
     Simtime.advance_by t.time extra;
     deliver_kind t ~kind:Forwarded ~dst entry.payload
 
@@ -282,4 +296,7 @@ let drop_next t ~src =
   | Some _ ->
     Ra_obs.Registry.Counter.inc M.dropped;
     Trace.recordf t.trace "net: adversary dropped a message from %a" pp_side src;
+    Trace.causal_instant t.trace ~cat:"net"
+      ~labels:[ ("src", side_label src) ]
+      "net.adv_drop";
     true

@@ -47,8 +47,10 @@ module Endpoint : sig
 end
 
 val on_receive : 'msg t -> side -> ('msg -> unit) -> unit
-(** Deprecated alias for {!Endpoint.attach} that discards the handle.
-    Kept so existing callers compile; new code should hold the handle. *)
+[@@ocaml.deprecated "Use Channel.Endpoint.attach and keep the handle."]
+(** @deprecated Alias for {!Endpoint.attach} that discards the handle,
+    so the receiver can never be detached. All in-tree callers have been
+    migrated; this alias will be removed in the next breaking release. *)
 
 val send : 'msg t -> src:side -> 'msg -> unit
 (** Put a message on the wire: recorded in the transcript, given to

@@ -4,11 +4,12 @@ type t = {
   time : Simtime.t;
   mutable entries : entry list; (* newest first *)
   spans : Ra_obs.Span.t;
+  mutable tracer : Ra_obs.Trace.t option; (* causal flight recorder, off by default *)
 }
 
 let create time =
   let spans = Ra_obs.Span.create ~clock:(fun () -> Simtime.now time) () in
-  let t = { time; entries = []; spans } in
+  let t = { time; entries = []; spans; tracer = None } in
   Ra_obs.Span.on_finish spans (fun f ->
       t.entries <-
         {
@@ -29,6 +30,23 @@ let entries t = List.rev t.entries
 let spans t = t.spans
 
 let with_span t ?labels name f = Ra_obs.Span.with_span t.spans ?labels name f
+
+(* ---- Causal tracing hooks --------------------------------------------- *)
+
+let set_tracer t tracer = t.tracer <- tracer
+let tracer t = t.tracer
+
+(* The disabled path is a single option match — cheap enough to leave the
+   calls unconditionally in channel/session hot paths. *)
+let causal_instant t ?labels ~cat name =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Ra_obs.Trace.instant tr ~cat ?labels name
+
+let causal_span t ?labels ~cat name f =
+  match t.tracer with
+  | None -> f ()
+  | Some tr -> Ra_obs.Trace.with_span tr ~cat ?labels name f
 
 let contains_substring ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in

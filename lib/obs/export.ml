@@ -135,6 +135,89 @@ let spans_jsonl ctx =
     (Span.finished ctx);
   Buffer.contents buf
 
+(* ---- Causal rounds: Chrome/Perfetto trace-event JSON ------------------- *)
+
+let us_of_s s = s *. 1e6
+
+(* One pid per device (first-appearance order, from 1), one tid per trace
+   id: Perfetto then renders each device as a process and each round as
+   its own track. Every event carries args.trace_id so causal membership
+   survives re-sorting in the viewer. *)
+let perfetto rounds =
+  let pids = Hashtbl.create 8 in
+  let pid_events = ref [] in
+  let pid_of device =
+    match Hashtbl.find_opt pids device with
+    | Some pid -> pid
+    | None ->
+      let pid = Hashtbl.length pids + 1 in
+      Hashtbl.replace pids device pid;
+      pid_events :=
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num (float_of_int pid));
+            ("args", Json.Obj [ ("name", Json.Str ("device:" ^ device)) ]);
+          ]
+        :: !pid_events;
+      pid
+  in
+  let event_json pid (rd : Trace.round) (ev : Trace.event) =
+    let args =
+      ("trace_id", Json.Num (float_of_int rd.Trace.rd_trace_id))
+      :: ("id", Json.Num (float_of_int ev.Trace.ev_id))
+      :: ( "parent",
+           match ev.Trace.ev_parent with
+           | None -> Json.Null
+           | Some p -> Json.Num (float_of_int p) )
+      :: List.map (fun (k, v) -> (k, Json.Str v)) ev.Trace.ev_labels
+    in
+    let base =
+      [
+        ("name", Json.Str ev.Trace.ev_name);
+        ("cat", Json.Str ev.Trace.ev_cat);
+        ("pid", Json.Num (float_of_int pid));
+        ("tid", Json.Num (float_of_int rd.Trace.rd_trace_id));
+        ("ts", Json.Num (us_of_s ev.Trace.ev_start));
+        ("args", Json.Obj args);
+      ]
+    in
+    match ev.Trace.ev_kind with
+    | Trace.Span_event ->
+      Json.Obj
+        (base
+        @ [
+            ("ph", Json.Str "X");
+            ("dur", Json.Num (us_of_s (ev.Trace.ev_stop -. ev.Trace.ev_start)));
+          ])
+    | Trace.Instant_event ->
+      Json.Obj (base @ [ ("ph", Json.Str "i"); ("s", Json.Str "t") ])
+  in
+  let round_events =
+    List.concat_map
+      (fun (rd : Trace.round) ->
+        let pid = pid_of rd.Trace.rd_device in
+        List.map (event_json pid rd) rd.Trace.rd_events)
+      rounds
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.rev !pid_events @ round_events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let perfetto_string rounds = Json.to_string (perfetto rounds)
+
+let rounds_jsonl rounds =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun rd ->
+      Buffer.add_string buf (Json.to_string (Trace.round_to_json rd));
+      Buffer.add_char buf '\n')
+    rounds;
+  Buffer.contents buf
+
 let parse_jsonl text =
   let lines = String.split_on_char '\n' text in
   let rec loop lineno acc = function

@@ -23,3 +23,19 @@ val spans_jsonl : Span.t -> string
 val parse_jsonl : string -> (Json.t list, string) result
 (** Parse a JSONL document (blank lines skipped); the first bad line
     aborts with its line number in the error. *)
+
+(** {2 Causal rounds (flight recorder)} *)
+
+val perfetto : Trace.round list -> Json.t
+(** Chrome/Perfetto trace-event JSON ([chrome://tracing] /
+    [ui.perfetto.dev] loadable). Each device becomes a process (pid in
+    first-appearance order, with a [process_name] metadata event), each
+    round a track (tid = trace id). Spans are complete events
+    ([ph:"X"], microsecond [ts]/[dur]); instants are [ph:"i"]. Every
+    event's [args] carries [trace_id], [id], [parent] and the event's
+    labels, so causal links survive viewer re-sorting. *)
+
+val perfetto_string : Trace.round list -> string
+
+val rounds_jsonl : Trace.round list -> string
+(** One {!Trace.round_to_json} object per line, in the given order. *)

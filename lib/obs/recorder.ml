@@ -1,0 +1,40 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int; (* next write position *)
+  mutable len : int;
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ra_obs.Recorder.create: capacity must be >= 1";
+  { slots = Array.make capacity None; head = 0; len = 0; evicted = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let evicted t = t.evicted
+
+let push t x =
+  let cap = Array.length t.slots in
+  if t.len = cap then t.evicted <- t.evicted + 1;
+  t.slots.(t.head) <- Some x;
+  t.head <- (t.head + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1
+
+let to_list t =
+  let cap = Array.length t.slots in
+  let first = (t.head - t.len + cap * 2) mod cap in
+  List.init t.len (fun i ->
+      match t.slots.((first + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let latest t =
+  if t.len = 0 then None else t.slots.((t.head - 1 + Array.length t.slots) mod Array.length t.slots)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.evicted <- 0
+
+let iter t f = List.iter f (to_list t)

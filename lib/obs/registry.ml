@@ -24,10 +24,20 @@ type t = {
   mutex : Mutex.t;
   table : (string * labels, metric) Hashtbl.t;
   kinds : (string, kind) Hashtbl.t;
+  series : (string, int) Hashtbl.t; (* series count per metric name *)
+  mutable max_series : int; (* cardinality cap per metric family *)
 }
 
+let default_max_series = 1024
+
 let create () =
-  { mutex = Mutex.create (); table = Hashtbl.create 64; kinds = Hashtbl.create 32 }
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    kinds = Hashtbl.create 32;
+    series = Hashtbl.create 32;
+    max_series = default_max_series;
+  }
 
 let default = create ()
 
@@ -39,6 +49,26 @@ let kind_name = function
   | K_counter -> "counter"
   | K_gauge -> "gauge"
   | K_histogram -> "histogram"
+
+let dropped_series_name = "ra_obs_dropped_series_total"
+
+(* Caller holds the mutex. Finds or creates the per-family dropped-series
+   counter directly (the mutex is not reentrant, so [Counter.get] cannot be
+   used from inside [register]) and bumps it. *)
+let note_dropped_series_unlocked t name =
+  let key = (dropped_series_name, canonical [ ("metric", name) ]) in
+  let counter =
+    match Hashtbl.find_opt t.table key with
+    | Some (M_counter c) -> c
+    | Some (M_gauge _ | M_histogram _) -> assert false
+    | None ->
+      if not (Hashtbl.mem t.kinds dropped_series_name) then
+        Hashtbl.replace t.kinds dropped_series_name K_counter;
+      let c = { c_value = Atomic.make 0 } in
+      Hashtbl.replace t.table key (M_counter c);
+      c
+  in
+  ignore (Atomic.fetch_and_add counter.c_value 1)
 
 let register t name labels kind make =
   let labels = canonical labels in
@@ -53,9 +83,28 @@ let register t name labels kind make =
       match Hashtbl.find_opt t.table (name, labels) with
       | Some m -> m
       | None ->
-        let m = make () in
-        Hashtbl.replace t.table (name, labels) m;
-        m)
+        let count = Option.value ~default:0 (Hashtbl.find_opt t.series name) in
+        if count >= t.max_series && name <> dropped_series_name then begin
+          (* Cardinality cap: hand back a live but unregistered handle so
+             the instrument site keeps working; the series is not exported. *)
+          note_dropped_series_unlocked t name;
+          make ()
+        end
+        else begin
+          let m = make () in
+          Hashtbl.replace t.table (name, labels) m;
+          Hashtbl.replace t.series name (count + 1);
+          m
+        end)
+
+let series_limit t = t.max_series
+
+let set_series_limit t limit =
+  if limit < 1 then invalid_arg "Ra_obs.Registry.set_series_limit: limit must be >= 1";
+  with_lock t (fun () -> t.max_series <- limit)
+
+let series_count t name =
+  with_lock t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.series name))
 
 let zero_bits = Int64.bits_of_float 0.0
 

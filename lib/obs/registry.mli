@@ -19,6 +19,29 @@ val default : t
 val reset : t -> unit
 (** Zero every metric in place (handles stay valid). Test helper. *)
 
+(** {2 Cardinality cap}
+
+    Each metric family (name) holds at most {!series_limit} label
+    combinations — unbounded label values (e.g. per-device names during
+    large fleet sweeps) cannot grow the registry without bound. Past the
+    cap, [get] still returns a live handle, but the series is not stored
+    or exported and [ra_obs_dropped_series_total{metric="<name>"}] is
+    incremented instead. *)
+
+val default_max_series : int
+(** 1024. *)
+
+val series_limit : t -> int
+
+val set_series_limit : t -> int -> unit
+(** @raise Invalid_argument when [limit < 1]. *)
+
+val series_count : t -> string -> int
+(** Registered (non-dropped) series for a metric family. *)
+
+val dropped_series_name : string
+(** ["ra_obs_dropped_series_total"] — itself exempt from the cap. *)
+
 type labels = (string * string) list
 (** Label pairs; order is irrelevant (canonicalised by key). *)
 

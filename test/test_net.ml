@@ -73,14 +73,14 @@ let make_channel () =
 let test_send_does_not_deliver () =
   let _, ch = make_channel () in
   let got = ref [] in
-  Channel.on_receive ch Channel.Prover_side (fun m -> got := m :: !got);
+  ignore (Channel.Endpoint.attach ch Channel.Prover_side (fun m -> got := m :: !got));
   Channel.send ch ~src:Channel.Verifier_side "hello";
   Alcotest.(check int) "nothing delivered" 0 (List.length !got);
   Alcotest.(check int) "on the wire" 1 (List.length (Channel.undelivered ch))
 
 let test_transcript_is_permanent () =
   let _, ch = make_channel () in
-  Channel.on_receive ch Channel.Prover_side (fun _ -> ());
+  ignore (Channel.Endpoint.attach ch Channel.Prover_side (fun _ -> ()));
   Channel.send ch ~src:Channel.Verifier_side "m1";
   let _ = Channel.forward_next ch ~dst:Channel.Prover_side in
   (* delivered messages stay in the eavesdropper's transcript *)
@@ -91,7 +91,7 @@ let test_transcript_is_permanent () =
 let test_forward_next_order_and_direction () =
   let _, ch = make_channel () in
   let got = ref [] in
-  Channel.on_receive ch Channel.Prover_side (fun m -> got := m :: !got);
+  ignore (Channel.Endpoint.attach ch Channel.Prover_side (fun m -> got := m :: !got));
   Channel.send ch ~src:Channel.Verifier_side "m1";
   Channel.send ch ~src:Channel.Prover_side "resp";
   Channel.send ch ~src:Channel.Verifier_side "m2";
@@ -117,7 +117,7 @@ let test_deliver_without_receiver () =
 let test_replay_from_transcript () =
   let _, ch = make_channel () in
   let count = ref 0 in
-  Channel.on_receive ch Channel.Prover_side (fun _ -> incr count);
+  ignore (Channel.Endpoint.attach ch Channel.Prover_side (fun _ -> incr count));
   Channel.send ch ~src:Channel.Verifier_side "req";
   let _ = Channel.forward_next ch ~dst:Channel.Prover_side in
   (* adversary replays from the transcript as many times as it likes *)
