@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke examples docs clean loc
 
 all: build
 
@@ -27,6 +27,12 @@ chaos-smoke:
 trace-smoke:
 	dune exec bin/ra_cli.exe -- trace --selftest
 	BENCH_SMOKE=1 dune exec bench/main.exe -- trace
+
+# event-queue scheduler sanity: CLI selftest (engine equivalence, deferred
+# delivery, determinism), then the 10k-device sweep gate (BENCH_sched.json)
+sched-smoke:
+	dune exec bin/ra_cli.exe -- sched --selftest
+	BENCH_SMOKE=1 dune exec bench/main.exe -- sched
 
 examples:
 	dune exec examples/quickstart.exe

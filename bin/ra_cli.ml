@@ -637,10 +637,168 @@ let trace_cmd =
        ~doc:"Record causally-traced chaos rounds and export a Perfetto trace")
     Term.(const run_trace $ n $ rounds $ loss $ out $ selftest)
 
+(* ---- sched ---- *)
+
+let run_sched n rounds loss selftest =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else if not (loss >= 0.0 && loss < 1.0) then begin
+    Printf.eprintf "loss must be in [0, 1)\n";
+    1
+  end
+  else begin
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let member_clock m = Ra_net.Simtime.now (Session.time (Fleet.member_session m)) in
+    (* everything observable about a fleet: verdict ledger, member
+       clocks and the raw wire transcripts — the event engine must
+       reproduce all of it byte-for-byte *)
+    let fleet_state f =
+      ( Fleet.summary f,
+        List.map Fleet.member_history (Fleet.members f),
+        List.map member_clock (Fleet.members f),
+        List.map
+          (fun m -> Ra_net.Channel.transcript (Session.channel (Fleet.member_session m)))
+          (Fleet.members f) )
+    in
+    let sweep_with engine =
+      let f = Fleet.create ~ram_size:4096 ~names () in
+      Fleet.advance f ~seconds:1.0;
+      let verdicts = Fleet.sweep ~engine f in
+      (verdicts, fleet_state f)
+    in
+    let sweep_seq = sweep_with `Seq in
+    let sweep_ev = sweep_with `Events in
+    let chaos_with engine =
+      let f = Fleet.create ~ram_size:4096 ~names () in
+      Fleet.enable_tracing f;
+      let grid =
+        Fleet.chaos_sweep ~seed:42L ~engine ~rounds_per_member:rounds
+          ~losses:[ 0.0; loss ]
+          ~policies:[ ("default", Retry.default) ]
+          f
+      in
+      (grid, fleet_state f, Fleet.recent_rounds f)
+    in
+    let chaos_seq = chaos_with `Seq in
+    let chaos_ev = chaos_with `Events in
+    let grid, _, _ = chaos_ev in
+    Printf.printf "engines: sequential oracle vs event queue, %d members x %d rounds\n\n"
+      n rounds;
+    Printf.printf "%-8s %12s %14s %10s %10s\n" "loss" "converged" "mean attempts"
+      "p50 (s)" "p99 (s)";
+    List.iter
+      (fun c ->
+        Printf.printf "%-8s %11.1f%% %14.2f %10.3f %10.3f\n"
+          (Printf.sprintf "%.0f%%" (100.0 *. c.Fleet.c_loss))
+          (Fleet.convergence_pct c) c.Fleet.c_mean_attempts c.Fleet.c_p50_s
+          c.Fleet.c_p99_s)
+      grid;
+    Printf.printf "\nsweep identical across engines: %b\n" (sweep_seq = sweep_ev);
+    Printf.printf "traced chaos identical across engines: %b\n" (chaos_seq = chaos_ev);
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      check "sweep: verdicts, ledgers, clocks and transcripts identical"
+        (sweep_seq = sweep_ev);
+      (let g1, s1, _ = chaos_seq
+       and g2, s2, _ = chaos_ev in
+       check "chaos: grid, ledgers, clocks and transcripts identical"
+         (g1 = g2 && s1 = s2));
+      (let _, _, r1 = chaos_seq
+       and _, _, r2 = chaos_ev in
+       check "flight recorders identical across engines" (r1 = r2));
+      check "event engine deterministic across runs" (chaos_with `Events = chaos_ev);
+      (* scheduler primitives: tie order is insertion order, past events
+         clamp to now instead of rewinding the timeline *)
+      let sched = Sched.create () in
+      let order = ref [] in
+      Sched.at sched ~at:2.0 (fun () -> order := "b" :: !order);
+      Sched.at sched ~at:1.0 (fun () ->
+          order := "a" :: !order;
+          Sched.at sched ~at:0.5 (fun () -> order := "clamped" :: !order));
+      ignore (Sched.run sched);
+      check "ties and past events fire deterministically"
+        (List.rev !order = [ "a"; "clamped"; "b" ] && Sched.now sched = 2.0);
+      (* delayed delivery through the queue: the defer hook turns an
+         inline Delay impairment into a scheduled delivery event *)
+      let time = Ra_net.Simtime.create () in
+      let ch = Ra_net.Channel.create time (Ra_net.Trace.create time) in
+      let got = ref [] in
+      let (_ : string Ra_net.Channel.Endpoint.handle) =
+        Ra_net.Channel.Endpoint.attach ch Ra_net.Channel.Prover_side (fun m ->
+            got := m :: !got)
+      in
+      Ra_net.Channel.set_impairment ch
+        (Some
+           (Ra_net.Impairment.create
+              ~to_prover:{ Ra_net.Impairment.pristine with delay = 1.0; delay_s = 0.5 }
+              ~seed:5L ()));
+      let dsched = Sched.create () in
+      Ra_net.Channel.set_defer ch
+        (Some
+           (fun delay deliver ->
+             Sched.after dsched ~delay (fun () ->
+                 Ra_net.Simtime.advance_to time (Sched.now dsched);
+                 deliver ())));
+      Ra_net.Channel.send ch ~src:Ra_net.Channel.Verifier_side "deferred";
+      let (_ : bool) = Ra_net.Channel.forward_next ch ~dst:Ra_net.Channel.Prover_side in
+      check "delayed delivery lands in the queue, not inline"
+        (!got = [] && Sched.pending dsched = 1);
+      ignore (Sched.run dsched);
+      check "deferred delivery fires at its delay"
+        (!got = [ "deferred" ] && Ra_net.Simtime.now time = Sched.now dsched);
+      let exposition = Ra_obs.Export.render_prometheus Ra_obs.Registry.default in
+      let has family = Ra_net.Trace.contains_substring ~needle:family exposition in
+      List.iter
+        (fun family -> check ("exposition family " ^ family) (has family))
+        [
+          "ra_sched_events_total{";
+          "ra_sched_queue_depth";
+          "ra_sched_lag_seconds_bucket{";
+        ];
+      check "scheduler fired at least one event per member round"
+        (Ra_obs.Registry.Counter.value
+           (Ra_obs.Registry.Counter.get ~labels:[ ("kind", "fired") ]
+              "ra_sched_events_total")
+        >= n * rounds);
+      check "paper model unchanged" (Experiment.table2 () = Experiment.expected_table2);
+      match !failures with
+      | [] ->
+        print_endline "sched selftest ok";
+        0
+      | fs ->
+        List.iter (fun f -> Printf.eprintf "sched selftest FAILED: %s\n" f) (List.rev fs);
+        1
+    end
+  end
+
+let sched_cmd =
+  let n = Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Fleet size.") in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds per member per cell.")
+  in
+  let loss =
+    Arg.(value & opt float 0.2 & info [ "loss" ] ~docv:"P"
+           ~doc:"Per-direction loss probability for the lossy cell.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify engine equivalence (verdicts, ledgers, transcripts, flight \
+                 recorders), scheduler determinism, deferred delivery and the \
+                 ra_sched_* metric families; non-zero exit on failure.")
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Run fleet sweeps on the deterministic event queue and compare engines")
+    Term.(const run_sched $ n $ rounds $ loss $ selftest)
+
 let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -93,26 +93,74 @@ let sweep_member m =
 
 let sweep_one t name = sweep_member (find t name)
 
-let sweep t =
-  List.map
-    (fun m ->
-      advance t ~seconds:stagger_seconds;
-      (m.name, sweep_member m))
-    t.members
+(* Index-based stagger offsets. Member i (0-based, of n) is swept after
+   i+1 stagger steps and ends the sweep with n steps total; the offsets
+   are computed by one multiplication instead of accumulating [+. stagger]
+   per step, so a 10k-member sweep is O(n) session operations, not O(n²),
+   and member clocks carry no accumulated rounding drift — [sweep],
+   [sweep_par] and the event engine all place member i's round at the
+   {e same} float, bit for bit. (With the 1 s default stagger both forms
+   are exact integers, so the switch is also bit-compatible with the old
+   unit-step accumulation.) *)
+let pre_offset i = float_of_int (i + 1) *. stagger_seconds
+let post_offset ~n i = (float_of_int n *. stagger_seconds) -. pre_offset i
+
+(* One member's share of a sweep: advance its private clock to its
+   staggered slot, attest, then advance it past everyone else's slots so
+   the whole fleet exits the sweep at the same clock. Touches only the
+   member's own world. *)
+let sweep_slot ~n i m =
+  Session.advance_time m.session ~seconds:(pre_offset i);
+  let verdict = sweep_member m in
+  Session.advance_time m.session ~seconds:(post_offset ~n i);
+  verdict
+
+let sweep_seq t =
+  let n = List.length t.members in
+  List.mapi (fun i m -> (m.name, sweep_slot ~n i m)) t.members
+
+(* Event-engine sweep: the staggered slots become events on one shared
+   timeline — member i's round fires at [pre_offset i] relative to the
+   sweep start. Sessions are independent worlds, so ordering execution
+   through the heap instead of a list fold changes nothing observable;
+   the scheduler records its depth/lag metrics on the way through. *)
+let sweep_events t =
+  let members = Array.of_list t.members in
+  let n = Array.length members in
+  let results = Array.make n None in
+  let sched = Sched.create () in
+  Array.iteri
+    (fun i m ->
+      Sched.at sched ~at:(pre_offset i) (fun () ->
+          (* same operation sequence as [sweep_slot], with the lag probe
+             between round and fast-forward: the lead over the timeline
+             is the round's own simulated work, not the bookkeeping jump
+             to the sweep's end *)
+          Session.advance_time m.session ~seconds:(pre_offset i);
+          let verdict = sweep_member m in
+          Sched.observe_lag sched
+            ~member_now:(Ra_net.Simtime.now (Session.time m.session));
+          Session.advance_time m.session ~seconds:(post_offset ~n i);
+          results.(i) <- Some verdict))
+    members;
+  let (_ : int) = Sched.run sched in
+  Array.to_list
+    (Array.mapi
+       (fun i m ->
+         match results.(i) with
+         | Some verdict -> (m.name, verdict)
+         | None -> assert false)
+       members)
+
+let sweep ?(engine = `Seq) t =
+  match engine with `Seq -> sweep_seq t | `Events -> sweep_events t
 
 (* Parallel sweep. Sessions are fully independent prover worlds (own
    Simtime/Trace/Channel/Verifier, no shared mutable state anywhere in the
    library), so independent members can be swept on separate domains.
-
-   Equivalence with [sweep]: there, every member's clock is advanced by
-   [stagger_seconds] once per member (n advances total), and member i is
-   swept after i+1 of those advances. Sweeping a member only touches its
-   own session, and advancing session A commutes with anything done to
-   session B. So per member i it is equivalent to: advance its own clock
-   i+1 steps, sweep it, advance the remaining n-i-1 steps — which needs no
-   cross-member coordination at all. The advances are performed in the same
-   unit steps as [sweep] so float accumulation (and therefore timestamp
-   freshness) is bit-identical to the sequential path. *)
+   Each worker runs the same [sweep_slot] as the sequential engine —
+   identical float operations in identical order per member, so verdicts,
+   ledgers and member clocks are bit-identical to [sweep]. *)
 let sweep_par ?(domains = 4) t =
   let members = Array.of_list t.members in
   let n = Array.length members in
@@ -124,15 +172,7 @@ let sweep_par ?(domains = 4) t =
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let m = members.(i) in
-        for _ = 1 to i + 1 do
-          Session.advance_time m.session ~seconds:stagger_seconds
-        done;
-        let verdict = sweep_member m in
-        for _ = 1 to n - i - 1 do
-          Session.advance_time m.session ~seconds:stagger_seconds
-        done;
-        results.(i) <- Some verdict;
+        results.(i) <- Some (sweep_slot ~n i members.(i));
         worker ()
       end
     in
@@ -192,45 +232,99 @@ let percentile_of_sorted sorted p =
     sorted.(max 0 (min (n - 1) rank))
   end
 
+(* Per-member accumulator for one (loss, policy) cell; both engines feed
+   it through [chaos_record], so the ledgers and metrics a cell produces
+   are independent of which engine ran it. *)
+type chaos_acc = {
+  mutable ca_converged : int;
+  mutable ca_attempts : int;
+  mutable ca_durations : float list;
+}
+
+let chaos_install m ~imp_seed ~loss =
+  let profile =
+    if loss <= 0.0 then Ra_net.Impairment.pristine else Ra_net.Impairment.lossy loss
+  in
+  Session.set_impairment m.session
+    (Some
+       (Ra_net.Impairment.create ~to_prover:profile ~to_verifier:profile ~seed:imp_seed
+          ()))
+
+(* One completed round's bookkeeping: metrics, cell accumulator, and the
+   member's health ledger. [at] is the member's clock at round start. *)
+let chaos_record m acc ~at (r : Session.round) =
+  Ra_obs.Registry.Histogram.observe Mc.time (r.Session.r_elapsed_s *. 1000.0);
+  acc.ca_attempts <- acc.ca_attempts + r.Session.r_attempts;
+  (match r.Session.r_verdict with
+  | Verdict.Timed_out _ -> Ra_obs.Registry.Counter.inc Mc.timed_out
+  | _ ->
+    Ra_obs.Registry.Counter.inc Mc.converged;
+    acc.ca_converged <- acc.ca_converged + 1;
+    acc.ca_durations <- r.Session.r_elapsed_s :: acc.ca_durations);
+  m.health <- classify_verdict r.Session.r_verdict;
+  m.sweeps <- m.sweeps + 1;
+  m.history <-
+    (at +. r.Session.r_elapsed_s, verifier_verdict_opt r.Session.r_verdict) :: m.history
+
 (* Run one member through one (loss, policy) cell: install its private
    seeded impairment, attest [rounds] times with the 1 s stagger advance
-   between rounds (same unit steps as [sweep], so timestamp freshness
+   between rounds (same advances as [sweep], so timestamp freshness
    behaves identically), then put the wire back to pristine. Touches only
    the member's own world — safe to run members on separate domains. *)
 let chaos_member m ~imp_seed ~loss ~policy ~rounds =
   let session = m.session in
-  let profile =
-    if loss <= 0.0 then Ra_net.Impairment.pristine else Ra_net.Impairment.lossy loss
-  in
-  Session.set_impairment session
-    (Some
-       (Ra_net.Impairment.create ~to_prover:profile ~to_verifier:profile ~seed:imp_seed
-          ()));
-  let converged = ref 0 in
-  let attempts = ref 0 in
-  let durations = ref [] in
+  chaos_install m ~imp_seed ~loss;
+  let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
   for _ = 1 to rounds do
     Session.advance_time session ~seconds:stagger_seconds;
-    let time = Session.time session in
-    let at = Ra_net.Simtime.now time in
+    let at = Ra_net.Simtime.now (Session.time session) in
     let r = Session.attest_round_r ~policy session in
-    Ra_obs.Registry.Histogram.observe Mc.time (r.Session.r_elapsed_s *. 1000.0);
-    attempts := !attempts + r.Session.r_attempts;
-    (match r.Session.r_verdict with
-    | Verdict.Timed_out _ -> Ra_obs.Registry.Counter.inc Mc.timed_out
-    | _ ->
-      Ra_obs.Registry.Counter.inc Mc.converged;
-      incr converged;
-      durations := r.Session.r_elapsed_s :: !durations);
-    m.health <- classify_verdict r.Session.r_verdict;
-    m.sweeps <- m.sweeps + 1;
-    m.history <- (at +. r.Session.r_elapsed_s, verifier_verdict_opt r.Session.r_verdict) :: m.history
+    chaos_record m acc ~at r
   done;
   Session.set_impairment session None;
-  (!converged, !attempts, !durations)
+  (acc.ca_converged, acc.ca_attempts, acc.ca_durations)
 
-let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10) ~losses
-    ~policies t =
+(* Event-engine chaos member: the same rounds, but every [Round_wait] of
+   the retry machine becomes a scheduled event instead of an inline
+   advance. Event keys are the member's own absolute clock (its next
+   round start or wait expiry); a member's keys are strictly increasing
+   and the heap pops the globally earliest, so the shared timeline is
+   monotone and round work from thousands of members interleaves in
+   deterministic (time, insertion) order. [Session.round_begin]'s resume
+   performs the identical [advance_time] the sequential driver performs,
+   so per-member results are bit-identical to [chaos_member]. *)
+let chaos_member_events sched m ~imp_seed ~loss ~policy ~rounds ~finished =
+  let session = m.session in
+  chaos_install m ~imp_seed ~loss;
+  let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
+  let member_now () = Ra_net.Simtime.now (Session.time session) in
+  let rec schedule_round rounds_left =
+    Sched.at sched
+      ~at:(member_now () +. stagger_seconds)
+      (fun () ->
+        Session.advance_time session ~seconds:stagger_seconds;
+        let at = member_now () in
+        drive rounds_left ~at (Session.round_begin ~policy session);
+        Sched.observe_lag sched ~member_now:(member_now ()))
+  and drive rounds_left ~at = function
+    | Session.Round_done r ->
+      chaos_record m acc ~at r;
+      if rounds_left > 1 then schedule_round (rounds_left - 1)
+      else begin
+        Session.set_impairment session None;
+        finished (acc.ca_converged, acc.ca_attempts, acc.ca_durations)
+      end
+    | Session.Round_wait { wait_s; resume } ->
+      Sched.at sched
+        ~at:(member_now () +. wait_s)
+        (fun () ->
+          drive rounds_left ~at (resume ());
+          Sched.observe_lag sched ~member_now:(member_now ()))
+  in
+  schedule_round rounds
+
+let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
+    ?(engine = `Seq) ~losses ~policies t =
   if losses = [] then invalid_arg "Fleet.chaos_sweep: no loss rates";
   if policies = [] then invalid_arg "Fleet.chaos_sweep: no policies";
   if rounds_per_member < 1 then invalid_arg "Fleet.chaos_sweep: rounds_per_member < 1";
@@ -246,25 +340,40 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10) ~los
   in
   let run_cell (loss, policy_name, policy) =
     (* per-member impairment seeds drawn sequentially from the root seed,
-       so the schedule is identical however many domains run the cell *)
+       so the schedule is identical however many domains run the cell —
+       and identical between the two engines *)
     let seeds = Array.init n (fun _ -> Ra_crypto.Prng.next_int64 seeder) in
     let results = Array.make n (0, 0, []) in
-    let next = Atomic.make 0 in
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <-
-          chaos_member members.(i) ~imp_seed:seeds.(i) ~loss ~policy
-            ~rounds:rounds_per_member;
-        worker ()
-      end
-    in
-    if domains = 1 then worker ()
-    else begin
-      let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      Array.iter Domain.join spawned
-    end;
+    (match engine with
+    | `Events ->
+      (* single-domain by design: determinism is the point; the heap
+         interleaves all members' rounds on one shared timeline *)
+      let sched = Sched.create () in
+      Array.iteri
+        (fun i m ->
+          chaos_member_events sched m ~imp_seed:seeds.(i) ~loss ~policy
+            ~rounds:rounds_per_member
+            ~finished:(fun r -> results.(i) <- r))
+        members;
+      let (_ : int) = Sched.run sched in
+      ()
+    | `Seq ->
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            chaos_member members.(i) ~imp_seed:seeds.(i) ~loss ~policy
+              ~rounds:rounds_per_member;
+          worker ()
+        end
+      in
+      if domains = 1 then worker ()
+      else begin
+        let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join spawned
+      end);
     let total = n * rounds_per_member in
     let converged = Array.fold_left (fun acc (c, _, _) -> acc + c) 0 results in
     let attempts = Array.fold_left (fun acc (_, a, _) -> acc + a) 0 results in

@@ -42,10 +42,20 @@ val advance : t -> seconds:float -> unit
 val sweep_one : t -> string -> Verifier.verdict option
 (** Attest one device now and update its ledger. *)
 
-val sweep : t -> (string * Verifier.verdict option) list
+val sweep :
+  ?engine:[ `Seq | `Events ] -> t -> (string * Verifier.verdict option) list
 (** Attest every device, staggered by {!stagger_seconds} of simulated
-    time between consecutive devices. Sequential — the default, and the
-    reference semantics for {!sweep_par}. *)
+    time between consecutive devices: member [i]'s round happens at
+    [(i+1) *. stagger_seconds] past the sweep start, and every member
+    exits the sweep with its clock advanced by the whole fleet's stagger
+    plus its own round work. Offsets are index-based (one multiplication
+    per member), so the sweep is O(n) and member clocks carry no
+    accumulated rounding drift at 10k+ members.
+
+    [`Seq] (the default) folds over the members in order — the reference
+    oracle. [`Events] runs the identical per-member operations as events
+    on a {!Sched} timeline; verdicts, transcripts, ledgers and member
+    clocks are bit-identical to [`Seq], plus [ra_sched_*] metrics. *)
 
 val sweep_par : ?domains:int -> t -> (string * Verifier.verdict option) list
 (** Same verdicts, health ledger and per-member simulated clocks as
@@ -92,6 +102,7 @@ val chaos_sweep :
   ?seed:int64 ->
   ?domains:int ->
   ?rounds_per_member:int ->
+  ?engine:[ `Seq | `Events ] ->
   losses:float list ->
   policies:(string * Retry.policy) list ->
   t ->
@@ -102,9 +113,16 @@ val chaos_sweep :
     rounds per member with the usual 1 s stagger, then restore a pristine
     wire. Updates each member's health ledger from its last round, feeds
     [ra_chaos_rounds_total{result}] and [ra_chaos_round_time_ms], and
-    remembers the grid for {!health_snapshot}. Members run on up to
-    [domains] OCaml domains (default 4); results are deterministic in
-    [seed] regardless.
+    remembers the grid for {!health_snapshot}.
+
+    With [engine:`Seq] (the default), members run on up to [domains]
+    OCaml domains (default 4); results are deterministic in [seed]
+    regardless. With [engine:`Events], every retry timeout and backoff
+    wait becomes an event on one shared {!Sched} timeline ([domains] is
+    ignored — the engine is single-threaded and deterministic by
+    construction); each member executes the identical operation sequence
+    as the sequential engine, so the grid, ledgers, transcripts and
+    member clocks are bit-identical between engines.
     @raise Invalid_argument on an empty grid or an invalid policy. *)
 
 val last_chaos : t -> chaos_cell list

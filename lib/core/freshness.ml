@@ -67,9 +67,21 @@ let check_nonce t max_entries nonce =
     Ok ()
   end
 
+(* Serial-number acceptance (RFC 1982 style). The 8-byte cell is a point
+   on a 2^64 circle; [c] is fresh iff it lies in the forward half-window
+   of the stored value, i.e. the wrapped difference [c - stored] is in
+   [1, 2^63 - 1] — exactly a positive signed Int64. An unsigned
+   strictly-greater check looks equivalent until the cell nears the top
+   of the range: once an Adv_roam rollback (or 2^64 honest requests)
+   parks the cell at all-ones, no counter is ever "greater" again and
+   the prover is bricked — a permanent availability loss the paper's
+   §3.1 argument exists to prevent. Under serial arithmetic the
+   verifier's natural wrap to 0, 1, 2, ... keeps being accepted, while
+   any replay of a pre-wrap transmission sits in the backward
+   half-window and stays rejected. *)
 let check_counter t c =
   let stored = load_cell t in
-  if Int64.unsigned_compare c stored > 0 then begin
+  if Int64.compare (Int64.sub c stored) 0L > 0 then begin
     store_cell t c;
     Ok ()
   end

@@ -4,9 +4,16 @@
       replay only, and the history consumes non-volatile memory without
       bound — both §4.2 objections are observable here ([history_bytes],
       and bounded histories evict, re-enabling replay of evicted nonces).
-    - {b Counter}: accept only strictly increasing counters; 8 bytes of
-      non-volatile state ([counter_R]), read/written through the MPU so
-      the roaming adversary's rollback is mediated.
+    - {b Counter}: accept a counter iff it lies in the forward
+      half-window of the stored value under serial-number arithmetic
+      (RFC 1982): the wrapped difference [got - stored] must be a
+      positive signed [Int64]. This keeps acceptance well-defined at the
+      2^64 wraparound — a cell parked at all-ones (Adv_roam rollforward,
+      or 2^64 honest rounds) does not brick the prover, while post-wrap
+      replays of pre-wrap counters land in the backward half-window and
+      stay rejected. 8 bytes of non-volatile state ([counter_R]),
+      read/written through the MPU so the roaming adversary's rollback
+      is mediated.
     - {b Timestamp}: accept timestamps newer than the last accepted one
       and within a window of the prover's clock; requires a real-time
       clock, detects replay, reorder *and* delay.

@@ -32,3 +32,12 @@ let timeout_s p ~attempt ~u =
   let raw = p.base_timeout_s *. (p.multiplier ** float_of_int (attempt - 1)) in
   let capped = Float.min raw p.max_timeout_s in
   capped *. (1.0 -. (p.jitter /. 2.0) +. (p.jitter *. u))
+
+let max_total_s p =
+  let worst = 1.0 +. (p.jitter /. 2.0) in
+  let total = ref 0.0 in
+  for attempt = 1 to p.max_attempts do
+    let raw = p.base_timeout_s *. (p.multiplier ** float_of_int (attempt - 1)) in
+    total := !total +. (Float.min raw p.max_timeout_s *. worst)
+  done;
+  !total

@@ -35,3 +35,10 @@ val validate : policy -> unit
 val timeout_s : policy -> attempt:int -> u:float -> float
 (** The jittered reply window for [attempt] (1-based), with [u] the
     uniform draw in [0, 1). *)
+
+val max_total_s : policy -> float
+(** Upper bound on the simulated time a round can spend waiting: the sum
+    of every attempt's capped window at the jitter ceiling ([u = 1]).
+    Schedulers use it to bound event horizons ([Sched.run ~until]) — a
+    round scheduled at [t] is guaranteed quiescent by
+    [t +. max_total_s policy]. *)

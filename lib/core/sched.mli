@@ -1,0 +1,65 @@
+(** Deterministic discrete-event scheduler: one shared virtual timeline
+    for an entire fleet.
+
+    Events live in a binary min-heap keyed on [(time, seq)] where [seq]
+    is insertion order — ties fire in the order they were scheduled, so
+    a run is a pure function of the schedule, never of hash order or
+    wall-clock. {!step} pops the earliest event, jumps the shared clock
+    to it and runs it; events scheduled into the past are clamped to
+    [now] (the timeline is monotone by construction).
+
+    The intended shape (used by [Fleet ~engine:`Events]): each session
+    keeps its private {!Ra_net.Simtime.t} and runs its round machine
+    ({!Session.round_begin}) inside events; every [Round_wait] becomes a
+    new event at [member_now + wait_s]. Member clocks run {e ahead} of
+    the shared timeline by the un-scheduled work their events performed
+    (anchor cycles, pump deliveries); [ra_sched_lag_seconds] measures
+    that lead when {!observe_lag} is called at fire time.
+
+    Metrics: [ra_sched_events_total{kind=scheduled|fired}],
+    [ra_sched_queue_depth] (gauge, post-pop depth),
+    [ra_sched_lag_seconds] (histogram, seconds). With a trace attached,
+    every fire also emits a [sched.fire] causal instant (cat ["sched"])
+    — a no-op unless that trace has a tracer installed. *)
+
+type t
+
+val create : ?start:float -> ?trace:Ra_net.Trace.t -> unit -> t
+(** Empty queue with the shared clock at [start] (default 0). *)
+
+val now : t -> float
+(** The shared virtual clock: the time of the most recently fired event. *)
+
+val at : t -> at:float -> (unit -> unit) -> unit
+(** Schedule a thunk at an absolute time, clamped to [now] if in the
+    past. O(log n). *)
+
+val after : t -> delay:float -> (unit -> unit) -> unit
+(** [at t ~at:(now t +. delay)].
+    @raise Invalid_argument on a negative delay. *)
+
+val next_at : t -> float option
+(** Fire time of the earliest pending event. *)
+
+val pending : t -> int
+(** Events currently queued. *)
+
+val fired : t -> int
+(** Events fired over the scheduler's lifetime. *)
+
+val step : t -> bool
+(** Fire the earliest event (advancing [now] to it); [false] when the
+    queue is empty. Events the thunk schedules are eligible
+    immediately. *)
+
+val run : ?until:float -> t -> int
+(** Fire events in order until the queue is empty, or — with [until] —
+    until the earliest pending event lies strictly beyond the horizon.
+    Returns the number of events fired. [Retry.max_total_s] bounds how
+    far past its scheduling time a round can still have events, giving a
+    natural horizon for partial runs. *)
+
+val observe_lag : t -> member_now:float -> unit
+(** Record [member_now - now t] (clamped at 0) into
+    [ra_sched_lag_seconds] — how far a member's private clock leads the
+    shared timeline. *)

@@ -31,6 +31,7 @@ and 'msg t = {
   mutable rx_prover : 'msg handle list;
   mutable impairment : Impairment.t option;
   mutable mangle : ('msg -> salt:int -> 'msg) option;
+  mutable defer : (float -> (unit -> unit) -> unit) option;
 }
 
 (* Handles are created once at module init; per-event cost is one
@@ -71,6 +72,7 @@ let create time trace =
     rx_prover = [];
     impairment = None;
     mangle = None;
+    defer = None;
   }
 
 let time t = t.time
@@ -102,8 +104,6 @@ module Endpoint = struct
   let is_attached h = h.h_active
   let side h = h.h_side
 end
-
-let on_receive t side f = ignore (Endpoint.attach t side f)
 
 let receiver t side =
   match Endpoint.stack t side with [] -> None | h :: _ -> Some h.h_fn
@@ -229,6 +229,7 @@ let set_impairment t ?mangle imp =
   t.mangle <- mangle
 
 let impairment t = t.impairment
+let set_defer t f = t.defer <- f
 
 let mangle_string s ~salt =
   let len = String.length s in
@@ -277,8 +278,14 @@ let forward_impaired t imp ~dst entry =
   | Impairment.Delay extra ->
     impaired ~labels:[ ("delay_s", Printf.sprintf "%.6f" extra) ] "delayed"
       "net.delay";
-    Simtime.advance_by t.time extra;
-    deliver_kind t ~kind:Forwarded ~dst entry.payload
+    (match t.defer with
+    | Some defer ->
+      (* a scheduler owns the timeline: delivery becomes a future event,
+         and the clock advances when that event fires, not here *)
+      defer extra (fun () -> deliver_kind t ~kind:Forwarded ~dst entry.payload)
+    | None ->
+      Simtime.advance_by t.time extra;
+      deliver_kind t ~kind:Forwarded ~dst entry.payload)
 
 let forward_next t ~dst =
   let src = match dst with Verifier_side -> Prover_side | Prover_side -> Verifier_side in

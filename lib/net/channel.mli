@@ -46,12 +46,6 @@ module Endpoint : sig
   val side : 'msg handle -> side
 end
 
-val on_receive : 'msg t -> side -> ('msg -> unit) -> unit
-[@@ocaml.deprecated "Use Channel.Endpoint.attach and keep the handle."]
-(** @deprecated Alias for {!Endpoint.attach} that discards the handle,
-    so the receiver can never be detached. All in-tree callers have been
-    migrated; this alias will be removed in the next breaking release. *)
-
 val send : 'msg t -> src:side -> 'msg -> unit
 (** Put a message on the wire: recorded in the transcript, given to
     nobody. Delivery is a separate, adversary-controlled step. *)
@@ -89,6 +83,16 @@ val set_impairment :
     flip a byte of). *)
 
 val impairment : 'msg t -> Impairment.t option
+
+val set_defer : 'msg t -> (float -> (unit -> unit) -> unit) option -> unit
+(** Install (or, with [None], remove) a deferral hook for [Delay]
+    impairments. Without a hook, a delayed delivery advances the
+    channel's {!Simtime.t} inline and delivers immediately — correct
+    when the session owns its own timeline. With a hook installed (by an
+    event scheduler), the channel instead calls [defer extra deliver]:
+    the scheduler enqueues [deliver] at [now + extra] and becomes
+    responsible for advancing the clock before firing it. The hook must
+    eventually run the thunk or the message is lost. *)
 
 val mangle_string : string -> salt:int -> string
 (** XOR one salt-chosen byte with a salt-derived non-zero mask — the

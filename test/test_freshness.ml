@@ -112,6 +112,53 @@ let test_custom_cell_isolated () =
   Alcotest.(check bool) "st2 unaffected" true
     (Freshness.check_and_update st2 (Message.F_counter 1L) = Ok ())
 
+(* plant a value in the 8-byte cell directly — the Adv_roam tampering the
+   wraparound tests model *)
+let tamper_cell d v =
+  Ra_mcu.Cpu.store_u64 (Device.cpu d) (Device.counter_addr d) v
+
+let test_counter_wrap_boundary () =
+  let d = device () in
+  let st = Freshness.init d Freshness.Counter in
+  tamper_cell d (Int64.sub Int64.max_int 1L);
+  Alcotest.(check bool) "max_int accepted from max_int - 1" true
+    (Freshness.check_and_update st (Message.F_counter Int64.max_int) = Ok ());
+  (* crossing into the "negative" half of the signed range is just the
+     next point on the serial circle *)
+  Alcotest.(check bool) "min_int accepted from max_int" true
+    (Freshness.check_and_update st (Message.F_counter Int64.min_int) = Ok ());
+  Alcotest.(check bool) "pre-boundary replay rejected" true
+    (match Freshness.check_and_update st (Message.F_counter Int64.max_int) with
+    | Error (Freshness.Stale_counter _) -> true
+    | Ok () | Error _ -> false)
+
+let test_counter_all_ones_not_bricked () =
+  (* An unsigned strictly-greater check bricks the prover forever once
+     the cell holds 0xFFFF..FF (nothing is unsigned-greater): the
+     Adv_roam rollforward attack. Serial acceptance wraps instead. *)
+  let d = device () in
+  let st = Freshness.init d Freshness.Counter in
+  tamper_cell d (-1L);
+  Alcotest.(check bool) "0 accepted after all-ones (wrap)" true
+    (Freshness.check_and_update st (Message.F_counter 0L) = Ok ());
+  Alcotest.(check bool) "1 accepted" true
+    (Freshness.check_and_update st (Message.F_counter 1L) = Ok ());
+  Alcotest.(check bool) "post-wrap replay of all-ones rejected" true
+    (match Freshness.check_and_update st (Message.F_counter (-1L)) with
+    | Error (Freshness.Stale_counter { got = -1L; stored = 1L }) -> true
+    | Ok () | Error _ -> false)
+
+let test_counter_half_window_edge () =
+  (* exactly 2^63 ahead is the ambiguous antipode of the circle: the
+     serial difference is min_int, not positive, so acceptance is
+     well-defined (rejected) rather than implementation-accidental *)
+  let d = device () in
+  let st = Freshness.init d Freshness.Counter in
+  Alcotest.(check bool) "antipode rejected" true
+    (Freshness.check_and_update st (Message.F_counter Int64.min_int) <> Ok ());
+  Alcotest.(check bool) "one short of the antipode accepted" true
+    (Freshness.check_and_update st (Message.F_counter Int64.max_int) = Ok ())
+
 let qcheck_counter_sequences =
   QCheck.Test.make ~name:"freshness: counter accepts iff strictly increasing" ~count:100
     QCheck.(list_of_size Gen.(1 -- 20) (map Int64.of_int (int_range 1 1000)))
@@ -124,6 +171,23 @@ let qcheck_counter_sequences =
           let actual = Freshness.check_and_update st (Message.F_counter c) = Ok () in
           if actual then highest := c;
           expected = actual)
+        counters)
+
+let qcheck_counter_serial_model =
+  (* the full-range model: accepted iff the wrapped difference from the
+     stored cell is a positive signed int64 (forward half-window) *)
+  QCheck.Test.make ~name:"freshness: counter matches the serial-number model" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) int64)
+    (fun counters ->
+      let d = device () in
+      let st = Freshness.init d Freshness.Counter in
+      List.for_all
+        (fun c ->
+          let stored = Freshness.current_cell st in
+          let expected = Int64.compare (Int64.sub c stored) 0L > 0 in
+          let actual = Freshness.check_and_update st (Message.F_counter c) = Ok () in
+          expected = actual
+          && Freshness.current_cell st = (if expected then c else stored))
         counters)
 
 let tests =
@@ -139,5 +203,10 @@ let tests =
     Alcotest.test_case "timestamp requires clock" `Quick test_timestamp_requires_clock;
     Alcotest.test_case "custom time source" `Quick test_custom_time_source;
     Alcotest.test_case "custom cell isolated" `Quick test_custom_cell_isolated;
+    Alcotest.test_case "counter wrap boundary" `Quick test_counter_wrap_boundary;
+    Alcotest.test_case "counter all-ones not bricked" `Quick
+      test_counter_all_ones_not_bricked;
+    Alcotest.test_case "counter half-window edge" `Quick test_counter_half_window_edge;
     QCheck_alcotest.to_alcotest qcheck_counter_sequences;
+    QCheck_alcotest.to_alcotest qcheck_counter_serial_model;
   ]

@@ -49,6 +49,36 @@ let qcheck_chunks_concat =
     QCheck.(pair (int_range 1 17) (string_of_size Gen.(0 -- 100)))
     (fun (n, s) -> String.concat "" (Hexutil.chunks n s) = s)
 
+let qcheck_equal_ct_position_independent =
+  (* the runtime path folds over every byte pair whatever the data: a
+     flip at any position — first byte, last byte, anywhere — must be
+     caught, and the verdict must agree with structural equality. An
+     early-exit implementation would still pass the [=] check but leak
+     the mismatch position through timing; this property pins the
+     correctness half of the contract across all positions. *)
+  QCheck.Test.make ~name:"equal_ct agrees with (=) at every mismatch position"
+    ~count:300
+    QCheck.(pair (string_of_size Gen.(1 -- 64)) small_nat)
+    (fun (s, k) ->
+      let i = k mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      let flipped = Bytes.to_string b in
+      Hexutil.equal_ct s s
+      && (not (Hexutil.equal_ct s flipped))
+      && not (Hexutil.equal_ct flipped s))
+
+let qcheck_equal_ct_length_gate =
+  (* mismatched lengths are rejected before any byte comparison: a
+     proper prefix (every shared byte equal) still compares unequal, and
+     no out-of-bounds access can occur in either argument order *)
+  QCheck.Test.make ~name:"equal_ct rejects mismatched lengths without comparing bytes"
+    ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 64)) (string_of_size Gen.(1 -- 16)))
+    (fun (a, suffix) ->
+      let longer = a ^ suffix in
+      (not (Hexutil.equal_ct a longer)) && not (Hexutil.equal_ct longer a))
+
 let tests =
   [
     Alcotest.test_case "to_hex" `Quick test_to_hex;
@@ -59,4 +89,6 @@ let tests =
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_xor_involution;
     QCheck_alcotest.to_alcotest qcheck_chunks_concat;
+    QCheck_alcotest.to_alcotest qcheck_equal_ct_position_independent;
+    QCheck_alcotest.to_alcotest qcheck_equal_ct_length_gate;
   ]

@@ -1,0 +1,202 @@
+open Ra_core
+module Simtime = Ra_net.Simtime
+module Trace = Ra_net.Trace
+module Channel = Ra_net.Channel
+module Impairment = Ra_net.Impairment
+
+(* ---- event queue ------------------------------------------------------ *)
+
+let test_heap_order_and_ties () =
+  let sched = Sched.create () in
+  let log = ref [] in
+  let ev tag () = log := tag :: !log in
+  Sched.at sched ~at:5.0 (ev "a5");
+  Sched.at sched ~at:1.0 (ev "b1");
+  Sched.at sched ~at:5.0 (ev "c5");
+  Sched.at sched ~at:3.0 (ev "d3");
+  Alcotest.(check int) "four pending" 4 (Sched.pending sched);
+  Alcotest.(check bool) "earliest is 1.0" true (Sched.next_at sched = Some 1.0);
+  let fired = Sched.run sched in
+  Alcotest.(check int) "all fired" 4 fired;
+  Alcotest.(check (list string)) "time order, insertion order on ties"
+    [ "b1"; "d3"; "a5"; "c5" ]
+    (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last event" 5.0 (Sched.now sched);
+  Alcotest.(check int) "fired counter" 4 (Sched.fired sched);
+  Alcotest.(check int) "queue drained" 0 (Sched.pending sched)
+
+let test_past_events_clamp_to_now () =
+  let sched = Sched.create () in
+  let seen = ref [] in
+  Sched.at sched ~at:2.0 (fun () ->
+      (* "due" one second ago: must fire at now, never rewind the clock *)
+      Sched.at sched ~at:1.0 (fun () -> seen := Sched.now sched :: !seen));
+  let fired = Sched.run sched in
+  Alcotest.(check int) "both fired" 2 fired;
+  Alcotest.(check (list (float 0.0))) "clamped to now" [ 2.0 ] !seen
+
+let test_run_until_horizon () =
+  let sched = Sched.create () in
+  let log = ref [] in
+  List.iter (fun at -> Sched.at sched ~at (fun () -> log := at :: !log)) [ 1.0; 2.0; 10.0 ];
+  let fired = Sched.run ~until:5.0 sched in
+  Alcotest.(check int) "two within horizon" 2 fired;
+  Alcotest.(check int) "one beyond it still pending" 1 (Sched.pending sched);
+  Alcotest.(check (float 0.0)) "clock at last fired event" 2.0 (Sched.now sched);
+  let rest = Sched.run sched in
+  Alcotest.(check int) "rest fired" 1 rest;
+  Alcotest.(check (float 0.0)) "clock caught up" 10.0 (Sched.now sched)
+
+let test_after_negative_rejected () =
+  let sched = Sched.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sched.after: delay must be >= 0") (fun () ->
+      Sched.after sched ~delay:(-1.0) (fun () -> ()))
+
+let test_determinism_across_runs () =
+  let run () =
+    let sched = Sched.create () in
+    let log = ref [] in
+    let rec chain i at =
+      if i < 20 then
+        Sched.at sched ~at (fun () ->
+            log := (i, Sched.now sched) :: !log;
+            chain (i + 1) (at +. (0.1 *. float_of_int (i mod 3))))
+    in
+    chain 0 0.5;
+    Sched.at sched ~at:0.5 (fun () -> log := (100, Sched.now sched) :: !log);
+    ignore (Sched.run sched);
+    List.rev !log
+  in
+  Alcotest.(check bool) "two runs identical" true (run () = run ())
+
+(* ---- delayed delivery through the queue ------------------------------- *)
+
+let test_channel_defer_hook () =
+  let time = Simtime.create () in
+  let trace = Trace.create time in
+  let ch = Channel.create time trace in
+  let got = ref [] in
+  let (_ : string Channel.Endpoint.handle) =
+    Channel.Endpoint.attach ch Channel.Prover_side (fun m -> got := m :: !got)
+  in
+  Channel.set_impairment ch
+    (Some
+       (Impairment.create
+          ~to_prover:{ Impairment.pristine with delay = 1.0; delay_s = 0.25 }
+          ~seed:11L ()));
+  let sched = Sched.create () in
+  Channel.set_defer ch
+    (Some
+       (fun delay deliver ->
+         Sched.after sched ~delay (fun () ->
+             Simtime.advance_to time (Sched.now sched);
+             deliver ())));
+  Channel.send ch ~src:Channel.Verifier_side "hello";
+  Alcotest.(check bool) "forward consumed the message" true
+    (Channel.forward_next ch ~dst:Channel.Prover_side);
+  Alcotest.(check int) "delivery deferred, not dropped" 0 (List.length !got);
+  Alcotest.(check int) "one event queued" 1 (Sched.pending sched);
+  let fired = Sched.run sched in
+  Alcotest.(check int) "delivery event fired" 1 fired;
+  Alcotest.(check (list string)) "delivered through the queue" [ "hello" ] !got;
+  Alcotest.(check (float 0.0)) "clock advanced to the delivery time"
+    (Sched.now sched) (Simtime.now time);
+  (* with the hook removed, the delay advances the clock inline again *)
+  Channel.set_defer ch None;
+  let before = Simtime.now time in
+  Channel.send ch ~src:Channel.Verifier_side "inline";
+  let (_ : bool) = Channel.forward_next ch ~dst:Channel.Prover_side in
+  Alcotest.(check (list string)) "inline delivery immediate" [ "inline"; "hello" ] !got;
+  Alcotest.(check bool) "inline delay advanced the clock" true
+    (Simtime.now time >= before)
+
+(* ---- engine equivalence ----------------------------------------------- *)
+
+let names = [ "a"; "b"; "c" ]
+let member_clock m = Simtime.now (Session.time (Fleet.member_session m))
+
+let fleet_state f =
+  ( Fleet.summary f,
+    List.map Fleet.member_history (Fleet.members f),
+    List.map member_clock (Fleet.members f),
+    List.map
+      (fun m -> Channel.transcript (Session.channel (Fleet.member_session m)))
+      (Fleet.members f) )
+
+let test_sweep_events_matches_seq () =
+  let a = Fleet.create ~ram_size:1024 ~names () in
+  let b = Fleet.create ~ram_size:1024 ~names () in
+  let ra = Fleet.sweep a in
+  let rb = Fleet.sweep ~engine:`Events b in
+  Alcotest.(check bool) "verdicts identical" true (ra = rb);
+  Alcotest.(check bool) "ledgers, clocks and transcripts identical" true
+    (fleet_state a = fleet_state b)
+
+let test_chaos_events_matches_seq () =
+  let run engine =
+    let f = Fleet.create ~ram_size:1024 ~names () in
+    let grid =
+      Fleet.chaos_sweep ~seed:99L ~engine ~rounds_per_member:3 ~losses:[ 0.0; 0.2 ]
+        ~policies:[ ("default", Retry.default) ]
+        f
+    in
+    (grid, fleet_state f)
+  in
+  Alcotest.(check bool) "grid, ledgers, clocks and transcripts identical" true
+    (run `Seq = run `Events)
+
+let prop_engines_verdict_equivalent =
+  let gen = QCheck.Gen.(pair (float_bound_exclusive 0.5) (map Int64.of_int int)) in
+  QCheck.Test.make ~count:10
+    ~name:"event engine = sequential oracle over random impairment seeds"
+    (QCheck.make gen ~print:(fun (loss, seed) ->
+         Printf.sprintf "loss=%.3f seed=%Ld" loss seed))
+    (fun (loss, seed) ->
+      let run engine =
+        let f = Fleet.create ~ram_size:1024 ~names:[ "p"; "q" ] () in
+        let grid =
+          Fleet.chaos_sweep ~seed ~engine ~rounds_per_member:2 ~losses:[ loss ]
+            ~policies:[ ("impatient", Retry.impatient) ]
+            f
+        in
+        (grid, fleet_state f)
+      in
+      run `Seq = run `Events)
+
+(* ---- retry bound used for scheduler horizons -------------------------- *)
+
+let test_max_total_s_bounds_round () =
+  let p = Retry.impatient in
+  let bound = Retry.max_total_s p in
+  Alcotest.(check bool) "bound positive" true (bound > 0.0);
+  (* a dead wire uses every window in full: the round's simulated waiting
+     must stay within the bound *)
+  let session = Session.create ~ram_size:1024 () in
+  Session.set_impairment session
+    (Some
+       (Impairment.create
+          ~to_prover:(Impairment.lossy 1.0)
+          ~to_verifier:(Impairment.lossy 1.0)
+          ~seed:3L ()));
+  let round = Session.attest_round_r ~policy:p session in
+  (match round.Session.r_verdict with
+  | Verdict.Timed_out { waited_s; _ } ->
+    Alcotest.(check bool) "waited within max_total_s" true (waited_s <= bound)
+  | v -> Alcotest.failf "expected Timed_out, got %s" (Verdict.label v));
+  Alcotest.(check bool) "bound is tight-ish (not 10x the wait)" true
+    (round.Session.r_elapsed_s > 0.5 *. bound)
+
+let tests =
+  [
+    Alcotest.test_case "heap order and ties" `Quick test_heap_order_and_ties;
+    Alcotest.test_case "past events clamp to now" `Quick test_past_events_clamp_to_now;
+    Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
+    Alcotest.test_case "negative delay rejected" `Quick test_after_negative_rejected;
+    Alcotest.test_case "determinism across runs" `Quick test_determinism_across_runs;
+    Alcotest.test_case "channel defer hook" `Quick test_channel_defer_hook;
+    Alcotest.test_case "sweep: events = seq" `Quick test_sweep_events_matches_seq;
+    Alcotest.test_case "chaos: events = seq" `Slow test_chaos_events_matches_seq;
+    QCheck_alcotest.to_alcotest prop_engines_verdict_equivalent;
+    Alcotest.test_case "max_total_s bounds a round" `Quick test_max_total_s_bounds_round;
+  ]
