@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke examples docs clean loc
 
 all: build
 
@@ -32,6 +32,13 @@ trace-smoke:
 # delivery, determinism), then the 10k-device sweep gate (BENCH_sched.json)
 sched-smoke:
 	dune exec bin/ra_cli.exe -- sched --selftest
+	BENCH_SMOKE=1 dune exec bench/main.exe -- sched
+
+# sharded-engine sanity: CLI selftest at 4 shards (sharded sweep/chaos vs
+# the sequential oracle, pooled sweep_par, stream-fingerprint invariance),
+# then the reduced sched bench (scaling grid + stream + gate bookkeeping)
+shard-smoke:
+	dune exec bin/ra_cli.exe -- sched --selftest --shards 4
 	BENCH_SMOKE=1 dune exec bench/main.exe -- sched
 
 examples:

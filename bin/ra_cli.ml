@@ -639,13 +639,17 @@ let trace_cmd =
 
 (* ---- sched ---- *)
 
-let run_sched n rounds loss selftest =
+let run_sched n rounds loss shards selftest =
   if n < 1 || n > 1000 then begin
     Printf.eprintf "fleet size must be 1..1000\n";
     1
   end
   else if not (loss >= 0.0 && loss < 1.0) then begin
     Printf.eprintf "loss must be in [0, 1)\n";
+    1
+  end
+  else if shards < 1 || shards > 64 then begin
+    Printf.eprintf "shards must be 1..64\n";
     1
   end
   else begin
@@ -670,6 +674,7 @@ let run_sched n rounds loss selftest =
     in
     let sweep_seq = sweep_with `Seq in
     let sweep_ev = sweep_with `Events in
+    let sweep_sh = sweep_with (`Shards shards) in
     let chaos_with engine =
       let f = Fleet.create ~ram_size:4096 ~names () in
       Fleet.enable_tracing f;
@@ -683,8 +688,13 @@ let run_sched n rounds loss selftest =
     in
     let chaos_seq = chaos_with `Seq in
     let chaos_ev = chaos_with `Events in
+    let chaos_sh = chaos_with (`Shards shards) in
     let grid, _, _ = chaos_ev in
-    Printf.printf "engines: sequential oracle vs event queue, %d members x %d rounds\n\n"
+    Printf.printf
+      "engines: sequential oracle vs event queue vs %d shard%s, %d members x %d \
+       rounds\n\n"
+      shards
+      (if shards = 1 then "" else "s")
       n rounds;
     Printf.printf "%-8s %12s %14s %10s %10s\n" "loss" "converged" "mean attempts"
       "p50 (s)" "p99 (s)";
@@ -695,8 +705,10 @@ let run_sched n rounds loss selftest =
           (Fleet.convergence_pct c) c.Fleet.c_mean_attempts c.Fleet.c_p50_s
           c.Fleet.c_p99_s)
       grid;
-    Printf.printf "\nsweep identical across engines: %b\n" (sweep_seq = sweep_ev);
-    Printf.printf "traced chaos identical across engines: %b\n" (chaos_seq = chaos_ev);
+    Printf.printf "\nsweep identical across engines: %b (events), %b (shards)\n"
+      (sweep_seq = sweep_ev) (sweep_seq = sweep_sh);
+    Printf.printf "traced chaos identical across engines: %b (events), %b (shards)\n"
+      (chaos_seq = chaos_ev) (chaos_seq = chaos_sh);
     if not selftest then 0
     else begin
       let failures = ref [] in
@@ -711,6 +723,36 @@ let run_sched n rounds loss selftest =
        and _, _, r2 = chaos_ev in
        check "flight recorders identical across engines" (r1 = r2));
       check "event engine deterministic across runs" (chaos_with `Events = chaos_ev);
+      (* the sharded engine must agree with the oracle on everything —
+         including flight recorders — at several shard counts, not just
+         the one requested on the command line *)
+      check
+        (Printf.sprintf "sharded sweep identical to oracle at %d shards" shards)
+        (sweep_seq = sweep_sh);
+      check
+        (Printf.sprintf "sharded chaos identical to oracle at %d shards" shards)
+        (chaos_seq = chaos_sh);
+      List.iter
+        (fun k ->
+          check
+            (Printf.sprintf "sharded chaos identical to oracle at %d shards" k)
+            (chaos_with (`Shards k) = chaos_seq))
+        (List.filter (fun k -> k <> shards) [ 1; 2; 3; 7 ]);
+      (* pooled parallel sweep: same verdicts and ledgers as the oracle *)
+      (let f_seq = Fleet.create ~ram_size:4096 ~names () in
+       let f_par = Fleet.create ~ram_size:4096 ~names () in
+       let a = Fleet.sweep f_seq in
+       let b = Fleet.sweep_par ~domains:4 f_par in
+       check "pooled sweep_par identical to sweep"
+         (a = b && Fleet.summary f_seq = Fleet.summary f_par));
+      (* streaming sweep: fingerprint independent of the shard count *)
+      (let fp k =
+         (Fleet.stream_sweep ~ram_size:4096 ~shards:k ~members:n ())
+           .Fleet.st_fingerprint
+       in
+       let base = fp 1 in
+       check "stream fingerprint invariant across shard counts"
+         (List.for_all (fun k -> fp k = base) [ 2; shards ]));
       (* scheduler primitives: tie order is insertion order, past events
          clamp to now instead of rewinding the timeline *)
       let sched = Sched.create () in
@@ -776,7 +818,12 @@ let run_sched n rounds loss selftest =
   end
 
 let sched_cmd =
-  let n = Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc:"Fleet size.") in
+  let n =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "size"; "members" ] ~docv:"N" ~doc:"Fleet size (members).")
+  in
   let rounds =
     Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds per member per cell.")
   in
@@ -784,16 +831,24 @@ let sched_cmd =
     Arg.(value & opt float 0.2 & info [ "loss" ] ~docv:"P"
            ~doc:"Per-direction loss probability for the lossy cell.")
   in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"K"
+           ~doc:"Shard count for the sharded engine (contiguous member ranges, \
+                 one event timeline per shard on the persistent domain pool).")
+  in
   let selftest =
     Arg.(value & flag & info [ "selftest" ]
            ~doc:"Verify engine equivalence (verdicts, ledgers, transcripts, flight \
-                 recorders), scheduler determinism, deferred delivery and the \
-                 ra_sched_* metric families; non-zero exit on failure.")
+                 recorders) across the sequential, event and sharded engines at \
+                 several shard counts, the pooled parallel sweep, streaming \
+                 fingerprint shard-invariance, scheduler determinism, deferred \
+                 delivery and the ra_sched_* metric families; non-zero exit on \
+                 failure.")
   in
   Cmd.v
     (Cmd.info "sched"
        ~doc:"Run fleet sweeps on the deterministic event queue and compare engines")
-    Term.(const run_sched $ n $ rounds $ loss $ selftest)
+    Term.(const run_sched $ n $ rounds $ loss $ shards $ selftest)
 
 let main =
   Cmd.group

@@ -39,6 +39,59 @@ let sweep_latency =
   Ra_obs.Registry.Histogram.get ~buckets:sweep_latency_buckets
     "ra_fleet_sweep_latency_ms"
 
+let chaos_latency_buckets =
+  [|
+    1.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0; 5000.0;
+    10000.0; 30000.0; 60000.0; 120000.0;
+  |]
+
+(* observed from chaos workers on several domains: handles are atomic *)
+module Mc = struct
+  let round r =
+    Ra_obs.Registry.Counter.get ~labels:[ ("result", r) ] "ra_chaos_rounds_total"
+
+  let converged = round "converged"
+  let timed_out = round "timed_out"
+
+  let time =
+    Ra_obs.Registry.Histogram.get ~buckets:chaos_latency_buckets
+      "ra_chaos_round_time_ms"
+end
+
+(* Where sweep and chaos rounds report their observations. The default
+   sink is the shared registry (atomic handles, safe from any domain);
+   the sharded engines substitute a per-shard {!Ra_obs.Arena} sink so
+   the per-round hot path touches only domain-local memory, and the
+   coordinator merges arenas in shard order — same totals, same
+   registry families, deterministic merge. *)
+type obs = {
+  o_sweep_ms : float -> unit;
+  o_chaos_ms : float -> unit;
+  o_converged : unit -> unit;
+  o_timed_out : unit -> unit;
+}
+
+let global_obs =
+  {
+    o_sweep_ms = Ra_obs.Registry.Histogram.observe sweep_latency;
+    o_chaos_ms = Ra_obs.Registry.Histogram.observe Mc.time;
+    o_converged = (fun () -> Ra_obs.Registry.Counter.inc Mc.converged);
+    o_timed_out = (fun () -> Ra_obs.Registry.Counter.inc Mc.timed_out);
+  }
+
+let arena_obs arena =
+  let module A = Ra_obs.Arena in
+  let sweep_ms = A.Histogram.make arena sweep_latency in
+  let chaos_ms = A.Histogram.make arena Mc.time in
+  let converged = A.Counter.make arena Mc.converged in
+  let timed_out = A.Counter.make arena Mc.timed_out in
+  {
+    o_sweep_ms = A.Histogram.observe sweep_ms;
+    o_chaos_ms = A.Histogram.observe chaos_ms;
+    o_converged = (fun () -> A.Counter.inc converged);
+    o_timed_out = (fun () -> A.Counter.inc timed_out);
+  }
+
 let stagger_seconds = 1.0
 
 let create ?(spec = Architecture.trustlite_base) ?ram_size ~names () =
@@ -80,18 +133,18 @@ let classify = function
   | Some Verifier.Untrusted_state | Some Verifier.Invalid_response -> Compromised
   | None -> Unresponsive
 
-let sweep_member m =
+let sweep_member obs m =
   let time = Session.time m.session in
   let before = Ra_net.Simtime.now time in
   let verdict = Session.attest_round m.session in
   let after = Ra_net.Simtime.now time in
-  Ra_obs.Registry.Histogram.observe sweep_latency ((after -. before) *. 1000.0);
+  obs.o_sweep_ms ((after -. before) *. 1000.0);
   m.health <- classify verdict;
   m.sweeps <- m.sweeps + 1;
   m.history <- (after, verdict) :: m.history;
   verdict
 
-let sweep_one t name = sweep_member (find t name)
+let sweep_one t name = sweep_member global_obs (find t name)
 
 (* Index-based stagger offsets. Member i (0-based, of n) is swept after
    i+1 stagger steps and ends the sweep with n steps total; the offsets
@@ -109,41 +162,20 @@ let post_offset ~n i = (float_of_int n *. stagger_seconds) -. pre_offset i
    staggered slot, attest, then advance it past everyone else's slots so
    the whole fleet exits the sweep at the same clock. Touches only the
    member's own world. *)
-let sweep_slot ~n i m =
+let sweep_slot obs ~n i m =
   Session.advance_time m.session ~seconds:(pre_offset i);
-  let verdict = sweep_member m in
+  let verdict = sweep_member obs m in
   Session.advance_time m.session ~seconds:(post_offset ~n i);
   verdict
 
 let sweep_seq t =
   let n = List.length t.members in
-  List.mapi (fun i m -> (m.name, sweep_slot ~n i m)) t.members
+  List.mapi (fun i m -> (m.name, sweep_slot global_obs ~n i m)) t.members
 
-(* Event-engine sweep: the staggered slots become events on one shared
-   timeline — member i's round fires at [pre_offset i] relative to the
-   sweep start. Sessions are independent worlds, so ordering execution
-   through the heap instead of a list fold changes nothing observable;
-   the scheduler records its depth/lag metrics on the way through. *)
-let sweep_events t =
-  let members = Array.of_list t.members in
-  let n = Array.length members in
-  let results = Array.make n None in
-  let sched = Sched.create () in
-  Array.iteri
-    (fun i m ->
-      Sched.at sched ~at:(pre_offset i) (fun () ->
-          (* same operation sequence as [sweep_slot], with the lag probe
-             between round and fast-forward: the lead over the timeline
-             is the round's own simulated work, not the bookkeeping jump
-             to the sweep's end *)
-          Session.advance_time m.session ~seconds:(pre_offset i);
-          let verdict = sweep_member m in
-          Sched.observe_lag sched
-            ~member_now:(Ra_net.Simtime.now (Session.time m.session));
-          Session.advance_time m.session ~seconds:(post_offset ~n i);
-          results.(i) <- Some verdict))
-    members;
-  let (_ : int) = Sched.run sched in
+(* results arrays are written at the member's own index — disjoint
+   writes under any partition — and read back in index order, so the
+   returned list's order never depends on which domain ran what *)
+let collect members results =
   Array.to_list
     (Array.mapi
        (fun i m ->
@@ -152,16 +184,76 @@ let sweep_events t =
          | None -> assert false)
        members)
 
+(* Event-engine sweep over one member range: the staggered slots become
+   events on the given timeline — member i's round fires at
+   [pre_offset i] relative to the sweep start. Sessions are independent
+   worlds, so ordering execution through the heap instead of a list fold
+   changes nothing observable; the scheduler records its depth/lag
+   metrics (into whatever sink it was created with) on the way through. *)
+let sweep_events_range obs sched members ~n ~lo ~hi results =
+  for i = lo to hi - 1 do
+    let m = members.(i) in
+    Sched.at sched ~at:(pre_offset i) (fun () ->
+        (* same operation sequence as [sweep_slot], with the lag probe
+           between round and fast-forward: the lead over the timeline
+           is the round's own simulated work, not the bookkeeping jump
+           to the sweep's end *)
+        Session.advance_time m.session ~seconds:(pre_offset i);
+        let verdict = sweep_member obs m in
+        Sched.observe_lag sched
+          ~member_now:(Ra_net.Simtime.now (Session.time m.session));
+        Session.advance_time m.session ~seconds:(post_offset ~n i);
+        results.(i) <- Some verdict)
+  done
+
+let sweep_events t =
+  let members = Array.of_list t.members in
+  let n = Array.length members in
+  let results = Array.make n None in
+  let sched = Sched.create () in
+  sweep_events_range global_obs sched members ~n ~lo:0 ~hi:n results;
+  let (_ : int) = Sched.run sched in
+  collect members results
+
+(* Sharded event-engine sweep: each shard owns a contiguous member
+   range, its own heap and its own metrics arena; shard bodies touch no
+   shared mutable state except their disjoint slice of [results]. The
+   deterministic merge is the combination of [collect] (member order)
+   and flushing the arenas in shard order after every shard quiesced. *)
+let sweep_shards ?pool ~shards t =
+  if shards < 1 then invalid_arg "Fleet.sweep: shards must be >= 1";
+  let members = Array.of_list t.members in
+  let n = Array.length members in
+  let results = Array.make n None in
+  let parts = Shard.partition ~members:n ~shards in
+  let arenas = Array.init shards (fun _ -> Ra_obs.Arena.create ()) in
+  Shard.run ?pool ~shards (fun s ->
+      let arena = arenas.(s) in
+      let sched = Sched.create ~metrics:(Sched.arena_metrics arena) () in
+      let { Shard.sh_lo; sh_hi } = parts.(s) in
+      sweep_events_range (arena_obs arena) sched members ~n ~lo:sh_lo ~hi:sh_hi
+        results;
+      let (_ : int) = Sched.run sched in
+      ());
+  Array.iter Ra_obs.Arena.flush arenas;
+  collect members results
+
 let sweep ?(engine = `Seq) t =
-  match engine with `Seq -> sweep_seq t | `Events -> sweep_events t
+  match engine with
+  | `Seq -> sweep_seq t
+  | `Events -> sweep_events t
+  | `Shards shards -> sweep_shards ~shards t
 
 (* Parallel sweep. Sessions are fully independent prover worlds (own
    Simtime/Trace/Channel/Verifier, no shared mutable state anywhere in the
    library), so independent members can be swept on separate domains.
    Each worker runs the same [sweep_slot] as the sequential engine —
    identical float operations in identical order per member, so verdicts,
-   ledgers and member clocks are bit-identical to [sweep]. *)
-let sweep_par ?(domains = 4) t =
+   ledgers and member clocks are bit-identical to [sweep]. [`Pool] (the
+   default) borrows helpers from the shared persistent pool; [`Fresh]
+   keeps the old spawn-per-sweep behaviour so the bench can measure what
+   the pool buys. *)
+let sweep_par ?(domains = 4) ?(spawn = `Pool) t =
   let members = Array.of_list t.members in
   let n = Array.length members in
   let domains = max 1 (min domains n) in
@@ -169,45 +261,26 @@ let sweep_par ?(domains = 4) t =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (sweep_slot ~n i members.(i));
-        worker ()
-      end
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (sweep_slot global_obs ~n i members.(i));
+          go ()
+        end
+      in
+      go ()
     in
-    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.to_list
-      (Array.mapi
-         (fun i m ->
-           match results.(i) with
-           | Some verdict -> (m.name, verdict)
-           | None -> assert false)
-         members)
+    (match spawn with
+    | `Pool -> Pool.run (Pool.shared ()) ~helpers:(domains - 1) worker
+    | `Fresh ->
+      let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned);
+    collect members results
   end
 
 (* ---- chaos sweeps: convergence under an impaired wire ---- *)
-
-let chaos_latency_buckets =
-  [|
-    1.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0; 5000.0;
-    10000.0; 30000.0; 60000.0; 120000.0;
-  |]
-
-(* observed from chaos workers on several domains: handles are atomic *)
-module Mc = struct
-  let round r =
-    Ra_obs.Registry.Counter.get ~labels:[ ("result", r) ] "ra_chaos_rounds_total"
-
-  let converged = round "converged"
-  let timed_out = round "timed_out"
-
-  let time =
-    Ra_obs.Registry.Histogram.get ~buckets:chaos_latency_buckets
-      "ra_chaos_round_time_ms"
-end
 
 let classify_verdict = function
   | Verdict.Trusted -> Healthy
@@ -252,13 +325,13 @@ let chaos_install m ~imp_seed ~loss =
 
 (* One completed round's bookkeeping: metrics, cell accumulator, and the
    member's health ledger. [at] is the member's clock at round start. *)
-let chaos_record m acc ~at (r : Session.round) =
-  Ra_obs.Registry.Histogram.observe Mc.time (r.Session.r_elapsed_s *. 1000.0);
+let chaos_record obs m acc ~at (r : Session.round) =
+  obs.o_chaos_ms (r.Session.r_elapsed_s *. 1000.0);
   acc.ca_attempts <- acc.ca_attempts + r.Session.r_attempts;
   (match r.Session.r_verdict with
-  | Verdict.Timed_out _ -> Ra_obs.Registry.Counter.inc Mc.timed_out
+  | Verdict.Timed_out _ -> obs.o_timed_out ()
   | _ ->
-    Ra_obs.Registry.Counter.inc Mc.converged;
+    obs.o_converged ();
     acc.ca_converged <- acc.ca_converged + 1;
     acc.ca_durations <- r.Session.r_elapsed_s :: acc.ca_durations);
   m.health <- classify_verdict r.Session.r_verdict;
@@ -271,7 +344,7 @@ let chaos_record m acc ~at (r : Session.round) =
    between rounds (same advances as [sweep], so timestamp freshness
    behaves identically), then put the wire back to pristine. Touches only
    the member's own world — safe to run members on separate domains. *)
-let chaos_member m ~imp_seed ~loss ~policy ~rounds =
+let chaos_member obs m ~imp_seed ~loss ~policy ~rounds =
   let session = m.session in
   chaos_install m ~imp_seed ~loss;
   let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
@@ -279,7 +352,7 @@ let chaos_member m ~imp_seed ~loss ~policy ~rounds =
     Session.advance_time session ~seconds:stagger_seconds;
     let at = Ra_net.Simtime.now (Session.time session) in
     let r = Session.attest_round_r ~policy session in
-    chaos_record m acc ~at r
+    chaos_record obs m acc ~at r
   done;
   Session.set_impairment session None;
   (acc.ca_converged, acc.ca_attempts, acc.ca_durations)
@@ -293,7 +366,7 @@ let chaos_member m ~imp_seed ~loss ~policy ~rounds =
    deterministic (time, insertion) order. [Session.round_begin]'s resume
    performs the identical [advance_time] the sequential driver performs,
    so per-member results are bit-identical to [chaos_member]. *)
-let chaos_member_events sched m ~imp_seed ~loss ~policy ~rounds ~finished =
+let chaos_member_events obs sched m ~imp_seed ~loss ~policy ~rounds ~finished =
   let session = m.session in
   chaos_install m ~imp_seed ~loss;
   let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
@@ -308,7 +381,7 @@ let chaos_member_events sched m ~imp_seed ~loss ~policy ~rounds ~finished =
         Sched.observe_lag sched ~member_now:(member_now ()))
   and drive rounds_left ~at = function
     | Session.Round_done r ->
-      chaos_record m acc ~at r;
+      chaos_record obs m acc ~at r;
       if rounds_left > 1 then schedule_round (rounds_left - 1)
       else begin
         Session.set_impairment session None;
@@ -339,10 +412,12 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
       losses
   in
   let run_cell (loss, policy_name, policy) =
-    (* per-member impairment seeds drawn sequentially from the root seed,
-       so the schedule is identical however many domains run the cell —
-       and identical between the two engines *)
-    let seeds = Array.init n (fun _ -> Ra_crypto.Prng.next_int64 seeder) in
+    (* one root draw per cell; member i's impairment seed is the pure
+       function [Impairment.derive_seed ~root ~index:i] of it, so the
+       schedule member i experiences is identical however the cell is
+       partitioned — any [domains], any shard count, either engine *)
+    let root = Ra_crypto.Prng.next_int64 seeder in
+    let seed_of i = Ra_net.Impairment.derive_seed ~root ~index:i in
     let results = Array.make n (0, 0, []) in
     (match engine with
     | `Events ->
@@ -351,29 +426,48 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
       let sched = Sched.create () in
       Array.iteri
         (fun i m ->
-          chaos_member_events sched m ~imp_seed:seeds.(i) ~loss ~policy
-            ~rounds:rounds_per_member
+          chaos_member_events global_obs sched m ~imp_seed:(seed_of i) ~loss
+            ~policy ~rounds:rounds_per_member
             ~finished:(fun r -> results.(i) <- r))
         members;
       let (_ : int) = Sched.run sched in
       ()
+    | `Shards shards ->
+      (* each shard drives its own timeline over its own member range
+         and buffers metrics in its own arena; the merge is [results]
+         by member index plus arena flushes in shard order *)
+      if shards < 1 then invalid_arg "Fleet.chaos_sweep: shards must be >= 1";
+      let parts = Shard.partition ~members:n ~shards in
+      let arenas = Array.init shards (fun _ -> Ra_obs.Arena.create ()) in
+      Shard.run ~shards (fun s ->
+          let arena = arenas.(s) in
+          let obs = arena_obs arena in
+          let sched = Sched.create ~metrics:(Sched.arena_metrics arena) () in
+          let { Shard.sh_lo; sh_hi } = parts.(s) in
+          for i = sh_lo to sh_hi - 1 do
+            chaos_member_events obs sched members.(i) ~imp_seed:(seed_of i)
+              ~loss ~policy ~rounds:rounds_per_member
+              ~finished:(fun r -> results.(i) <- r)
+          done;
+          let (_ : int) = Sched.run sched in
+          ());
+      Array.iter Ra_obs.Arena.flush arenas
     | `Seq ->
       let next = Atomic.make 0 in
-      let rec worker () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <-
-            chaos_member members.(i) ~imp_seed:seeds.(i) ~loss ~policy
-              ~rounds:rounds_per_member;
-          worker ()
-        end
+      let work () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <-
+              chaos_member global_obs members.(i) ~imp_seed:(seed_of i) ~loss
+                ~policy ~rounds:rounds_per_member;
+            go ()
+          end
+        in
+        go ()
       in
-      if domains = 1 then worker ()
-      else begin
-        let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        Array.iter Domain.join spawned
-      end);
+      if domains = 1 then work ()
+      else Pool.run (Pool.shared ()) ~helpers:(domains - 1) work);
     let total = n * rounds_per_member in
     let converged = Array.fold_left (fun acc (c, _, _) -> acc + c) 0 results in
     let attempts = Array.fold_left (fun acc (_, a, _) -> acc + a) 0 results in
@@ -401,6 +495,108 @@ let last_chaos t = t.last_chaos
 
 let convergence_pct cell =
   100.0 *. float_of_int cell.c_converged /. float_of_int cell.c_rounds
+
+(* ---- streaming sweeps: million-device fleets in bounded memory ---- *)
+
+(* A materialised session is ~88 KB (dominated by the device's flash
+   image), so a 1M-member [t] would need ~88 GB. The streaming sweep
+   holds ONE live session per shard at a time: create member i's world,
+   run exactly the operation sequence [sweep_slot] runs, fold the
+   outcome into per-shard tallies and an order-independent fingerprint,
+   drop the world. The fingerprint XORs per-member SHA-1 digests, so it
+   is invariant under any partition of the member range — the checkable
+   analogue of the materialised engines' byte-identity. *)
+
+let verdict_tag = function
+  | None -> "|none|"
+  | Some Verifier.Trusted -> "|trusted|"
+  | Some Verifier.Untrusted_state -> "|untrusted_state|"
+  | Some Verifier.Invalid_response -> "|invalid_response|"
+
+(* Everything observable about one swept member's world: name, verdict,
+   final private clock, and the full wire transcript (timestamps,
+   directions, raw frames). Two runs agree on this digest only if the
+   member saw byte-identical traffic and time. *)
+let session_digest ~name ~verdict session =
+  let ctx = Ra_crypto.Sha1.init () in
+  Ra_crypto.Sha1.feed ctx name;
+  Ra_crypto.Sha1.feed ctx (verdict_tag verdict);
+  Ra_crypto.Sha1.feed ctx
+    (Printf.sprintf "%h" (Ra_net.Simtime.now (Session.time session)));
+  List.iter
+    (fun { Ra_net.Channel.sent_at; src; payload } ->
+      Ra_crypto.Sha1.feed ctx
+        (Printf.sprintf "|%h|%s|%d|" sent_at
+           (match src with
+           | Ra_net.Channel.Verifier_side -> "v"
+           | Ra_net.Channel.Prover_side -> "p")
+           (String.length payload));
+      Ra_crypto.Sha1.feed ctx payload)
+    (Ra_net.Channel.transcript (Session.channel session));
+  Ra_crypto.Sha1.finalize ctx
+
+let zero_digest = String.make Ra_crypto.Sha1.digest_size '\000'
+
+let last_verdict m = match m.history with [] -> None | (_, v) :: _ -> v
+
+(* XOR of per-member digests over a materialised fleet — comparable
+   against [stream_sweep]'s fingerprint when both ran the same sweep. *)
+let fingerprint t =
+  Ra_crypto.Hexutil.to_hex
+    (List.fold_left
+       (fun acc m ->
+         Ra_crypto.Hexutil.xor acc
+           (session_digest ~name:m.name ~verdict:(last_verdict m) m.session))
+       zero_digest t.members)
+
+type stream_report = {
+  st_members : int;
+  st_shards : int;
+  st_healthy : int;
+  st_compromised : int;
+  st_unresponsive : int;
+  st_fingerprint : string;
+}
+
+let default_stream_name i = Printf.sprintf "dev-%07d" i
+
+let stream_sweep ?(spec = Architecture.trustlite_base) ?ram_size ?(shards = 1)
+    ?pool ?(name_of = default_stream_name) ~members () =
+  if members < 1 then invalid_arg "Fleet.stream_sweep: members < 1";
+  if shards < 1 then invalid_arg "Fleet.stream_sweep: shards must be >= 1";
+  let parts = Shard.partition ~members ~shards in
+  (* per-shard tallies merged by sums and XOR — both order-independent,
+     so the report is a pure function of (spec, members), not of the
+     shard count or domain schedule *)
+  let healthy = Array.make shards 0 in
+  let compromised = Array.make shards 0 in
+  let unresponsive = Array.make shards 0 in
+  let fingers = Array.make shards zero_digest in
+  Shard.run ?pool ~shards (fun s ->
+      let { Shard.sh_lo; sh_hi } = parts.(s) in
+      for i = sh_lo to sh_hi - 1 do
+        let name = name_of i in
+        let session = Session.create ~spec ?ram_size () in
+        Session.advance_time session ~seconds:(pre_offset i);
+        let verdict = Session.attest_round session in
+        Session.advance_time session ~seconds:(post_offset ~n:members i);
+        (match classify verdict with
+        | Healthy -> healthy.(s) <- healthy.(s) + 1
+        | Compromised -> compromised.(s) <- compromised.(s) + 1
+        | Unresponsive | Unknown -> unresponsive.(s) <- unresponsive.(s) + 1);
+        fingers.(s) <-
+          Ra_crypto.Hexutil.xor fingers.(s) (session_digest ~name ~verdict session)
+      done);
+  let sum a = Array.fold_left ( + ) 0 a in
+  {
+    st_members = members;
+    st_shards = shards;
+    st_healthy = sum healthy;
+    st_compromised = sum compromised;
+    st_unresponsive = sum unresponsive;
+    st_fingerprint =
+      Ra_crypto.Hexutil.to_hex (Array.fold_left Ra_crypto.Hexutil.xor zero_digest fingers);
+  }
 
 (* ---- causal tracing: per-member flight recorders ---- *)
 

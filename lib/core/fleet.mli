@@ -43,7 +43,9 @@ val sweep_one : t -> string -> Verifier.verdict option
 (** Attest one device now and update its ledger. *)
 
 val sweep :
-  ?engine:[ `Seq | `Events ] -> t -> (string * Verifier.verdict option) list
+  ?engine:[ `Seq | `Events | `Shards of int ] ->
+  t ->
+  (string * Verifier.verdict option) list
 (** Attest every device, staggered by {!stagger_seconds} of simulated
     time between consecutive devices: member [i]'s round happens at
     [(i+1) *. stagger_seconds] past the sweep start, and every member
@@ -55,14 +57,28 @@ val sweep :
     [`Seq] (the default) folds over the members in order — the reference
     oracle. [`Events] runs the identical per-member operations as events
     on a {!Sched} timeline; verdicts, transcripts, ledgers and member
-    clocks are bit-identical to [`Seq], plus [ra_sched_*] metrics. *)
+    clocks are bit-identical to [`Seq], plus [ra_sched_*] metrics.
+    [`Shards k] partitions the members into [k] contiguous ranges
+    ({!Shard.partition}), runs one event timeline per shard on the
+    persistent domain pool, and merges deterministically: results are
+    read back in member order and each shard's buffered metrics arena is
+    flushed in shard order — verdicts, ledgers, clocks, transcripts and
+    metric totals are identical to [`Seq] at {e every} shard count.
+    @raise Invalid_argument on [`Shards k] with [k < 1]. *)
 
-val sweep_par : ?domains:int -> t -> (string * Verifier.verdict option) list
+val sweep_par :
+  ?domains:int ->
+  ?spawn:[ `Pool | `Fresh ] ->
+  t ->
+  (string * Verifier.verdict option) list
 (** Same verdicts, health ledger and per-member simulated clocks as
     {!sweep} (members are independent prover worlds), computed on up to
     [domains] OCaml domains (default 4, clamped to the member count).
     Results are returned in member order regardless of completion order.
-    Wall-clock scaling is measured by [bench/main.exe hotpath]. *)
+    [`Pool] (the default) borrows helper domains from the persistent
+    {!Pool.shared} pool; [`Fresh] spawns and joins throwaway domains on
+    every call — the pre-pool behaviour, kept so
+    [bench/main.exe hotpath] can measure what the pool buys. *)
 
 val stagger_seconds : float
 (** 1 s between consecutive devices in a sweep. *)
@@ -102,34 +118,95 @@ val chaos_sweep :
   ?seed:int64 ->
   ?domains:int ->
   ?rounds_per_member:int ->
-  ?engine:[ `Seq | `Events ] ->
+  ?engine:[ `Seq | `Events | `Shards of int ] ->
   losses:float list ->
   policies:(string * Retry.policy) list ->
   t ->
   chaos_cell list
 (** For every (loss, policy) cell: give each member its own
-    deterministically-seeded impairment (derived from [seed], stable
-    across [domains] settings), run [rounds_per_member] retry-engine
-    rounds per member with the usual 1 s stagger, then restore a pristine
-    wire. Updates each member's health ledger from its last round, feeds
-    [ra_chaos_rounds_total{result}] and [ra_chaos_round_time_ms], and
-    remembers the grid for {!health_snapshot}.
+    deterministically-seeded impairment, run [rounds_per_member]
+    retry-engine rounds per member with the usual 1 s stagger, then
+    restore a pristine wire. Updates each member's health ledger from
+    its last round, feeds [ra_chaos_rounds_total{result}] and
+    [ra_chaos_round_time_ms], and remembers the grid for
+    {!health_snapshot}.
+
+    Seeding is positional: each cell draws one root from [seed], and
+    member [i]'s impairment seed is
+    [Impairment.derive_seed ~root ~index:i] — a pure function of the
+    pair, so the wire schedule member [i] experiences is identical
+    across [domains] settings, shard counts and engines.
 
     With [engine:`Seq] (the default), members run on up to [domains]
-    OCaml domains (default 4); results are deterministic in [seed]
-    regardless. With [engine:`Events], every retry timeout and backoff
-    wait becomes an event on one shared {!Sched} timeline ([domains] is
-    ignored — the engine is single-threaded and deterministic by
-    construction); each member executes the identical operation sequence
-    as the sequential engine, so the grid, ledgers, transcripts and
-    member clocks are bit-identical between engines.
-    @raise Invalid_argument on an empty grid or an invalid policy. *)
+    OCaml domains (default 4, helpers borrowed from {!Pool.shared});
+    results are deterministic in [seed] regardless. With
+    [engine:`Events], every retry timeout and backoff wait becomes an
+    event on one shared {!Sched} timeline ([domains] is ignored — the
+    engine is single-threaded and deterministic by construction); each
+    member executes the identical operation sequence as the sequential
+    engine, so the grid, ledgers, transcripts and member clocks are
+    bit-identical between engines. With [engine:`Shards k], each of [k]
+    contiguous member ranges drives its own timeline on the pool with
+    its own buffered metrics arena; the deterministic merge (member
+    order for results, shard order for arena flushes) makes every
+    output identical to the other engines at every shard count.
+    @raise Invalid_argument on an empty grid, an invalid policy, or
+    [`Shards k] with [k < 1]. *)
 
 val last_chaos : t -> chaos_cell list
 (** The grid from the most recent {!chaos_sweep} (empty before any). *)
 
 val convergence_pct : chaos_cell -> float
 (** [100 * converged / rounds]. *)
+
+(** {2 Streaming sweeps}
+
+    A materialised member world costs ~88 KB (dominated by the device's
+    flash image), so a million-member {!t} would need ~88 GB. The
+    streaming sweep keeps {e one} live session per shard at a time:
+    create member [i]'s world, run exactly the staggered operation
+    sequence {!sweep} runs, fold the outcome into per-shard tallies and
+    an order-independent fingerprint, drop the world. Peak memory is
+    O(shards), independent of the fleet size. *)
+
+type stream_report = {
+  st_members : int;
+  st_shards : int;
+  st_healthy : int;
+  st_compromised : int;
+  st_unresponsive : int;
+  st_fingerprint : string;
+      (** XOR of per-member SHA-1 digests over (name, verdict, final
+          member clock, full wire transcript), hex-encoded. XOR makes it
+          invariant under any partition of the member range — the
+          checkable analogue of the materialised engines' byte-identity:
+          equal across shard counts, and equal to {!fingerprint} of a
+          materialised fleet that ran the same sweep. *)
+}
+
+val stream_sweep :
+  ?spec:Architecture.spec ->
+  ?ram_size:int ->
+  ?shards:int ->
+  ?pool:Pool.t ->
+  ?name_of:(int -> string) ->
+  members:int ->
+  unit ->
+  stream_report
+(** Sweep a fleet of [members] freshly-created devices without ever
+    materialising it, on [shards] pool-backed shards (default 1).
+    [name_of] (default [dev-%07d]) names member [i] — it must be pure.
+    The report is a pure function of [(spec, ram_size, members)]:
+    tallies merge by sums and fingerprints by XOR, both
+    order-independent, so shard count and domain schedule are
+    unobservable.
+    @raise Invalid_argument on [members < 1] or [shards < 1]. *)
+
+val fingerprint : t -> string
+(** The XOR-of-digests fingerprint of a materialised fleet's current
+    state (each member's latest ledger verdict, clock and transcript) —
+    comparable against {!stream_report.st_fingerprint} when both ran
+    the same sweep over the same specs and names. *)
 
 (** {2 Causal tracing}
 

@@ -3,6 +3,18 @@ module Trace = Ra_net.Trace
 
 type event = { ev_at : float; ev_seq : int; ev_fn : unit -> unit }
 
+(* How a scheduler reports into the metrics layer. The default sink hits
+   the shared atomic registry handles directly; the sharded engines give
+   each shard an [Ra_obs.Arena]-backed sink instead, so the per-event hot
+   path touches only domain-local memory and the registry sees one bulk
+   merge per shard, in shard order. *)
+type metrics = {
+  mx_scheduled : unit -> unit;
+  mx_fired : unit -> unit;
+  mx_depth : int -> unit;
+  mx_lag : float -> unit;
+}
+
 type t = {
   mutable now : float;
   mutable heap : event array; (* binary min-heap, first [size] slots live *)
@@ -10,6 +22,7 @@ type t = {
   mutable seq : int; (* insertion order, the deterministic tie-break *)
   mutable fired : int;
   trace : Trace.t option;
+  mx : metrics;
 }
 
 (* Handles precreated at module init: per-event cost is atomic adds, never
@@ -28,8 +41,29 @@ module M = struct
   let lag = Histogram.get ~buckets:lag_buckets "ra_sched_lag_seconds"
 end
 
-let create ?(start = 0.0) ?trace () =
-  { now = start; heap = [||]; size = 0; seq = 0; fired = 0; trace }
+let global_metrics =
+  {
+    mx_scheduled = (fun () -> Ra_obs.Registry.Counter.inc M.scheduled);
+    mx_fired = (fun () -> Ra_obs.Registry.Counter.inc M.fired);
+    mx_depth = (fun d -> Ra_obs.Registry.Gauge.set M.depth (float_of_int d));
+    mx_lag = (fun l -> Ra_obs.Registry.Histogram.observe M.lag l);
+  }
+
+let arena_metrics arena =
+  let open Ra_obs.Arena in
+  let scheduled = Counter.make arena M.scheduled in
+  let fired = Counter.make arena M.fired in
+  let depth = Gauge.make arena M.depth in
+  let lag = Histogram.make arena M.lag in
+  {
+    mx_scheduled = (fun () -> Counter.inc scheduled);
+    mx_fired = (fun () -> Counter.inc fired);
+    mx_depth = (fun d -> Gauge.set depth (float_of_int d));
+    mx_lag = (fun l -> Histogram.observe lag l);
+  }
+
+let create ?(start = 0.0) ?trace ?(metrics = global_metrics) () =
+  { now = start; heap = [||]; size = 0; seq = 0; fired = 0; trace; mx = metrics }
 
 let now t = t.now
 let pending t = t.size
@@ -78,8 +112,8 @@ let at t ~at:when_ fn =
   t.heap.(t.size) <- ev;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
-  Ra_obs.Registry.Counter.inc M.scheduled;
-  Ra_obs.Registry.Gauge.set M.depth (float_of_int t.size)
+  t.mx.mx_scheduled ();
+  t.mx.mx_depth t.size
 
 let after t ~delay fn =
   if not (delay >= 0.0) then invalid_arg "Sched.after: delay must be >= 0";
@@ -96,8 +130,7 @@ let pop t =
   end;
   ev
 
-let observe_lag t ~member_now =
-  Ra_obs.Registry.Histogram.observe M.lag (Float.max 0.0 (member_now -. t.now))
+let observe_lag t ~member_now = t.mx.mx_lag (Float.max 0.0 (member_now -. t.now))
 
 let step t =
   if t.size = 0 then false
@@ -107,8 +140,8 @@ let step t =
        clamped to [now] *)
     t.now <- ev.ev_at;
     t.fired <- t.fired + 1;
-    Ra_obs.Registry.Counter.inc M.fired;
-    Ra_obs.Registry.Gauge.set M.depth (float_of_int t.size);
+    t.mx.mx_fired ();
+    t.mx.mx_depth t.size;
     (match t.trace with
     | None -> ()
     | Some trace ->

@@ -24,8 +24,25 @@
 
 type t
 
-val create : ?start:float -> ?trace:Ra_net.Trace.t -> unit -> t
-(** Empty queue with the shared clock at [start] (default 0). *)
+type metrics
+(** A metrics sink: where the scheduler reports scheduled/fired counts,
+    queue depth and member lag. *)
+
+val global_metrics : metrics
+(** The default sink — the precreated atomic handles on the shared
+    registry ([ra_sched_events_total], [ra_sched_queue_depth],
+    [ra_sched_lag_seconds]). *)
+
+val arena_metrics : Ra_obs.Arena.t -> metrics
+(** A sink buffering into [arena] with no atomics: the per-event hot
+    path touches only domain-local memory, and the same metric families
+    receive one bulk merge when the arena is flushed. One scheduler per
+    arena sink; flush after the owning domain quiesces. *)
+
+val create :
+  ?start:float -> ?trace:Ra_net.Trace.t -> ?metrics:metrics -> unit -> t
+(** Empty queue with the shared clock at [start] (default 0), reporting
+    into [metrics] (default {!global_metrics}). *)
 
 val now : t -> float
 (** The shared virtual clock: the time of the most recently fired event. *)

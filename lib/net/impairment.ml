@@ -114,6 +114,18 @@ module M = struct
     Ra_obs.Registry.Counter.inc (List.assoc kind table)
 end
 
+(* Positional seed derivation: member [index]'s impairment seed is a pure
+   function of (root, index) — one SplitMix64 step at offset index, never
+   a draw from a shared sequential stream. Whatever partition of the
+   member range runs where (one domain, four shards, a streaming sweep
+   that never materialises the fleet), member i sees the same wire. *)
+let splitmix_gamma = 0x9E3779B97F4A7C15L (* Prng's SplitMix64 increment *)
+
+let derive_seed ~root ~index =
+  if index < 0 then invalid_arg "Impairment.derive_seed: negative index";
+  Prng.next_int64
+    (Prng.create (Int64.add root (Int64.mul (Int64.of_int index) splitmix_gamma)))
+
 let lane profile prng = { lane_profile = profile; lane_prng = prng; lane_ge = Good }
 
 let create ?(to_prover = pristine) ?(to_verifier = pristine) ~seed () =

@@ -63,6 +63,16 @@ type action =
 
 type t
 
+val derive_seed : root:int64 -> index:int -> int64
+(** The impairment seed for position [index] under root seed [root]: a
+    pure function of the pair (one SplitMix64 step at offset [index]),
+    {e not} a draw from a shared sequential stream. The fleet engines
+    seed member [i]'s wire with [derive_seed ~root ~index:i], so the
+    schedule member [i] experiences is identical however the member
+    range is partitioned — one domain, many shards, or a streaming sweep
+    that never materialises the whole fleet.
+    @raise Invalid_argument on a negative index. *)
+
 val create : ?to_prover:profile -> ?to_verifier:profile -> seed:int64 -> unit -> t
 (** Both directions default to {!pristine}; probabilities are validated.
     @raise Invalid_argument on a probability outside [0, 1] or a

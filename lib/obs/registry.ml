@@ -206,6 +206,25 @@ module Histogram = struct
 
   let count h = Atomic.get h.h_count
   let sum h = Int64.float_of_bits (Atomic.get h.h_sum_bits)
+  let bounds h = Array.copy h.h_bounds
+
+  (* Merge a locally-accumulated bucket vector (same bounds, plus the
+     overflow slot) into the shared histogram in one pass — the bulk
+     counterpart of [observe] for single-domain arenas. *)
+  let absorb h ~counts ~sum:s =
+    if Array.length counts <> Array.length h.h_buckets then
+      invalid_arg "Ra_obs histogram: absorb bucket count mismatch";
+    let total = ref 0 in
+    Array.iteri
+      (fun i n ->
+        if n < 0 then invalid_arg "Ra_obs histogram: negative absorb count";
+        if n > 0 then begin
+          ignore (Atomic.fetch_and_add h.h_buckets.(i) n);
+          total := !total + n
+        end)
+      counts;
+    if !total > 0 then ignore (Atomic.fetch_and_add h.h_count !total);
+    if s <> 0.0 then atomic_float_add h.h_sum_bits s
 
   let buckets h =
     List.init

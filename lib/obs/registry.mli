@@ -89,6 +89,17 @@ module Histogram : sig
   (** Per-bucket (upper bound, count); the final overflow bucket has
       bound [infinity]. *)
 
+  val bounds : t -> float array
+  (** The upper bounds the family was registered with (a copy). *)
+
+  val absorb : t -> counts:int array -> sum:float -> unit
+  (** Bulk-merge a locally accumulated bucket vector: [counts] must have
+      [length (bounds h) + 1] entries (the last is the overflow bucket).
+      Equivalent to the corresponding sequence of {!observe} calls, in
+      one atomic add per non-empty bucket — the flush half of
+      {!Ra_obs.Arena.Histogram}.
+      @raise Invalid_argument on a length mismatch or negative count. *)
+
   val percentile : t -> float -> float
   (** [percentile h p] for [p] in [0..100]: the upper bound of the
       bucket holding the p-th percentile observation; [nan] when empty,

@@ -128,6 +128,71 @@ let test_sweep_par_repeated () =
   Alcotest.(check (list (float 0.0))) "clocks still in lockstep"
     (clocks seq_fleet) (clocks par_fleet)
 
+let test_spawn_modes_agree () =
+  (* the pooled fast path and the legacy spawn-per-sweep path are the
+     same algorithm on different domains; states must be bit-identical *)
+  let pool_fleet = make () and fresh_fleet = make () in
+  let a = Fleet.sweep_par ~domains:3 ~spawn:`Pool pool_fleet in
+  let b = Fleet.sweep_par ~domains:3 ~spawn:`Fresh fresh_fleet in
+  Alcotest.(check bool) "verdicts identical" true (a = b);
+  Alcotest.(check (list (float 0.0)))
+    "clocks identical" (clocks pool_fleet) (clocks fresh_fleet);
+  Alcotest.(check bool) "summaries identical" true
+    (Fleet.summary pool_fleet = Fleet.summary fresh_fleet)
+
+let test_pool_reuse () =
+  let pool = Pool.create () in
+  let total = Atomic.make 0 in
+  for _ = 1 to 5 do
+    Pool.run pool ~helpers:2 (fun () -> Atomic.incr total)
+  done;
+  (* caller + 2 helpers, five batches *)
+  Alcotest.(check int) "every participant ran every batch" 15 (Atomic.get total);
+  Alcotest.(check int) "helpers spawned once and kept" 2 (Pool.size pool);
+  Pool.shutdown pool;
+  Alcotest.(check int) "helpers joined" 0 (Pool.size pool);
+  (* a pool is reusable after shutdown *)
+  Pool.run pool ~helpers:1 (fun () -> Atomic.incr total);
+  Alcotest.(check int) "post-shutdown batch ran" 17 (Atomic.get total);
+  Pool.shutdown pool
+
+let test_pool_propagates_exception () =
+  let pool = Pool.create () in
+  let boom = Failure "boom" in
+  Alcotest.check_raises "worker exception re-raised on caller" boom (fun () ->
+      Pool.run pool ~helpers:2 (fun () -> raise boom));
+  (* the failed batch must not wedge the pool *)
+  let ok = Atomic.make 0 in
+  Pool.run pool ~helpers:2 (fun () -> Atomic.incr ok);
+  Alcotest.(check int) "pool usable after a failed batch" 3 (Atomic.get ok);
+  Pool.shutdown pool
+
+let test_stream_matches_materialised () =
+  (* the streaming sweep must reproduce a materialised fleet's
+     fingerprint: same specs, same names, same staggered operations *)
+  let members = 5 in
+  let names = List.init members (fun i -> Printf.sprintf "dev-%07d" i) in
+  let fleet = Fleet.create ~ram_size:2048 ~names () in
+  let (_ : (string * Verifier.verdict option) list) = Fleet.sweep fleet in
+  let report = Fleet.stream_sweep ~ram_size:2048 ~members () in
+  Alcotest.(check string)
+    "stream fingerprint = materialised fingerprint" (Fleet.fingerprint fleet)
+    report.Fleet.st_fingerprint;
+  Alcotest.(check int) "all healthy" members report.Fleet.st_healthy
+
+let test_stream_shard_invariant () =
+  let oracle = Fleet.stream_sweep ~ram_size:2048 ~members:7 () in
+  List.iter
+    (fun shards ->
+      let r = Fleet.stream_sweep ~ram_size:2048 ~shards ~members:7 () in
+      Alcotest.(check string)
+        (Printf.sprintf "fingerprint invariant at %d shards" shards)
+        oracle.Fleet.st_fingerprint r.Fleet.st_fingerprint;
+      Alcotest.(check int)
+        (Printf.sprintf "healthy tally invariant at %d shards" shards)
+        oracle.Fleet.st_healthy r.Fleet.st_healthy)
+    [ 2; 3; 4 ]
+
 let tests =
   [
     Alcotest.test_case "creation" `Quick test_creation;
@@ -139,4 +204,10 @@ let tests =
     Alcotest.test_case "sweep_par = sweep" `Quick test_sweep_par_matches_sweep;
     Alcotest.test_case "sweep_par flags infection" `Quick test_sweep_par_flags_infection;
     Alcotest.test_case "sweep_par repeated determinism" `Quick test_sweep_par_repeated;
+    Alcotest.test_case "spawn modes agree" `Quick test_spawn_modes_agree;
+    Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+    Alcotest.test_case "pool propagates exceptions" `Quick test_pool_propagates_exception;
+    Alcotest.test_case "stream = materialised fingerprint" `Quick
+      test_stream_matches_materialised;
+    Alcotest.test_case "stream shard-count invariant" `Quick test_stream_shard_invariant;
   ]

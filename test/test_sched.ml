@@ -146,6 +146,75 @@ let test_chaos_events_matches_seq () =
   Alcotest.(check bool) "grid, ledgers, clocks and transcripts identical" true
     (run `Seq = run `Events)
 
+(* sharded engine vs the sequential oracle: verdicts, ledgers, clocks,
+   transcripts AND flight recorders, at every interesting shard count
+   (1 = degenerate, 2/3 = uneven splits of 3 members, 4/7 = more shards
+   than members, so some shards own empty ranges) *)
+let shard_counts = [ 1; 2; 3; 4; 7 ]
+
+let traced_state f = (fleet_state f, Fleet.recent_rounds f)
+
+let test_sweep_shards_matches_seq () =
+  let run engine =
+    let f = Fleet.create ~ram_size:1024 ~names () in
+    Fleet.enable_tracing f;
+    let r = Fleet.sweep ~engine f in
+    (r, traced_state f)
+  in
+  let oracle = run `Seq in
+  List.iter
+    (fun shards ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sweep state identical at %d shards" shards)
+        true
+        (run (`Shards shards) = oracle))
+    shard_counts
+
+let test_chaos_shards_matches_seq () =
+  let run engine =
+    let f = Fleet.create ~ram_size:1024 ~names () in
+    Fleet.enable_tracing f;
+    let grid =
+      Fleet.chaos_sweep ~seed:99L ~engine ~rounds_per_member:3 ~losses:[ 0.0; 0.2 ]
+        ~policies:[ ("default", Retry.default) ]
+        f
+    in
+    (grid, traced_state f)
+  in
+  let oracle = run `Seq in
+  List.iter
+    (fun shards ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos state identical at %d shards" shards)
+        true
+        (run (`Shards shards) = oracle))
+    shard_counts
+
+let prop_sharded_engine_equivalent =
+  let gen =
+    QCheck.Gen.(
+      triple (float_bound_exclusive 0.5) (map Int64.of_int int)
+        (oneofl [ 1; 2; 3; 4; 7 ]))
+  in
+  QCheck.Test.make ~count:10
+    ~name:
+      "sharded engine = sequential oracle (verdicts, ledgers, transcripts, \
+       clocks, recorders) over random (loss, seed, shards)"
+    (QCheck.make gen ~print:(fun (loss, seed, shards) ->
+         Printf.sprintf "loss=%.3f seed=%Ld shards=%d" loss seed shards))
+    (fun (loss, seed, shards) ->
+      let run engine =
+        let f = Fleet.create ~ram_size:1024 ~names:[ "p"; "q"; "r" ] () in
+        Fleet.enable_tracing f;
+        let grid =
+          Fleet.chaos_sweep ~seed ~engine ~rounds_per_member:2 ~losses:[ loss ]
+            ~policies:[ ("impatient", Retry.impatient) ]
+            f
+        in
+        (grid, traced_state f)
+      in
+      run `Seq = run (`Shards shards))
+
 let prop_engines_verdict_equivalent =
   let gen = QCheck.Gen.(pair (float_bound_exclusive 0.5) (map Int64.of_int int)) in
   QCheck.Test.make ~count:10
@@ -197,6 +266,9 @@ let tests =
     Alcotest.test_case "channel defer hook" `Quick test_channel_defer_hook;
     Alcotest.test_case "sweep: events = seq" `Quick test_sweep_events_matches_seq;
     Alcotest.test_case "chaos: events = seq" `Slow test_chaos_events_matches_seq;
+    Alcotest.test_case "sweep: shards = seq" `Quick test_sweep_shards_matches_seq;
+    Alcotest.test_case "chaos: shards = seq" `Slow test_chaos_shards_matches_seq;
+    QCheck_alcotest.to_alcotest prop_sharded_engine_equivalent;
     QCheck_alcotest.to_alcotest prop_engines_verdict_equivalent;
     Alcotest.test_case "max_total_s bounds a round" `Quick test_max_total_s_bounds_round;
   ]
