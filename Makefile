@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke prof-smoke examples docs clean loc
 
 all: build
 
@@ -40,6 +40,14 @@ sched-smoke:
 shard-smoke:
 	dune exec bin/ra_cli.exe -- sched --selftest --shards 4
 	BENCH_SMOKE=1 dune exec bench/main.exe -- sched
+
+# profiler sanity: CLI selftest (cycle-exact attribution, symbolization,
+# shard-invariant merges, folded/JSONL/Perfetto exports), then the
+# sampling-overhead + wire-neutrality gates (BENCH_prof.json); also leaves
+# profile.folded and profile.perfetto.json behind for artifact upload
+prof-smoke:
+	dune exec bin/ra_cli.exe -- profile --selftest --folded profile.folded --out profile.perfetto.json
+	BENCH_SMOKE=1 dune exec bench/main.exe -- prof
 
 examples:
 	dune exec examples/quickstart.exe

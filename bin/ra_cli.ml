@@ -850,10 +850,336 @@ let sched_cmd =
        ~doc:"Run fleet sweeps on the deterministic event queue and compare engines")
     Term.(const run_sched $ n $ rounds $ loss $ shards $ selftest)
 
+(* ---- profile ---- *)
+
+let run_prof n rounds loss shards period out folded_out selftest =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else if not (loss >= 0.0 && loss < 1.0) then begin
+    Printf.eprintf "loss must be in [0, 1)\n";
+    1
+  end
+  else if shards < 1 || shards > 64 then begin
+    Printf.eprintf "shards must be 1..64\n";
+    1
+  end
+  else if period < 1 then begin
+    Printf.eprintf "period must be >= 1 cycles\n";
+    1
+  end
+  else begin
+    let module Profiler = Ra_obs.Profiler in
+    (* --- in-ISA SHA-1 flame graph: PC-sample the interpreted anchor
+       through one full attestation round --- *)
+    let isa_flame ~period =
+      let sym_key = "K_attest_0123456789." in
+      let blob = Auth.prover_key_blob ~sym_key ~public:None in
+      let device =
+        Device.create ~ram_size:2048
+          ~rom_images:[ (Device.region_attest, Isa_anchor.rom_image ()) ]
+          ~key:blob ()
+      in
+      Device.fill_ram_deterministic device ~seed:11L;
+      let anchor =
+        Isa_anchor.install device ~scheme:(Some Timing.Auth_hmac_sha1)
+          ~policy:Freshness.Counter
+      in
+      let verifier =
+        Verifier.create ~scheme:(Some Timing.Auth_hmac_sha1)
+          ~freshness_kind:Verifier.Fk_counter ~sym_key
+          ~time:(Ra_net.Simtime.create ())
+          ~reference_image:(Isa_anchor.measure_memory anchor) ()
+      in
+      let pc = Profiler.Pc.create () in
+      let sampler = Ra_isa.Sampler.create ~period ~memory:(Device.memory device) pc in
+      Ra_isa.Sha1_asm.set_sampler (Isa_anchor.sha anchor) (Some sampler);
+      let attested =
+        match Isa_anchor.handle_request anchor (Verifier.make_request verifier) with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      Ra_isa.Sampler.flush sampler;
+      (pc, attested, Isa_anchor.last_mac_cycles anchor)
+    in
+    let symbolized_fraction pc =
+      let total = Profiler.Pc.cycles pc in
+      if Int64.equal total 0L then 0.0
+      else
+        Int64.to_float
+          (Profiler.Pc.cycles_matching pc ~f:(fun leaf ->
+               not (String.length leaf >= 2 && String.sub leaf 0 2 = "0x")))
+        /. Int64.to_float total
+    in
+    (* --- fleet run: traced+profiled chaos rounds on the sharded engine,
+       then one sharded sweep recording the queue-depth counter track --- *)
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let fleet_profile () =
+      let fleet = Fleet.create ~ram_size:4096 ~names () in
+      Fleet.enable_tracing fleet;
+      Fleet.enable_profiling fleet;
+      Fleet.advance fleet ~seconds:1.0;
+      let (_ : Fleet.chaos_cell list) =
+        Fleet.chaos_sweep ~seed:42L ~engine:(`Shards shards)
+          ~rounds_per_member:rounds ~losses:[ loss ]
+          ~policies:[ ("default", Retry.default) ]
+          fleet
+      in
+      let tracks =
+        Array.init shards (fun i ->
+            Profiler.Track.create (Printf.sprintf "queue-depth/shard-%d" i))
+      in
+      let (_ : (string * Verifier.verdict option) list) =
+        Fleet.sweep_shards ~tracks ~shards fleet
+      in
+      (fleet, Profiler.Track.merge ~name:"ra_sched_queue_depth" (Array.to_list tracks))
+    in
+    let fleet, track = fleet_profile () in
+    let prof = Fleet.profile ~shards fleet in
+    let fleet_folded = Profiler.folded prof in
+    let fleet_jsonl = Ra_obs.Export.profile_jsonl prof in
+    let pc, isa_attested, mac_cycles = isa_flame ~period in
+    (* fold the ISA stacks into the fleet profile so one folded file and
+       one JSONL stream carry both views *)
+    Profiler.Pc.absorb prof.Profiler.pc pc;
+    let folded_text = Profiler.folded prof in
+    let phases = Profiler.Phases.samples prof.Profiler.phases in
+    let perfetto =
+      Ra_obs.Export.perfetto_string ~counters:[ track ] ~phases
+        (Fleet.recent_rounds fleet)
+    in
+    Printf.printf
+      "in-ISA SHA-1 anchor: %Ld interpreted mac cycles, %d stacks, %.1f%% symbolized \
+       (period %d cycles)\n"
+      mac_cycles
+      (List.length (Profiler.Pc.rows pc))
+      (100.0 *. symbolized_fraction pc)
+      period;
+    let top =
+      Profiler.Pc.rows pc
+      |> List.sort (fun (_, a, _) (_, b, _) -> Int64.compare b a)
+      |> List.filteri (fun i _ -> i < 3)
+    in
+    List.iter
+      (fun (frames, cycles, samples) ->
+        Printf.printf "  %-56s %10Ld cycles %5d samples\n"
+          (String.concat ";" frames) cycles samples)
+      top;
+    Printf.printf "\nfleet: %d members x %d rounds at %.0f%% loss, %d shard%s\n" n
+      rounds (100.0 *. loss) shards
+      (if shards = 1 then "" else "s");
+    Printf.printf "%-12s %14s %16s %8s\n" "phase" "cycles" "energy (nJ)" "samples";
+    List.iter
+      (fun (phase, (cycles, nj, samples)) ->
+        Printf.printf "%-12s %14Ld %16.1f %8d\n" phase cycles nj samples)
+      (Profiler.Phases.totals prof.Profiler.phases);
+    Printf.printf "queue-depth counter track: %d points\n"
+      (List.length (Profiler.Track.points track));
+    (match folded_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc folded_text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes) — feed it to flamegraph.pl\n" path
+        (String.length folded_text));
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc perfetto;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes) — load it at ui.perfetto.dev or chrome://tracing\n"
+        path (String.length perfetto));
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      (* --- the ISA flame graph is attested, exact and symbolized --- *)
+      check "isa anchor attested under sampling" isa_attested;
+      check "isa sampler attributed every interpreted cycle"
+        (Int64.equal (Profiler.Pc.cycles pc) mac_cycles);
+      check "isa flame graph >= 90% symbolized" (symbolized_fraction pc >= 0.9);
+      (let pc2, _, _ = isa_flame ~period in
+       check "isa flame graph deterministic across runs"
+         (String.equal (Profiler.Pc.folded pc) (Profiler.Pc.folded pc2)));
+      (* --- folded stacks parse as "stack cycles" lines --- *)
+      let folded_wellformed text =
+        String.split_on_char '\n' text
+        |> List.filter (fun l -> l <> "")
+        |> List.for_all (fun line ->
+               match String.rindex_opt line ' ' with
+               | None -> false
+               | Some i ->
+                 let count = String.sub line (i + 1) (String.length line - i - 1) in
+                 i > 0
+                 && (match Int64.of_string_opt count with
+                    | Some c -> Int64.compare c 0L > 0
+                    | None -> false))
+      in
+      check "folded stacks parse as 'stack cycles'"
+        (folded_text <> "" && folded_wellformed folded_text);
+      (* --- fleet profile merge is shard-invariant and deterministic --- *)
+      let merged k =
+        let p = Fleet.profile ~shards:k fleet in
+        (Profiler.folded p, Ra_obs.Export.profile_jsonl p)
+      in
+      let base = merged 1 in
+      check "fleet profile byte-identical at shard counts 1/2/4"
+        (List.for_all (fun k -> merged k = base) [ 2; 4 ]);
+      (let fleet2, _ = fleet_profile () in
+       let p2 = Fleet.profile ~shards fleet2 in
+       check "fleet profile deterministic across runs"
+         (String.equal fleet_folded (Profiler.folded p2)
+         && String.equal fleet_jsonl (Ra_obs.Export.profile_jsonl p2)));
+      (* --- profile JSONL round-trips through the line parser --- *)
+      check "profile JSONL parses"
+        (match Ra_obs.Export.parse_jsonl fleet_jsonl with
+        | Ok js -> js <> []
+        | Error _ -> false);
+      (* --- Perfetto export parses and carries counter + phase tracks --- *)
+      (match Ra_obs.Json.of_string perfetto with
+      | Error _ -> check "perfetto JSON parses" false
+      | Ok j ->
+        let evs =
+          match Ra_obs.Json.member "traceEvents" j with
+          | Some (Ra_obs.Json.Arr evs) -> evs
+          | _ -> []
+        in
+        let has_ph p =
+          List.exists
+            (fun ev ->
+              match Ra_obs.Json.member "ph" ev with
+              | Some (Ra_obs.Json.Str s) -> s = p
+              | _ -> false)
+            evs
+        in
+        check "perfetto counter-track events present" (has_ph "C");
+        check "perfetto phase instants present"
+          (List.exists
+             (fun ev ->
+               match Ra_obs.Json.member "name" ev with
+               | Some (Ra_obs.Json.Str s) ->
+                 String.length s > 6 && String.sub s 0 6 = "phase."
+               | _ -> false)
+             evs));
+      (* --- phase attribution covers the round anatomy --- *)
+      let totals = Profiler.Phases.totals prof.Profiler.phases in
+      check "phase totals include auth/freshness/mac/radio"
+        (List.for_all
+           (fun p -> List.mem_assoc p totals)
+           [ "auth"; "freshness"; "mac"; "radio" ]);
+      let retried =
+        List.exists
+          (fun r -> r.Ra_obs.Trace.rd_attempts > 1)
+          (Fleet.recent_rounds fleet)
+      in
+      check "wait attributed on retried rounds"
+        ((not retried) || List.mem_assoc "wait" totals);
+      check "no phase samples dropped from the merged ring"
+        (Profiler.Phases.dropped prof.Profiler.phases = 0);
+      (* --- queue-depth track is non-empty and chronological --- *)
+      let pts = Profiler.Track.points track in
+      check "queue-depth track recorded" (pts <> []);
+      check "queue-depth track chronological"
+        (let rec mono = function
+           | (a, _) :: ((b, _) :: _ as tl) -> a <= b && mono tl
+           | _ -> true
+         in
+         mono pts);
+      (* --- profiling never touches the wire: byte-identical transcripts --- *)
+      let transcript_of profiled =
+        let s = Session.create ~ram_size:4096 () in
+        if profiled then ignore (Session.enable_profiling s);
+        Session.advance_time s ~seconds:1.0;
+        Session.set_impairment s
+          (Some
+             (Ra_net.Impairment.create
+                ~to_prover:(Ra_net.Impairment.lossy 0.3)
+                ~to_verifier:(Ra_net.Impairment.lossy 0.3)
+                ~seed:42L ()));
+        let r = Session.attest_round_r s in
+        ( r.Session.r_verdict,
+          r.Session.r_attempts,
+          List.map
+            (fun e -> e.Ra_net.Channel.payload)
+            (Ra_net.Channel.transcript (Session.channel s)) )
+      in
+      check "transcripts byte-identical with profiling on/off"
+        (transcript_of true = transcript_of false);
+      (let grid_of profiled =
+         let f = Fleet.create ~ram_size:4096 ~names () in
+         if profiled then Fleet.enable_profiling f;
+         Fleet.chaos_sweep ~seed:7L ~rounds_per_member:2 ~losses:[ loss ]
+           ~policies:[ ("default", Retry.default) ]
+           f
+       in
+       check "chaos grid identical with profiling on/off"
+         (grid_of true = grid_of false));
+      check "paper model unchanged" (Experiment.table2 () = Experiment.expected_table2);
+      match !failures with
+      | [] ->
+        print_endline "profile selftest ok";
+        0
+      | fs ->
+        List.iter
+          (fun f -> Printf.eprintf "profile selftest FAILED: %s\n" f)
+          (List.rev fs);
+        1
+    end
+  end
+
+let prof_cmd =
+  let n =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "size"; "members" ] ~docv:"N" ~doc:"Fleet size (members).")
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Profiled rounds per member.")
+  in
+  let loss =
+    Arg.(value & opt float 0.2 & info [ "loss" ] ~docv:"P"
+           ~doc:"Per-direction loss probability for the profiled chaos cell.")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"K"
+           ~doc:"Shard count for the sharded engine and the profile merge.")
+  in
+  let period =
+    Arg.(value & opt int Ra_isa.Sampler.default_period
+         & info [ "period" ] ~docv:"CYCLES"
+             ~doc:"PC-sampling period in prover CPU cycles (deterministic; \
+                   never wall time).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the Perfetto trace-event JSON (causal rounds, phase \
+                 instants, queue-depth counter track) here.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"Write flamegraph.pl-compatible folded stacks of the in-ISA \
+                 SHA-1 attestation here.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify cycle-exact attribution, >= 90% symbolization, \
+                 wire-neutrality, shard-invariant and run-deterministic \
+                 profile merges, and the folded/JSONL/Perfetto exports; \
+                 non-zero exit on failure.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"PC-sample the in-ISA anchor and attribute fleet cycles/energy to phases")
+    Term.(const run_prof $ n $ rounds $ loss $ shards $ period $ out $ folded $ selftest)
+
 let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd; prof_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -220,8 +220,12 @@ let sweep_events t =
    shared mutable state except their disjoint slice of [results]. The
    deterministic merge is the combination of [collect] (member order)
    and flushing the arenas in shard order after every shard quiesced. *)
-let sweep_shards ?pool ~shards t =
+let sweep_shards ?pool ?tracks ~shards t =
   if shards < 1 then invalid_arg "Fleet.sweep: shards must be >= 1";
+  (match tracks with
+  | Some arr when Array.length arr <> shards ->
+    invalid_arg "Fleet.sweep: tracks array must have one track per shard"
+  | Some _ | None -> ());
   let members = Array.of_list t.members in
   let n = Array.length members in
   let results = Array.make n None in
@@ -229,7 +233,8 @@ let sweep_shards ?pool ~shards t =
   let arenas = Array.init shards (fun _ -> Ra_obs.Arena.create ()) in
   Shard.run ?pool ~shards (fun s ->
       let arena = arenas.(s) in
-      let sched = Sched.create ~metrics:(Sched.arena_metrics arena) () in
+      let track = Option.map (fun arr -> arr.(s)) tracks in
+      let sched = Sched.create ~metrics:(Sched.arena_metrics arena) ?track () in
       let { Shard.sh_lo; sh_hi } = parts.(s) in
       sweep_events_range (arena_obs arena) sched members ~n ~lo:sh_lo ~hi:sh_hi
         results;
@@ -616,6 +621,53 @@ let recent_rounds t =
       | None -> []
       | Some tracer -> Ra_obs.Trace.rounds tracer)
     t.members
+
+(* ---- cycle/energy profiling: per-member profiles, shard-order merge ---- *)
+
+let enable_profiling ?capacity t =
+  List.iter
+    (fun m ->
+      ignore (Session.enable_profiling ?capacity ~device:m.name m.session))
+    t.members
+
+let disable_profiling t =
+  List.iter (fun m -> Session.disable_profiling m.session) t.members
+
+(* Fleet-wide profile: per-shard accumulators over contiguous member
+   ranges, bulk-merged in shard order — the Arena discipline applied to
+   profiles. Within a shard, members absorb in index order; shards absorb
+   in shard order; contiguous partition makes the global absorb sequence
+   the member-index order at {e every} shard count, so the merged profile
+   (sorted stack rows, sorted phase totals, ring in push order) is
+   byte-identical for shards = 1, 2, 4, ... The merge rings are sized to
+   the surviving sample count so the two-stage merge never evicts. *)
+let profile ?(shards = 1) t =
+  if shards < 1 then invalid_arg "Fleet.profile: shards must be >= 1";
+  let members = Array.of_list t.members in
+  let n = Array.length members in
+  let member_profiles = Array.map (fun m -> Session.profiling m.session) members in
+  let total_samples =
+    Array.fold_left
+      (fun acc p ->
+        match p with
+        | None -> acc
+        | Some p -> acc + Ra_obs.Profiler.Phases.length p.Ra_obs.Profiler.phases)
+      0 member_profiles
+  in
+  let capacity = max 1 total_samples in
+  let parts = Shard.partition ~members:n ~shards in
+  let accs = Array.init shards (fun _ -> Ra_obs.Profiler.create ~capacity ()) in
+  Array.iteri
+    (fun s { Shard.sh_lo; sh_hi } ->
+      for i = sh_lo to sh_hi - 1 do
+        match member_profiles.(i) with
+        | None -> ()
+        | Some p -> Ra_obs.Profiler.absorb accs.(s) p
+      done)
+    parts;
+  let merged = Ra_obs.Profiler.create ~capacity () in
+  Array.iter (fun acc -> Ra_obs.Profiler.absorb merged acc) accs;
+  merged
 
 (* ---- SLO watchdog over chaos cells and member ledgers ---- *)
 

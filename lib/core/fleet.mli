@@ -66,6 +66,20 @@ val sweep :
     metric totals are identical to [`Seq] at {e every} shard count.
     @raise Invalid_argument on [`Shards k] with [k < 1]. *)
 
+val sweep_shards :
+  ?pool:Pool.t ->
+  ?tracks:Ra_obs.Profiler.Track.t array ->
+  shards:int ->
+  t ->
+  (string * Verifier.verdict option) list
+(** The [`Shards] engine directly, with two extra knobs: [pool]
+    substitutes a private domain pool, and [tracks] (one track per
+    shard) lets each shard's scheduler record its [(sim_time, depth)]
+    queue-depth series — merge them with {!Ra_obs.Profiler.Track.merge}
+    into a deterministic [ra_sched_queue_depth] Perfetto counter track.
+    @raise Invalid_argument when [tracks] has a different length than
+    [shards]. *)
+
 val sweep_par :
   ?domains:int ->
   ?spawn:[ `Pool | `Fresh ] ->
@@ -224,6 +238,27 @@ val disable_tracing : t -> unit
 val recent_rounds : t -> Ra_obs.Trace.round list
 (** Sealed rounds still held in the members' rings, member order then
     oldest first. Empty when tracing was never enabled. *)
+
+(** {2 Cycle/energy profiling}
+
+    With profiling enabled every member session attributes its exact
+    per-round cycle and energy spend to phases (see
+    {!Session.enable_profiling}); {!profile} merges the per-member
+    profiles into one fleet-wide profile, shard by shard. *)
+
+val enable_profiling : ?capacity:int -> t -> unit
+(** Attach a fresh profile to every member; the member name tags its
+    phase samples (and becomes the Perfetto process name). *)
+
+val disable_profiling : t -> unit
+
+val profile : ?shards:int -> t -> Ra_obs.Profiler.t
+(** Merge the members' profiles: contiguous member ranges per shard
+    ({!Shard.partition}), members absorbed in index order into per-shard
+    accumulators, accumulators absorbed in shard order — Arena-style.
+    The folded stacks, phase totals and sample ring of the result are
+    byte-identical at every shard count.
+    @raise Invalid_argument when [shards < 1]. *)
 
 (** {2 SLO watchdog}
 

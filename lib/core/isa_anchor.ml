@@ -46,6 +46,7 @@ let measure_memory t =
            (Device.attested_ranges t.device)))
 
 let last_mac_cycles t = t.mac_cycles
+let sha t = t.sha
 
 let attest t (req : Message.attreq) =
   let resp =

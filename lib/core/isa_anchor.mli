@@ -47,3 +47,7 @@ val measure_memory : t -> string
 
 val last_mac_cycles : t -> int64
 (** Cycles the most recent interpreted measurement consumed. *)
+
+val sha : t -> Ra_isa.Sha1_asm.t
+(** The interpreted routine — e.g. to attach a {!Ra_isa.Sampler} for
+    PC-sampled flame graphs of the measurement sweep. *)

@@ -23,6 +23,7 @@ type t = {
   mutable fired : int;
   trace : Trace.t option;
   mx : metrics;
+  track : Ra_obs.Profiler.Track.t option; (* queue depth over sim time *)
 }
 
 (* Handles precreated at module init: per-event cost is atomic adds, never
@@ -62,8 +63,9 @@ let arena_metrics arena =
     mx_lag = (fun l -> Histogram.observe lag l);
   }
 
-let create ?(start = 0.0) ?trace ?(metrics = global_metrics) () =
-  { now = start; heap = [||]; size = 0; seq = 0; fired = 0; trace; mx = metrics }
+let create ?(start = 0.0) ?trace ?(metrics = global_metrics) ?track () =
+  { now = start; heap = [||]; size = 0; seq = 0; fired = 0; trace; mx = metrics;
+    track }
 
 let now t = t.now
 let pending t = t.size
@@ -113,7 +115,10 @@ let at t ~at:when_ fn =
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
   t.mx.mx_scheduled ();
-  t.mx.mx_depth t.size
+  t.mx.mx_depth t.size;
+  match t.track with
+  | None -> ()
+  | Some tr -> Ra_obs.Profiler.Track.push tr ~at:t.now (float_of_int t.size)
 
 let after t ~delay fn =
   if not (delay >= 0.0) then invalid_arg "Sched.after: delay must be >= 0";
@@ -142,6 +147,9 @@ let step t =
     t.fired <- t.fired + 1;
     t.mx.mx_fired ();
     t.mx.mx_depth t.size;
+    (match t.track with
+    | None -> ()
+    | Some tr -> Ra_obs.Profiler.Track.push tr ~at:t.now (float_of_int t.size));
     (match t.trace with
     | None -> ()
     | Some trace ->

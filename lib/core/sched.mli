@@ -40,9 +40,18 @@ val arena_metrics : Ra_obs.Arena.t -> metrics
     arena sink; flush after the owning domain quiesces. *)
 
 val create :
-  ?start:float -> ?trace:Ra_net.Trace.t -> ?metrics:metrics -> unit -> t
+  ?start:float ->
+  ?trace:Ra_net.Trace.t ->
+  ?metrics:metrics ->
+  ?track:Ra_obs.Profiler.Track.t ->
+  unit ->
+  t
 (** Empty queue with the shared clock at [start] (default 0), reporting
-    into [metrics] (default {!global_metrics}). *)
+    into [metrics] (default {!global_metrics}). With [track], every
+    schedule/fire also appends a [(sim_time, depth)] point to it —
+    the raw series behind a Perfetto [ra_sched_queue_depth] counter
+    track; per-shard tracks merge deterministically via
+    {!Ra_obs.Profiler.Track.merge}. *)
 
 val now : t -> float
 (** The shared virtual clock: the time of the most recently fired event. *)

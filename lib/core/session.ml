@@ -21,6 +21,9 @@ type t = {
   mutable sync_acks : int;
   mutable service_counter : int64;
   mutable service_acks : string list;
+  mutable profiler : Ra_obs.Profiler.t option;
+  mutable profile_device : string;
+  mutable in_flight : bool; (* a retry round is awaiting its verdict *)
 }
 
 let default_sym_key = "K_attest_0123456789." (* 20 bytes *)
@@ -76,7 +79,38 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
       sync_acks = 0;
       service_counter = 0L;
       service_acks = [];
+      profiler = None;
+      profile_device = "prover";
+      in_flight = false;
     }
+  in
+  (* Phase attribution is out-of-band: one option match when profiling is
+     off, and nothing here ever writes device or wire state. *)
+  let profile_phase phase ~cycles ~nj =
+    match t.profiler with
+    | None -> ()
+    | Some p ->
+      let trace_id =
+        Option.bind (Trace.tracer t.trace) Ra_obs.Trace.current_trace_id
+      in
+      Ra_obs.Profiler.Phases.record p.Ra_obs.Profiler.phases
+        {
+          Ra_obs.Profiler.ps_at = Simtime.now t.time;
+          ps_trace_id = trace_id;
+          ps_device = t.profile_device;
+          ps_phase = phase;
+          ps_cycles = cycles;
+          ps_nj = nj;
+        }
+  in
+  let profile_radio ~bytes =
+    match t.profiler with
+    | None -> ()
+    | Some _ ->
+      let uj =
+        Ra_mcu.Energy.radio_uj_per_byte (Device.energy prover.Architecture.device)
+      in
+      profile_phase "radio" ~cycles:0L ~nj:(float_of_int bytes *. uj *. 1e3)
   in
   (* Prover side: parse the frame (total parser -- malformed input is
      dropped with a trace record, the radio cost is still paid), run the
@@ -95,6 +129,7 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
       Ra_mcu.Energy.consume_radio
         (Device.energy prover.Architecture.device)
         ~bytes:(Message.wire_size wire);
+      profile_radio ~bytes:(Message.wire_size wire);
       match wire with
       | Message.Request req ->
         Trace.causal_span trace ~cat:"prover" "prover.attest" (fun () ->
@@ -125,6 +160,7 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
           Ra_mcu.Energy.consume_radio
             (Device.energy prover.Architecture.device)
             ~bytes:(Message.wire_size (Message.Response resp));
+          profile_radio ~bytes:(Message.wire_size (Message.Response resp));
           Channel.send channel ~src:Channel.Prover_side
             (Message.wire_to_bytes (Message.Response resp))
         | Error reject ->
@@ -188,6 +224,57 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
       | Message.Request _ | Message.Sync_request _ | Message.Service_request _ ->
         Trace.record trace "verifier: ignored non-response message")
   in
+  (* Permanent out-of-band observers over the anchor's CPU-clocked spans
+     and the CPU's idle advances. Both the causal-trace mirror and the
+     profiler phase attribution live behind one dispatcher installed
+     here, so enabling tracing and profiling compose in either order.
+     Each costs one option match when its consumer is off. *)
+  let cpu = Device.cpu prover.Architecture.device in
+  let energy = Device.energy prover.Architecture.device in
+  let hz = float_of_int (Cpu.clock_hz cpu) in
+  let nj_per_cycle = Ra_mcu.Energy.active_nj_per_cycle energy in
+  let sleep_uw = Ra_mcu.Energy.sleep_microwatt energy in
+  (* CPU-clocked sub-step spans (anchor.auth, anchor.freshness, anchor.mac
+     and the service ones) mirror into the causal timeline as instants at
+     the current simulated time carrying the work as a cpu_ms label —
+     their clock is prover CPU work, not Simtime, and mixing the two
+     timebases as span bounds would skew the timeline. *)
+  let mirror cat (f : Ra_obs.Span.finished) =
+    Trace.causal_instant t.trace ~cat
+      ~labels:
+        (("cpu_ms", Printf.sprintf "%.4f" (Ra_obs.Span.duration_ms f))
+        :: f.Ra_obs.Span.f_labels)
+      f.Ra_obs.Span.f_name
+  in
+  Ra_obs.Span.on_finish (Code_attest.spans prover.Architecture.anchor) (fun f ->
+      mirror "prover" f;
+      match t.profiler with
+      | None -> ()
+      | Some _ ->
+        (* f_start/f_stop are Cpu.elapsed_seconds values (= cycles / hz),
+           so the rounding recovers the exact integer cycle count. *)
+        let cycles =
+          Int64.of_float
+            (Float.round ((f.Ra_obs.Span.f_stop -. f.Ra_obs.Span.f_start) *. hz))
+        in
+        let phase =
+          let n = f.Ra_obs.Span.f_name in
+          if String.length n > 7 && String.sub n 0 7 = "anchor." then
+            String.sub n 7 (String.length n - 7)
+          else n
+        in
+        profile_phase phase ~cycles ~nj:(Int64.to_float cycles *. nj_per_cycle));
+  Ra_obs.Span.on_finish (Service.spans service) (mirror "service");
+  (* Channel wait: idle cycles spent inside a retry round (reply windows,
+     backoff) are the paper's "device waits on the radio" share. Idle
+     advances outside a round — fleet stagger, inter-round gaps — are not
+     attributed. *)
+  Cpu.on_advance cpu (fun _ delta kind ->
+      match (kind, t.profiler) with
+      | Cpu.Idle, Some _ when t.in_flight ->
+        let seconds = Int64.to_float delta /. hz in
+        profile_phase "wait" ~cycles:delta ~nj:(seconds *. sleep_uw *. 1e3)
+      | _ -> ());
   t
 
 let time t = t.time
@@ -319,24 +406,24 @@ let enable_tracing ?capacity ?max_events ?(device = "prover") t =
       ()
   in
   Trace.set_tracer t.trace (Some tracer);
-  (* Mirror the prover-side CPU-clocked sub-step spans (anchor.auth,
-     anchor.freshness, anchor.mac and the service ones) into the causal
-     timeline.
-     Their clock is prover CPU work, not Simtime, so they land as instants
-     at the current simulated time carrying the work as a cpu_ms label —
-     mixing the two timebases as span bounds would skew the timeline. *)
-  let mirror cat (f : Ra_obs.Span.finished) =
-    Trace.causal_instant t.trace ~cat
-      ~labels:
-        (("cpu_ms", Printf.sprintf "%.4f" (Ra_obs.Span.duration_ms f))
-        :: f.Ra_obs.Span.f_labels)
-      f.Ra_obs.Span.f_name
-  in
-  Ra_obs.Span.on_finish (Code_attest.spans t.prover.Architecture.anchor) (mirror "prover");
-  Ra_obs.Span.on_finish (Service.spans t.service) (mirror "service");
+  (* The CPU-clocked sub-step spans are mirrored into the causal timeline
+     by the permanent dispatcher installed at [create]; nothing to hook
+     here. *)
   tracer
 
 let disable_tracing t = Trace.set_tracer t.trace None
+
+(* ---- cycle/energy phase profiling ------------------------------------ *)
+
+let profiling t = t.profiler
+
+let enable_profiling ?capacity ?(device = "prover") t =
+  let p = Ra_obs.Profiler.create ?capacity () in
+  t.profile_device <- device;
+  t.profiler <- Some p;
+  p
+
+let disable_profiling t = t.profiler <- None
 
 (* The round is a resumable machine: it runs until it either has a
    verdict or needs simulated time to pass, and in the latter case it
@@ -353,6 +440,7 @@ type step =
 
 let round_begin ?(policy = Retry.default) t =
   Retry.validate policy;
+  t.in_flight <- true;
   let started = Simtime.now t.time in
   let tracer = Trace.tracer t.trace in
   let cspan ?(labels = []) name =
@@ -382,6 +470,7 @@ let round_begin ?(policy = Retry.default) t =
      [with_span] before *)
   let root_sp = Ra_obs.Span.enter (Trace.spans t.trace) "attest.round" in
   let round_done ~attempts verdict =
+    t.in_flight <- false;
     let r = finish ~attempts verdict in
     Ra_obs.Span.exit (Trace.spans t.trace) root_sp;
     Round_done r

@@ -142,6 +142,27 @@ val disable_tracing : t -> unit
 
 val tracing : t -> Ra_obs.Trace.t option
 
+(** {2 Cycle/energy phase profiling}
+
+    When enabled, every anchor sub-step span closing attributes its
+    exact CPU cycle count (and the battery model's energy for those
+    cycles) to a phase — [auth], [freshness], [mac] — and idle cycles
+    spent inside a retry round become the [wait] phase (sleep-power
+    energy); received/sent prover frames add [radio] energy samples.
+    Samples carry the current causal trace id when tracing is also
+    enabled, so spans and profiles cross-link. Attribution is
+    out-of-band (one option match when off) and never touches device or
+    wire state: transcripts are byte-identical with profiling on or
+    off, and profiles are deterministic under seed. *)
+
+val enable_profiling : ?capacity:int -> ?device:string -> t -> Ra_obs.Profiler.t
+(** Attach a fresh profile to the session ([capacity] bounds its
+    phase-sample ring, default 1024). [device] (default ["prover"])
+    tags the samples. Replaces any previous profile. *)
+
+val disable_profiling : t -> unit
+val profiling : t -> Ra_obs.Profiler.t option
+
 val advance_time : t -> seconds:float -> unit
 (** Let wall-clock time pass for everyone: the network clock and the
     prover's sleeping device. *)

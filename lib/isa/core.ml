@@ -12,6 +12,15 @@ type state = Running | Halted | Trapped of trap
 
 let mask32 = 0xFFFFFFFF
 
+type hook = {
+  h_period : int;
+  h_sample : pc:int -> cycles:int -> unit;
+  h_call : target:int -> unit;
+  h_ret : unit -> unit;
+  h_irq_enter : entry:int -> unit;
+  h_irq_exit : unit -> unit;
+}
+
 type t = {
   cpu : Cpu.t;
   regs : int array;
@@ -21,11 +30,18 @@ type t = {
   mutable c : bool;
   mutable n : bool;
   entries : (string, int list) Hashtbl.t;
+  mutable hook : hook option;
+  mutable scredit : int; (* cycles accumulated toward the next sample *)
 }
 
 let create cpu ~pc ~sp =
   { cpu; regs = Array.make 16 0; pc; sp; z = false; c = false; n = false;
-    entries = Hashtbl.create 4 }
+    entries = Hashtbl.create 4; hook = None; scredit = 0 }
+
+let set_hook t hook = t.hook <- hook
+let hook t = t.hook
+let sample_credit t = t.scredit
+let set_sample_credit t credit = t.scredit <- credit
 
 let pc t = t.pc
 let sp t = t.sp
@@ -114,7 +130,20 @@ let step t =
       Cpu.with_context t.cpu region.Region.name (fun () ->
           match
             let insn, words = Insn.decode ~fetch:(fetch_word t) ~at:(t.pc / 2) in
-            Cpu.consume_cycles t.cpu (Int64.of_int (cycles_of insn));
+            let cyc = cycles_of insn in
+            Cpu.consume_cycles t.cpu (Int64.of_int cyc);
+            (* out-of-band observation: one option match when off; when on,
+               the core counts cycle credit itself so the sampler closure
+               only fires once per crossed period, not per instruction *)
+            (match t.hook with
+            | None -> ()
+            | Some h ->
+              let credit = t.scredit + cyc in
+              if credit >= h.h_period then begin
+                t.scredit <- 0;
+                h.h_sample ~pc:t.pc ~cycles:credit
+              end
+              else t.scredit <- credit);
             let next = t.pc + (2 * words) in
             (match insn with
             | Insn.Nop ->
@@ -204,10 +233,12 @@ let step t =
             | Insn.Call target ->
               t.sp <- t.sp - 4;
               Cpu.store_u32 t.cpu t.sp next;
+              (match t.hook with None -> () | Some h -> h.h_call ~target);
               transfer t ~target
             | Insn.Ret ->
               let target = Cpu.load_u32 t.cpu t.sp in
               t.sp <- t.sp + 4;
+              (match t.hook with None -> () | Some h -> h.h_ret ());
               transfer t ~target
             | Insn.Push r ->
               t.sp <- t.sp - 4;

@@ -50,6 +50,41 @@ val allow_entries : t -> region:string -> int list -> unit
 val current_region : t -> string option
 (** Region the PC currently points into. *)
 
+type hook = {
+  h_period : int;
+      (** Sampling period in cycles (>= 1). The core accumulates each
+          retired instruction's cycle cost into its sample credit and
+          fires {!h_sample} only when the credit reaches the period, so
+          the closure cost is per-sample, not per-instruction. *)
+  h_sample : pc:int -> cycles:int -> unit;
+      (** Fired when the accumulated credit crosses [h_period]: the PC of
+          the instruction that crossed it and the {e whole} credit (which
+          the core has just reset to zero). *)
+  h_call : target:int -> unit;  (** A [Call] is about to transfer. *)
+  h_ret : unit -> unit;  (** A [Ret] is about to transfer. *)
+  h_irq_enter : entry:int -> unit;
+      (** Interrupt dispatch is entering a handler (fired by [Irq]). *)
+  h_irq_exit : unit -> unit;  (** Handler finished; context restored. *)
+}
+(** Out-of-band execution observation for the profiler ([Ra_isa.Sampler]).
+    Costs exactly one [option] match per retired instruction when unset;
+    hooks must not mutate core or CPU state (observation only), so the
+    executed program — transcripts, cycle counts, battery — is
+    bit-for-bit identical with the hook on or off. *)
+
+val set_hook : t -> hook option -> unit
+val hook : t -> hook option
+
+val sample_credit : t -> int
+(** Cycles accumulated toward the next sample but not yet reported. An
+    attached sampler drains this when the core is retired (see
+    [Ra_isa.Sampler.flush]) so cycle attribution stays exact. *)
+
+val set_sample_credit : t -> int -> unit
+(** Seed or reset the sample credit — used by [Ra_isa.Sampler.attach] to
+    carry a partial period across the short-lived cores a routine like
+    [Sha1_asm] creates per run. *)
+
 val step : t -> state
 (** Execute one instruction. *)
 

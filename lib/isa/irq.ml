@@ -9,6 +9,9 @@ let install_handler core interrupt ~vector ~entry ?(max_steps = 10_000) () =
       let saved_regs = Array.init 16 (Core.reg core) in
       let saved_pc = Core.pc core in
       let saved_sp = Core.sp core in
+      (match Core.hook core with
+      | None -> ()
+      | Some h -> h.Core.h_irq_enter ~entry);
       Core.force_pc core entry;
       (match Core.run ~max_steps core with
       | Core.Halted, _ -> incr completions
@@ -16,6 +19,9 @@ let install_handler core interrupt ~vector ~entry ?(max_steps = 10_000) () =
       (* hardware context restore *)
       Array.iteri (Core.set_reg core) saved_regs;
       Core.force_pc core saved_pc;
-      Core.force_sp core saved_sp);
+      Core.force_sp core saved_sp;
+      match Core.hook core with
+      | None -> ()
+      | Some h -> h.Core.h_irq_exit ());
   Interrupt.set_vector_raw interrupt ~vector ~entry_addr:entry;
   fun () -> !completions

@@ -16,7 +16,9 @@ type t = {
   scratch_addr : int;
   code_size : int;
   copy_entry : int;
+  program : Asm.program;
   mutable last_cycles : int64;
+  mutable sampler : Sampler.t option;
 }
 
 (* Registers: r1 block addr, r2 state addr, r9 W base; r3..r7 = a..e;
@@ -187,7 +189,9 @@ let attach ~origin ~scratch_addr =
     scratch_addr;
     code_size = Asm.size_bytes program;
     copy_entry = Asm.label program "copy";
+    program;
     last_cycles = 0L;
+    sampler = None;
   }
 
 let code_bytes ~origin ~scratch_addr =
@@ -201,6 +205,13 @@ let install memory ~origin ~scratch_addr =
 let code_size_bytes t = t.code_size
 let entry t = t.origin
 let last_run_cycles t = t.last_cycles
+let program t = t.program
+
+let set_sampler t sampler =
+  (match sampler with
+  | None -> ()
+  | Some s -> Sampler.add_program s t.program);
+  t.sampler <- sampler
 
 let initial_state = [ 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 ]
 
@@ -219,6 +230,7 @@ let pad message =
 
 let run_compress t cpu =
   let core = Core.create cpu ~pc:t.origin ~sp:(t.scratch_addr + scratch_bytes) in
+  (match t.sampler with None -> () | Some s -> Sampler.attach s core);
   let before = Cpu.cycles cpu in
   match Core.run ~max_steps:100_000 core with
   | Core.Halted, _ -> t.last_cycles <- Int64.sub (Cpu.cycles cpu) before
@@ -247,6 +259,7 @@ type segment = Bytes of string | Range of int * int
    memory into the scratch staging area, reading through the MPU *)
 let run_copy t cpu ~src ~len =
   let core = Core.create cpu ~pc:t.copy_entry ~sp:(t.scratch_addr + scratch_bytes) in
+  (match t.sampler with None -> () | Some s -> Sampler.attach s core);
   Core.set_reg core 1 src;
   Core.set_reg core 2 (t.scratch_addr + stage_off);
   Core.set_reg core 8 len;

@@ -61,3 +61,13 @@ val hmac : t -> Ra_mcu.Cpu.t -> key:string -> string -> string
 val last_run_cycles : t -> int64
 (** Cycles the most recent compression consumed (for the Table-1
     comparison). *)
+
+val program : t -> Asm.program
+(** The assembled routine — e.g. to register its labels as profiler
+    symbols. *)
+
+val set_sampler : t -> Sampler.t option -> unit
+(** Attach a PC sampler to every core this routine spins up (compression
+    and copy blocks alike); registers the routine's labels as symbols.
+    [None] turns sampling back off. Observation only — digests, cycle
+    counts, and battery drain are identical either way. *)

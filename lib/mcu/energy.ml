@@ -36,6 +36,9 @@ let consume_radio t ~bytes =
   t.consumed <- t.consumed +. (float_of_int bytes *. t.radio_uj_per_byte *. 1e-6)
 
 let consumed_joules t = t.consumed
+let active_nj_per_cycle t = t.active_nj_per_cycle
+let sleep_microwatt t = t.sleep_microwatt
+let radio_uj_per_byte t = t.radio_uj_per_byte
 let remaining_joules t = Float.max 0.0 (t.capacity -. t.consumed)
 let depleted t = t.consumed >= t.capacity
 

@@ -39,6 +39,13 @@ val consumed_joules : t -> float
 val remaining_joules : t -> float
 val depleted : t -> bool
 
+val active_nj_per_cycle : t -> float
+val sleep_microwatt : t -> float
+val radio_uj_per_byte : t -> float
+(** The model constants this battery was created with — read by the
+    profiler to attribute per-phase energy with exactly the same
+    arithmetic the battery itself uses. *)
+
 val lifetime_seconds : t -> duty_cycles_per_second:float -> float
 (** Predicted lifetime from full charge if the device executes
     [duty_cycles_per_second] cycles each second and sleeps otherwise.

@@ -1,3 +1,6 @@
+(* Symbol and region names flow into label values verbatim, so every
+   control byte needs an escape — a bare \r or \t in the exposition (or
+   in Perfetto JSON) corrupts the line-oriented formats. *)
 let escape_label_value v =
   let buf = Buffer.create (String.length v) in
   String.iter
@@ -6,6 +9,10 @@ let escape_label_value v =
       | '\\' -> Buffer.add_string buf "\\\\"
       | '"' -> Buffer.add_string buf "\\\""
       | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     v;
   Buffer.contents buf
@@ -142,8 +149,11 @@ let us_of_s s = s *. 1e6
 (* One pid per device (first-appearance order, from 1), one tid per trace
    id: Perfetto then renders each device as a process and each round as
    its own track. Every event carries args.trace_id so causal membership
-   survives re-sorting in the viewer. *)
-let perfetto rounds =
+   survives re-sorting in the viewer. [counters] become ph:"C" counter
+   tracks under a dedicated pid 0 "counters" process; [phases] become
+   instants on the device/round track they belong to, so profiler phase
+   attribution and causal spans cross-link by trace id. *)
+let perfetto ?(counters = []) ?(phases = []) rounds =
   let pids = Hashtbl.create 8 in
   let pid_events = ref [] in
   let pid_of device =
@@ -201,13 +211,127 @@ let perfetto rounds =
         List.map (event_json pid rd) rd.Trace.rd_events)
       rounds
   in
+  let counter_meta =
+    if counters = [] then []
+    else
+      [
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num 0.0);
+            ("args", Json.Obj [ ("name", Json.Str "counters") ]);
+          ];
+      ]
+  in
+  let counter_events =
+    List.concat_map
+      (fun track ->
+        let name = Profiler.Track.name track in
+        List.map
+          (fun (at, v) ->
+            Json.Obj
+              [
+                ("name", Json.Str name);
+                ("ph", Json.Str "C");
+                ("pid", Json.Num 0.0);
+                ("tid", Json.Num 0.0);
+                ("ts", Json.Num (us_of_s at));
+                ("args", Json.Obj [ ("value", Json.Num v) ]);
+              ])
+          (Profiler.Track.points track))
+      counters
+  in
+  let phase_events =
+    List.map
+      (fun (ps : Profiler.phase_sample) ->
+        let tid =
+          match ps.Profiler.ps_trace_id with None -> 0 | Some id -> id
+        in
+        Json.Obj
+          [
+            ("name", Json.Str ("phase." ^ ps.Profiler.ps_phase));
+            ("cat", Json.Str "profile");
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("pid", Json.Num (float_of_int (pid_of ps.Profiler.ps_device)));
+            ("tid", Json.Num (float_of_int tid));
+            ("ts", Json.Num (us_of_s ps.Profiler.ps_at));
+            ( "args",
+              Json.Obj
+                [
+                  ( "trace_id",
+                    match ps.Profiler.ps_trace_id with
+                    | None -> Json.Null
+                    | Some id -> Json.Num (float_of_int id) );
+                  ("phase", Json.Str ps.Profiler.ps_phase);
+                  ("cycles", Json.Num (Int64.to_float ps.Profiler.ps_cycles));
+                  ("nj", Json.Num ps.Profiler.ps_nj);
+                ] );
+          ])
+      phases
+  in
   Json.Obj
     [
-      ("traceEvents", Json.Arr (List.rev !pid_events @ round_events));
+      ( "traceEvents",
+        Json.Arr
+          (List.rev !pid_events @ counter_meta @ round_events @ phase_events
+         @ counter_events) );
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let perfetto_string rounds = Json.to_string (perfetto rounds)
+let perfetto_string ?counters ?phases rounds =
+  Json.to_string (perfetto ?counters ?phases rounds)
+
+(* ---- Profiles: JSONL sink ---------------------------------------------- *)
+
+let profile_jsonl (p : Profiler.t) =
+  let buf = Buffer.create 1024 in
+  let line obj =
+    Buffer.add_string buf (Json.to_string obj);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (frames, cycles, samples) ->
+      line
+        (Json.Obj
+           [
+             ("kind", Json.Str "stack");
+             ("frames", Json.Arr (List.map (fun f -> Json.Str f) frames));
+             ("cycles", Json.Num (Int64.to_float cycles));
+             ("samples", Json.Num (float_of_int samples));
+           ]))
+    (Profiler.Pc.rows p.Profiler.pc);
+  List.iter
+    (fun (phase, (cycles, nj, n)) ->
+      line
+        (Json.Obj
+           [
+             ("kind", Json.Str "phase_total");
+             ("phase", Json.Str phase);
+             ("cycles", Json.Num (Int64.to_float cycles));
+             ("nj", Json.Num nj);
+             ("samples", Json.Num (float_of_int n));
+           ]))
+    (Profiler.Phases.totals p.Profiler.phases);
+  List.iter
+    (fun (ps : Profiler.phase_sample) ->
+      line
+        (Json.Obj
+           [
+             ("kind", Json.Str "phase_sample");
+             ("at_s", Json.Num ps.Profiler.ps_at);
+             ( "trace_id",
+               match ps.Profiler.ps_trace_id with
+               | None -> Json.Null
+               | Some id -> Json.Num (float_of_int id) );
+             ("device", Json.Str ps.Profiler.ps_device);
+             ("phase", Json.Str ps.Profiler.ps_phase);
+             ("cycles", Json.Num (Int64.to_float ps.Profiler.ps_cycles));
+             ("nj", Json.Num ps.Profiler.ps_nj);
+           ]))
+    (Profiler.Phases.samples p.Profiler.phases);
+  Buffer.contents buf
 
 let rounds_jsonl rounds =
   let buf = Buffer.create 1024 in

@@ -26,16 +26,36 @@ val parse_jsonl : string -> (Json.t list, string) result
 
 (** {2 Causal rounds (flight recorder)} *)
 
-val perfetto : Trace.round list -> Json.t
+val perfetto :
+  ?counters:Profiler.Track.t list ->
+  ?phases:Profiler.phase_sample list ->
+  Trace.round list ->
+  Json.t
 (** Chrome/Perfetto trace-event JSON ([chrome://tracing] /
     [ui.perfetto.dev] loadable). Each device becomes a process (pid in
     first-appearance order, with a [process_name] metadata event), each
     round a track (tid = trace id). Spans are complete events
     ([ph:"X"], microsecond [ts]/[dur]); instants are [ph:"i"]. Every
     event's [args] carries [trace_id], [id], [parent] and the event's
-    labels, so causal links survive viewer re-sorting. *)
+    labels, so causal links survive viewer re-sorting.
 
-val perfetto_string : Trace.round list -> string
+    [counters] render as [ph:"C"] counter tracks under a dedicated
+    pid 0 "counters" process (e.g. [ra_sched_queue_depth] over sim
+    time). [phases] render as instants on their device's process with
+    tid = the phase's trace id (0 when untraced), cross-linking
+    profiler phase attribution to the causal round spans. *)
+
+val perfetto_string :
+  ?counters:Profiler.Track.t list ->
+  ?phases:Profiler.phase_sample list ->
+  Trace.round list ->
+  string
+
+val profile_jsonl : Profiler.t -> string
+(** One JSON object per line, in three deterministic groups: ["stack"]
+    rows (sorted folded stacks with cycle/sample weights), then
+    ["phase_total"] rows (sorted by phase), then ["phase_sample"] rows
+    (ring order, oldest first). *)
 
 val rounds_jsonl : Trace.round list -> string
 (** One {!Trace.round_to_json} object per line, in the given order. *)

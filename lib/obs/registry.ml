@@ -240,7 +240,12 @@ module Histogram = struct
     let total = count h in
     if total = 0 then nan
     else begin
-      let rank = Float.max 1.0 (Float.round (p /. 100.0 *. float_of_int total)) in
+      (* Nearest-rank: r = ceil(p/100 * n), clamped to >= 1. Rounding
+         (instead of ceiling) under-reports whenever p*n/100 has a
+         fractional part < 0.5 — e.g. p50 of 5 samples picked rank 2,
+         not the median at rank 3. The sorted-sample oracle in the
+         qcheck suite pins this definition. *)
+      let rank = Float.max 1.0 (Float.ceil (p /. 100.0 *. float_of_int total)) in
       let rec walk i cum =
         if i >= Array.length h.h_buckets then infinity
         else begin

@@ -39,6 +39,16 @@ let no_registry ~clock () = make None ~histogram:"ra_span_ms" ~clock
 
 let on_finish t cb = t.callback <- Some cb
 
+let add_on_finish t cb =
+  match t.callback with
+  | None -> t.callback <- Some cb
+  | Some prev ->
+    t.callback <-
+      Some
+        (fun f ->
+          prev f;
+          cb f)
+
 let enter t ?(labels = []) name =
   let parent = match t.stack with [] -> None | p :: _ -> Some p in
   let sp =

@@ -64,3 +64,9 @@ val duration_ms : finished -> float
 val on_finish : t -> (finished -> unit) -> unit
 (** Install a callback run at every span exit (used by [Ra_net.Trace] to
     mirror spans into its free-form event log). Replaces any previous. *)
+
+val add_on_finish : t -> (finished -> unit) -> unit
+(** Like {!on_finish} but composes: the new callback runs after any
+    previously installed one, so tracing mirrors and profiler phase
+    attribution can observe the same span context without clobbering
+    each other. *)

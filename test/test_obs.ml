@@ -264,6 +264,79 @@ let test_prometheus_exposition () =
   has "lat_ms_sum 3.5";
   has "lat_ms_count 2"
 
+(* --- hostile names: every sink must escape, none may emit raw control
+   bytes --- *)
+
+let hostile = "we\"ird\\name\nwith\ttab\rret\x01ctl end"
+
+let test_hostile_names_escaped () =
+  let r = fresh () in
+  Registry.Counter.inc
+    (Registry.Counter.get ~registry:r ~labels:[ ("name", hostile) ] "sym_total");
+  (* Prometheus exposition: label values escape backslash, quote and
+     newline; no control byte may survive raw *)
+  let text = Export.render_prometheus r in
+  Alcotest.(check bool) "backslash escaped" true
+    (Ra_net.Trace.contains_substring ~needle:"we\\\"ird\\\\name" text);
+  Alcotest.(check bool) "no raw control bytes in exposition" true
+    (String.for_all (fun c -> c = '\n' || Char.code c >= 0x20) text);
+  (* JSONL: the hostile value must round-trip exactly *)
+  (match Export.parse_jsonl (Export.metrics_jsonl r) with
+  | Error e -> Alcotest.failf "metrics jsonl unparseable: %s" e
+  | Ok [ line ] ->
+    Alcotest.(check (option string)) "label round-trips" (Some hostile)
+      (Option.bind
+         (Option.bind (Json.member "labels" line) (Json.member "name"))
+         Json.as_string)
+  | Ok l -> Alcotest.failf "expected 1 line, got %d" (List.length l));
+  (* raw JSON: quotes, backslashes and control chars in strings *)
+  match Json.of_string (Json.to_string (Json.Str hostile)) with
+  | Ok (Json.Str s) -> Alcotest.(check string) "json string round-trips" hostile s
+  | _ -> Alcotest.fail "hostile string did not survive JSON"
+
+(* --- percentile vs the exact sorted-sample oracle --- *)
+
+let qcheck_percentile_oracle =
+  QCheck.Test.make ~name:"obs: percentile matches sorted-sample oracle"
+    ~count:500
+    QCheck.(
+      triple
+        (small_list (int_range 0 20))
+        (small_list (int_range 1 19))
+        (int_range 0 100))
+    (fun (bound_ints, obs_ints, p_int) ->
+      (* a fixed bound below every observation keeps the bounds non-empty
+         (the registry rejects [||]) without masking overflow-to-+inf *)
+      let bounds =
+        List.sort_uniq compare (-1 :: bound_ints)
+        |> List.map float_of_int
+        |> Array.of_list
+      in
+      let obs = List.map float_of_int obs_ints in
+      let p = float_of_int p_int in
+      let r = fresh () in
+      let h = Registry.Histogram.get ~registry:r ~buckets:bounds "oracle_ms" in
+      List.iter (Registry.Histogram.observe h) obs;
+      let got = Registry.Histogram.percentile h p in
+      match obs with
+      | [] -> Float.is_nan got
+      | _ ->
+        (* nearest-rank on the raw samples, then the answer a histogram
+           can give: the smallest bucket bound at or above that sample,
+           +inf when it overflows every bound *)
+        let sorted = Array.of_list (List.sort compare obs) in
+        let n = Array.length sorted in
+        let rank =
+          int_of_float (Float.max 1.0 (Float.ceil (p /. 100.0 *. float_of_int n)))
+        in
+        let x = sorted.(rank - 1) in
+        let expected =
+          match Array.find_opt (fun b -> x <= b) bounds with
+          | Some b -> b
+          | None -> infinity
+        in
+        got = expected)
+
 (* --- fleet: sweep and sweep_par must produce identical metrics --- *)
 
 let comparable snapshot =
@@ -320,6 +393,8 @@ let tests =
       test_metrics_jsonl_roundtrip;
     Alcotest.test_case "spans jsonl round-trip" `Quick test_spans_jsonl_roundtrip;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+    Alcotest.test_case "hostile names escaped" `Quick test_hostile_names_escaped;
+    QCheck_alcotest.to_alcotest qcheck_percentile_oracle;
     Alcotest.test_case "sweep_par metric equality" `Quick
       test_sweep_par_metric_equality;
   ]
