@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke prof-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke prof-smoke server-smoke examples docs clean loc
 
 all: build
 
@@ -48,6 +48,14 @@ shard-smoke:
 prof-smoke:
 	dune exec bin/ra_cli.exe -- profile --selftest --folded profile.folded --out profile.perfetto.json
 	BENCH_SMOKE=1 dune exec bench/main.exe -- prof
+
+# verifier-as-a-service sanity: CLI selftest (batched-vs-single verdicts,
+# Seq-vs-Shards admission determinism, flood goodput + drop attribution,
+# shared rejection-reason labels), then the reduced server bench
+# (BENCH_server.json: batching speedup, flood goodput and p99 gates)
+server-smoke:
+	dune exec bin/ra_cli.exe -- serve --selftest
+	BENCH_SMOKE=1 dune exec bench/main.exe -- server
 
 examples:
 	dune exec examples/quickstart.exe

@@ -249,8 +249,8 @@ let run_stats n sweeps selftest =
         ~freshness:(Message.F_counter 99L) Service.Ping
     in
     let bad_auth_seen =
-      match Service.handle svc forged with
-      | Error Service.Service_bad_auth -> true
+      match Service.handle_r svc forged with
+      | Error Verdict.Bad_auth -> true
       | Ok _ | Error _ -> false
     in
     let stale =
@@ -258,8 +258,8 @@ let run_stats n sweeps selftest =
         ~freshness:(Message.F_counter 0L) Service.Ping
     in
     let not_fresh_seen =
-      match Service.handle svc stale with
-      | Error (Service.Service_not_fresh _) -> true
+      match Service.handle_r svc stale with
+      | Error (Verdict.Not_fresh _) -> true
       | Ok _ | Error _ -> false
     in
     let snapshot = Fleet.health_snapshot fleet in
@@ -317,7 +317,8 @@ let run_stats n sweeps selftest =
         = n * sweeps);
       check "rejection breakdown totals"
         (let s = Service.stats svc in
-         s.Service.rejected_bad_auth = 1 && s.Service.rejected_not_fresh = 1
+         Service.rejected s Verdict.Reason.Bad_auth = 1
+         && Service.rejected s Verdict.Reason.Not_fresh = 1
          && Service.rejections s = 2);
       match !failures with
       | [] ->
@@ -850,6 +851,235 @@ let sched_cmd =
        ~doc:"Run fleet sweeps on the deterministic event queue and compare engines")
     Term.(const run_sched $ n $ rounds $ loss $ shards $ selftest)
 
+(* ---- serve ---- *)
+
+let serve_sym_key = "K_attest_0123456789."
+
+let serve_config ~rate =
+  let vcfg =
+    Verifier.Config.v ~sym_key:serve_sym_key
+      ~reference_image:(String.make 64 '\xc3')
+      ~time:(Ra_net.Simtime.create ()) ()
+  in
+  {
+    (Server.default_config vcfg) with
+    Server.sc_admission =
+      {
+        Admission.default_config with
+        (* size the per-device bucket above the offered per-device rate,
+           so a well-behaved fleet is never throttled *)
+        device_rate = Float.max 1.0 (2.0 *. rate);
+        device_burst = Float.max 12.0 (8.0 *. rate);
+      };
+  }
+
+let run_serve devices rate horizon shards flood_factor bursty selftest =
+  if devices < 1 || devices > 200_000 then begin
+    Printf.eprintf "devices must be 1..200000\n";
+    1
+  end
+  else if shards < 1 then begin
+    Printf.eprintf "shards must be >= 1\n";
+    1
+  end
+  else begin
+    let cfg = serve_config ~rate in
+    let traffic =
+      {
+        Server.Load.default_traffic with
+        Server.Load.tr_devices = devices;
+        tr_rate = rate;
+        tr_process = (if bursty then `Bursty else `Poisson);
+        tr_horizon_s = horizon;
+        tr_seed = 2016L;
+      }
+    in
+    let engine = if shards = 1 then `Seq else `Shards shards in
+    let base, _ = Server.Load.run ~engine cfg traffic in
+    print_string (Server.Load.render base);
+    let flood_traffic =
+      if flood_factor <= 0.0 then None
+      else begin
+        let sources = max 1 (devices / 20) in
+        let aggregate = flood_factor *. (float_of_int devices *. rate) in
+        Some
+          {
+            traffic with
+            Server.Load.tr_flood_sources = sources;
+            tr_flood_rate = aggregate /. float_of_int sources;
+          }
+      end
+    in
+    let flood =
+      Option.map
+        (fun ft ->
+          let r, _ = Server.Load.run ~engine cfg ft in
+          print_string (Server.Load.render r);
+          r)
+        flood_traffic
+    in
+    List.iter
+      (fun c -> Format.printf "%a@." Ra_obs.Slo.pp_check c)
+      (Server.Load.slo_watch base);
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      (* batched and single-report verification agree verdict for verdict *)
+      let image = cfg.Server.sc_verifier.Verifier.Config.reference_image in
+      let keyed = Auth.keyed serve_sym_key in
+      let resps =
+        Array.init 16 (fun i ->
+            let resp0 =
+              {
+                Message.echo_challenge = "";
+                echo_freshness = Message.F_counter (Int64.of_int (i + 1));
+                report = "";
+              }
+            in
+            let report =
+              if i mod 4 = 0 then String.make 20 '\xa5'
+              else
+                Auth.response_report_keyed ~keyed
+                  ~body:(Message.response_body resp0)
+                  ~memory_image:image
+            in
+            { resp0 with report })
+      in
+      let batch_verifier =
+        match Verifier.of_config cfg.Server.sc_verifier with
+        | Ok v -> v
+        | Error m -> failwith m
+      in
+      let batched = Server.Batch.verify batch_verifier resps in
+      check "batch verdicts = single verdicts"
+        (Array.for_all2
+           (fun b r ->
+             b
+             = Server.Batch.verify_one ~sym_key:serve_sym_key
+                 ~reference_image:image r)
+           batched resps);
+      (* authenticated admission is deterministic across shard counts *)
+      let det_traffic =
+        {
+          traffic with
+          Server.Load.tr_devices = min devices 12;
+          tr_horizon_s = Float.min horizon 6.0;
+        }
+      in
+      let per_device outcomes =
+        List.filter_map
+          (fun o ->
+            match o.Server.oc_device with
+            | Some d -> Some (d, o.Server.oc_tag, o.Server.oc_result)
+            | None -> None)
+          outcomes
+        |> List.sort compare
+      in
+      let _, seq =
+        Server.Load.run ~engine:`Seq ~record_outcomes:true cfg det_traffic
+      in
+      let _, sharded =
+        Server.Load.run ~engine:(`Shards (max 2 shards)) ~record_outcomes:true
+          cfg det_traffic
+      in
+      check "Seq vs Shards admission determinism"
+        (per_device seq = per_device sharded);
+      (* flood: goodput holds and drops land on admission, not timeouts *)
+      (match flood with
+      | None -> check "flood run present (--flood > 0)" false
+      | Some f ->
+        check "goodput >= 90% of no-flood baseline"
+          (float_of_int f.Server.Load.rp_trusted
+          >= 0.9 *. float_of_int base.Server.Load.rp_trusted);
+        let drops r =
+          Option.value
+            (List.assoc_opt r f.Server.Load.rp_breakdown)
+            ~default:0
+        in
+        check "flood drops attributed to admission"
+          (drops Verdict.Reason.Rate_limited + drops Verdict.Reason.Queue_full > 0);
+        check "no verification timeouts under flood"
+          (drops Verdict.Reason.Timed_out = 0));
+      (* both sides of the wire expose the same rejection-reason labels *)
+      let fleet = Fleet.create ~ram_size:4096 ~names:[ "serve-dev" ] () in
+      Fleet.advance fleet ~seconds:10.0;
+      ignore (Fleet.sweep fleet);
+      let first = Fleet.member_session (List.hd (Fleet.members fleet)) in
+      let svc = Session.service first in
+      let scheme = Verifier.scheme (Session.verifier first) in
+      let forged =
+        Service.make_request ~sym_key:(String.make 20 'x') ~scheme
+          ~freshness:(Message.F_counter 99L) Service.Ping
+      in
+      ignore (Service.handle_r svc forged);
+      let exposition = Ra_obs.Export.render_prometheus Ra_obs.Registry.default in
+      let has needle = Ra_net.Trace.contains_substring ~needle exposition in
+      check "server rejections exposed under shared reason label"
+        (has "ra_server_rejections_total{reason=\"rate_limited\"}");
+      check "service rejections exposed under shared reason label"
+        (has "ra_service_rejections_total{reason=\"bad_auth\"}");
+      check "server verdict counter exposed"
+        (has "ra_server_verdicts_total{verdict=\"trusted\"}");
+      check "reason labels come from Verdict.Reason.label"
+        (Verdict.Reason.label Verdict.Reason.Rate_limited = "rate_limited"
+        && Verdict.Reason.label Verdict.Reason.Bad_auth = "bad_auth");
+      (* the paper-model tables are untouched by the server layer *)
+      check "Table 2 matrix unchanged"
+        (Experiment.table2 () = Experiment.expected_table2);
+      match !failures with
+      | [] ->
+        print_endline "serve selftest ok";
+        0
+      | fs ->
+        List.iter
+          (fun f -> Printf.eprintf "serve selftest FAILED: %s\n" f)
+          (List.rev fs);
+        1
+    end
+  end
+
+let serve_cmd =
+  let devices =
+    Arg.(value & opt int 64 & info [ "devices" ] ~docv:"N"
+           ~doc:"Registered report sources (known-class identities).")
+  in
+  let rate =
+    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RPS"
+           ~doc:"Per-device reports per simulated second.")
+  in
+  let horizon =
+    Arg.(value & opt float 30.0 & info [ "horizon" ] ~docv:"S"
+           ~doc:"Simulated seconds of open-loop traffic.")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"K"
+           ~doc:"Shard count (1 = sequential engine).")
+  in
+  let flood =
+    Arg.(value & opt float 10.0 & info [ "flood" ] ~docv:"X"
+           ~doc:"Also run an Adv_ext flood at X times the authenticated \
+                 aggregate rate (0 disables the flood run).")
+  in
+  let bursty =
+    Arg.(value & flag & info [ "bursty" ]
+           ~doc:"Gilbert-Elliott-bursty arrivals instead of Poisson.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify batched-vs-single verdict agreement, Seq-vs-Shards \
+                 admission determinism, flood goodput and drop attribution, \
+                 shared rejection-reason labels across \
+                 ra_service_/ra_server_rejections_total, and that the paper's \
+                 Table 2 matrix is unchanged; non-zero exit on failure.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the verifier-as-a-service against open-loop fleet traffic")
+    Term.(
+      const run_serve $ devices $ rate $ horizon $ shards $ flood $ bursty
+      $ selftest)
+
 (* ---- profile ---- *)
 
 let run_prof n rounds loss shards period out folded_out selftest =
@@ -887,10 +1117,15 @@ let run_prof n rounds loss shards period out folded_out selftest =
           ~policy:Freshness.Counter
       in
       let verifier =
-        Verifier.create ~scheme:(Some Timing.Auth_hmac_sha1)
-          ~freshness_kind:Verifier.Fk_counter ~sym_key
-          ~time:(Ra_net.Simtime.create ())
-          ~reference_image:(Isa_anchor.measure_memory anchor) ()
+        match
+          Verifier.of_config
+            (Verifier.Config.v ~scheme:Timing.Auth_hmac_sha1
+               ~freshness_kind:Verifier.Fk_counter ~sym_key
+               ~time:(Ra_net.Simtime.create ())
+               ~reference_image:(Isa_anchor.measure_memory anchor) ())
+        with
+        | Ok v -> v
+        | Error msg -> failwith msg
       in
       let pc = Profiler.Pc.create () in
       let sampler = Ra_isa.Sampler.create ~period ~memory:(Device.memory device) pc in
@@ -930,7 +1165,7 @@ let run_prof n rounds loss shards period out folded_out selftest =
         Array.init shards (fun i ->
             Profiler.Track.create (Printf.sprintf "queue-depth/shard-%d" i))
       in
-      let (_ : (string * Verifier.verdict option) list) =
+      let (_ : (string * Verdict.t option) list) =
         Fleet.sweep_shards ~tracks ~shards fleet
       in
       (fleet, Profiler.Track.merge ~name:"ra_sched_queue_depth" (Array.to_list tracks))
@@ -1180,6 +1415,6 @@ let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd; prof_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd; serve_cmd; prof_cmd ]
 
 let () = exit (Cmd.eval' main)

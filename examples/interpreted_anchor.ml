@@ -44,33 +44,37 @@ let () =
       ~policy:Freshness.Counter
   in
   let verifier =
-    Verifier.create ~scheme:(Some Timing.Auth_hmac_sha1)
-      ~freshness_kind:Verifier.Fk_counter ~sym_key
-      ~time:(Ra_net.Simtime.create ())
-      ~reference_image:(Isa_anchor.measure_memory anchor)
-      ()
+    match
+      Verifier.of_config
+        (Verifier.Config.v ~scheme:Timing.Auth_hmac_sha1
+           ~freshness_kind:Verifier.Fk_counter ~sym_key
+           ~time:(Ra_net.Simtime.create ())
+           ~reference_image:(Isa_anchor.measure_memory anchor) ())
+    with
+    | Ok v -> v
+    | Error msg -> failwith msg
   in
 
   Printf.printf "\n== round 1: benign ==\n";
   let req = Verifier.make_request verifier in
-  (match Isa_anchor.handle_request anchor req with
+  (match Isa_anchor.handle_request_r anchor req with
   | Ok resp ->
-    Format.printf "verdict: %a@." Verifier.pp_verdict
-      (Verifier.check_response verifier ~request:req resp);
+    Format.printf "verdict: %a@." Verdict.pp
+      (Verifier.check_response_r verifier ~request:req resp);
     Printf.printf "interpreted MAC: %Ld cycles (%.2f ms at 24 MHz) for %d bytes\n"
       (Isa_anchor.last_mac_cycles anchor)
       (Timing.ms_of_cycles (Isa_anchor.last_mac_cycles anchor))
       (Device.attested_total_len device)
-  | Error e -> Format.printf "rejected: %a@." Code_attest.pp_reject e);
+  | Error e -> Format.printf "rejected: %a@." Verdict.pp e);
 
   Printf.printf "\n== round 2: resident malware in attested RAM ==\n";
   Cpu.store_bytes (Device.cpu device) (Device.attested_base device) "IMPLANT";
   let req2 = Verifier.make_request verifier in
-  (match Isa_anchor.handle_request anchor req2 with
+  (match Isa_anchor.handle_request_r anchor req2 with
   | Ok resp ->
-    Format.printf "verdict: %a@." Verifier.pp_verdict
-      (Verifier.check_response verifier ~request:req2 resp)
-  | Error e -> Format.printf "rejected: %a@." Code_attest.pp_reject e);
+    Format.printf "verdict: %a@." Verdict.pp
+      (Verifier.check_response_r verifier ~request:req2 resp)
+  | Error e -> Format.printf "rejected: %a@." Verdict.pp e);
 
   Printf.printf "\n== malware probes the anchor's private state ==\n";
   (try

@@ -25,7 +25,7 @@ let run ~defended =
   Printf.printf "t=5s    benign attestation round (establishes freshness state)\n";
   Session.advance_time session ~seconds:5.0;
   (match Session.attest_round session with
-  | Some v -> Format.printf "        verifier: %a@." Verifier.pp_verdict v
+  | Some v -> Format.printf "        verifier: %a@." Verdict.pp v
   | None -> Format.printf "        no response@.");
 
   Printf.printf "t=35s   Phase I: the verifier sends a request; Adv_roam intercepts it\n";

@@ -54,10 +54,10 @@ let () =
       Service.make_request ~sym_key ~scheme:(Some Timing.Auth_hmac_sha1)
         ~freshness:(Message.F_counter counter) command
     in
-    match Service.handle svc req with
+    match Service.handle_r svc req with
     | Ok ack -> Printf.printf "%-14s -> ok\n" ack.Service.acked_command
     | Error e -> Format.printf "%-14s -> rejected: %a@." (Service.command_name command)
-                   Service.pp_reject e
+                   Verdict.pp e
   in
   send 1L Service.Ping;
   send 2L (Service.Code_update { image = "firmware v2: safer valve control loop" });
@@ -70,26 +70,28 @@ let () =
       ~scheme:(Some Timing.Auth_hmac_sha1) ~freshness:(Message.F_counter 4L)
       Service.Secure_erase
   in
-  (match Service.handle svc forged with
-  | Error Service.Service_bad_auth -> Printf.printf "forged erase    -> rejected (bad MAC)\n"
+  (match Service.handle_r svc forged with
+  | Error Verdict.Bad_auth -> Printf.printf "forged erase    -> rejected (bad MAC)\n"
   | Ok _ -> Printf.printf "BUG: forged erase accepted\n"
-  | Error e -> Format.printf "forged erase    -> %a@." Service.pp_reject e);
+  | Error e -> Format.printf "forged erase    -> %a@." Verdict.pp e);
   let replayed =
     Service.make_request ~sym_key ~scheme:(Some Timing.Auth_hmac_sha1)
       ~freshness:(Message.F_counter 2L)
       (Service.Code_update { image = "firmware v2: safer valve control loop" })
   in
-  (match Service.handle svc replayed with
-  | Error (Service.Service_not_fresh _) ->
+  (match Service.handle_r svc replayed with
+  | Error (Verdict.Not_fresh _) ->
     Printf.printf "replayed update -> rejected (stale counter)\n"
   | Ok _ -> Printf.printf "BUG: replayed update accepted\n"
-  | Error e -> Format.printf "replayed update -> %a@." Service.pp_reject e);
+  | Error e -> Format.printf "replayed update -> %a@." Verdict.pp e);
 
   let stats = Service.stats svc in
   Printf.printf
     "\nservice stats: %d executed, %d rejected (%d bad auth, %d not fresh, %d fault)\n"
-    stats.Service.invocations (Service.rejections stats) stats.Service.rejected_bad_auth
-    stats.Service.rejected_not_fresh stats.Service.rejected_fault;
+    stats.Service.invocations (Service.rejections stats)
+    (Service.rejected stats Verdict.Reason.Bad_auth)
+    (Service.rejected stats Verdict.Reason.Not_fresh)
+    (Service.rejected stats Verdict.Reason.Fault);
 
   (* --- the same services, over the full protocol channel --- *)
   Printf.printf "\n== services over the Dolev-Yao channel (Session integration) ==\n";

@@ -1,0 +1,159 @@
+module Bucket = struct
+  type t = {
+    rate : float;
+    burst : float;
+    mutable tokens : float;
+    mutable updated : float; (* simulated time of the last refill *)
+  }
+
+  let create ~rate ~burst =
+    if rate <= 0.0 then invalid_arg "Admission.Bucket.create: rate must be > 0";
+    if burst < 1.0 then invalid_arg "Admission.Bucket.create: burst must be >= 1";
+    { rate; burst; tokens = burst; updated = 0.0 }
+
+  let refill t ~now =
+    if now > t.updated then begin
+      t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.updated) *. t.rate));
+      t.updated <- now
+    end
+
+  let tokens t ~now =
+    refill t ~now;
+    t.tokens
+
+  let try_take t ~now =
+    refill t ~now;
+    if t.tokens >= 1.0 then begin
+      t.tokens <- t.tokens -. 1.0;
+      true
+    end
+    else false
+end
+
+type config = {
+  device_rate : float;
+  device_burst : float;
+  unknown_rate : float;
+  unknown_burst : float;
+  triage_capacity : int;
+  unknown_share : float;
+}
+
+let default_config =
+  {
+    device_rate = 1.0;
+    device_burst = 4.0;
+    unknown_rate = 32.0;
+    unknown_burst = 64.0;
+    triage_capacity = 256;
+    unknown_share = 0.25;
+  }
+
+type decision = Admitted | Rejected of Verdict.reason
+
+type 'a entry = { it : 'a; e_known : bool; mutable alive : bool }
+
+type 'a t = {
+  cfg : config;
+  devices : (string, Bucket.t) Hashtbl.t;
+  unknown_bucket : Bucket.t;
+  queue : 'a entry Queue.t; (* FIFO across both classes; dead entries skipped *)
+  unknown_queue : 'a entry Queue.t; (* the same unknown entries, oldest first *)
+  mutable live : int;
+  mutable unknown_live : int;
+  mutable evicted_rev : 'a list;
+}
+
+let create ?(config = default_config) () =
+  if config.triage_capacity < 1 then
+    invalid_arg "Admission.create: triage_capacity must be >= 1";
+  if not (config.unknown_share >= 0.0 && config.unknown_share <= 1.0) then
+    invalid_arg "Admission.create: unknown_share must be in [0, 1]";
+  ignore (Bucket.create ~rate:config.device_rate ~burst:config.device_burst);
+  {
+    cfg = config;
+    devices = Hashtbl.create 64;
+    unknown_bucket =
+      Bucket.create ~rate:config.unknown_rate ~burst:config.unknown_burst;
+    queue = Queue.create ();
+    unknown_queue = Queue.create ();
+    live = 0;
+    unknown_live = 0;
+    evicted_rev = [];
+  }
+
+let register t identity =
+  if not (Hashtbl.mem t.devices identity) then
+    Hashtbl.add t.devices identity
+      (Bucket.create ~rate:t.cfg.device_rate ~burst:t.cfg.device_burst)
+
+let known t identity = Hashtbl.mem t.devices identity
+
+let unknown_slots t =
+  int_of_float (Float.round (t.cfg.unknown_share *. float_of_int t.cfg.triage_capacity))
+
+(* pop the oldest live unknown entry, mark it dead, surface it *)
+let evict_oldest_unknown t =
+  let rec pop () =
+    match Queue.take_opt t.unknown_queue with
+    | None -> false
+    | Some e when not e.alive -> pop ()
+    | Some e ->
+      e.alive <- false;
+      t.live <- t.live - 1;
+      t.unknown_live <- t.unknown_live - 1;
+      t.evicted_rev <- e.it :: t.evicted_rev;
+      true
+  in
+  pop ()
+
+let offer t ~identity ~now item =
+  let bucket =
+    match identity with
+    | Some id -> (
+      match Hashtbl.find_opt t.devices id with
+      | Some b -> Some b
+      | None -> None (* claimed identity we never registered: unknown class *))
+    | None -> None
+  in
+  let is_known = bucket <> None in
+  let bucket = Option.value bucket ~default:t.unknown_bucket in
+  if not (Bucket.try_take bucket ~now) then Rejected Verdict.Reason.Rate_limited
+  else begin
+    let enqueue () =
+      let e = { it = item; e_known = is_known; alive = true } in
+      Queue.add e t.queue;
+      t.live <- t.live + 1;
+      if not is_known then begin
+        Queue.add e t.unknown_queue;
+        t.unknown_live <- t.unknown_live + 1
+      end;
+      Admitted
+    in
+    if (not is_known) && t.unknown_live >= unknown_slots t then
+      Rejected Verdict.Reason.Queue_full
+    else if t.live < t.cfg.triage_capacity then enqueue ()
+    else if is_known && evict_oldest_unknown t then enqueue ()
+    else Rejected Verdict.Reason.Queue_full
+  end
+
+let take t =
+  let rec pop () =
+    match Queue.take_opt t.queue with
+    | None -> None
+    | Some e when not e.alive -> pop ()
+    | Some e ->
+      e.alive <- false;
+      t.live <- t.live - 1;
+      if not e.e_known then t.unknown_live <- t.unknown_live - 1;
+      Some e.it
+  in
+  pop ()
+
+let depth t = t.live
+let unknown_depth t = t.unknown_live
+
+let evicted t =
+  let items = List.rev t.evicted_rev in
+  t.evicted_rev <- [];
+  items

@@ -1,0 +1,90 @@
+(** DoS-aware admission control for the verifier-as-a-service.
+
+    The paper's prover-side defense authenticates requests {e before}
+    the expensive MAC sweep so bogus traffic costs the device almost
+    nothing. The server needs the mirror image: an [Adv_ext] flood of
+    forged reports must be turned away {e before} the HMAC check, and it
+    must degrade unauthenticated traffic first. Two mechanisms compose:
+
+    - {b Token buckets.} Every registered device identity has a private
+      bucket (a legitimate device attests at a bounded rate, so a bucket
+      sized to that rate never throttles it); everything else — unknown
+      identities, anonymous frames — shares one bucket, so the flood's
+      aggregate rate is clipped no matter how many fake identities it
+      invents. Refill is computed lazily from elapsed simulated time.
+    - {b Two-class triage queue.} A bounded queue in front of
+      verification. Unknown-class entries may hold at most a configured
+      share of the slots, and when a known device arrives at a full
+      queue the oldest unknown entry is evicted to make room — so under
+      backlog, authenticated traffic waits behind authenticated traffic
+      only.
+
+    All rejections are {!Verdict.reason}s ([Rate_limited],
+    [Queue_full]), the same vocabulary the service-side stats use. *)
+
+(** A lazily-refilled token bucket over simulated time. *)
+module Bucket : sig
+  type t
+
+  val create : rate:float -> burst:float -> t
+  (** Starts full ([burst] tokens); refills at [rate] tokens per
+      simulated second, capped at [burst].
+      @raise Invalid_argument if [rate <= 0] or [burst < 1]. *)
+
+  val tokens : t -> now:float -> float
+  (** Current level after refilling to [now]. Time never runs backwards:
+      a [now] earlier than the last observation refills nothing. *)
+
+  val try_take : t -> now:float -> bool
+  (** Take one token if a whole one is available. *)
+end
+
+type config = {
+  device_rate : float;  (** tokens/s for each registered device *)
+  device_burst : float;
+  unknown_rate : float;  (** one shared bucket for ALL unknown traffic *)
+  unknown_burst : float;
+  triage_capacity : int;  (** bounded pre-verification queue length *)
+  unknown_share : float;
+      (** max fraction of triage slots unknown entries may occupy, in
+          [0, 1] *)
+}
+
+val default_config : config
+(** 1 token/s per device (burst 4), 32/s shared unknown (burst 64),
+    256-slot triage with a 25% unknown share. *)
+
+type decision = Admitted | Rejected of Verdict.reason
+
+type 'a t
+
+val create : ?config:config -> unit -> 'a t
+(** @raise Invalid_argument on non-positive rates/capacity or an
+    [unknown_share] outside [0, 1]. *)
+
+val register : 'a t -> string -> unit
+(** Give [identity] a private token bucket. Unregistered identities are
+    unknown-class: a flood claiming fresh names gains nothing. *)
+
+val known : 'a t -> string -> bool
+
+val offer : 'a t -> identity:string option -> now:float -> 'a -> decision
+(** Classify, rate-limit, and enqueue one item. [Rejected Rate_limited]
+    when the class's bucket is empty; [Rejected Queue_full] when the
+    triage queue cannot take the item (unknown over its share, unknown
+    at a full queue, or known at a queue full of known). A known-class
+    offer at a full queue evicts the oldest unknown entry instead of
+    being rejected, when one exists. *)
+
+val take : 'a t -> 'a option
+(** Dequeue the oldest live entry (FIFO across both classes). *)
+
+val depth : 'a t -> int
+(** Live entries queued. *)
+
+val unknown_depth : 'a t -> int
+
+val evicted : 'a t -> 'a list
+(** Items evicted by known-class pressure since the last call, oldest
+    first; draining resets the list. The server counts each as a
+    [Queue_full] rejection. *)

@@ -150,11 +150,11 @@ let run cfg =
     let verdict = Session.attest_round d.session in
     totals := { !totals with sweeps = !totals.sweeps + 1 };
     (match verdict with
-    | Some Verifier.Trusted ->
+    | Some Verdict.Trusted ->
       totals := { !totals with trusted_verdicts = !totals.trusted_verdicts + 1 };
       if d.infected then
         totals := { !totals with missed_infections = !totals.missed_infections + 1 }
-    | Some Verifier.Untrusted_state | Some Verifier.Invalid_response ->
+    | Some _ ->
       totals := { !totals with compromised_verdicts = !totals.compromised_verdicts + 1 };
       remediate d (* the operator reflashes flagged devices *)
     | None -> ())

@@ -46,14 +46,15 @@ val spans : t -> Ra_obs.Span.t
     [anchor.auth], [anchor.freshness] and [anchor.mac] spans time the
     phases of each {!handle_request} in simulated milliseconds. *)
 
+val handle_request_r : t -> Message.attreq -> (Message.attresp, Verdict.t) result
+(** The primary entry point: process one attestation request end to end,
+    errors in the unified {!Verdict.t} vocabulary. *)
+
 val handle_request : t -> Message.attreq -> (Message.attresp, reject) result
-(** Process one attestation request end to end. *)
+[@@ocaml.deprecated "use Code_attest.handle_request_r (unified Verdict.t vocabulary)"]
 
 val to_verdict : reject -> Verdict.t
 (** Embed an anchor reject into the unified {!Verdict.t}. *)
-
-val handle_request_r : t -> Message.attreq -> (Message.attresp, Verdict.t) result
-(** {!handle_request} with the error in the unified vocabulary. *)
 
 val measure_memory : t -> string
 (** The raw attested-memory image as [Code_attest] reads it (for tests

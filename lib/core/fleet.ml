@@ -5,7 +5,7 @@ type member = {
   session : Session.t;
   mutable health : health;
   mutable sweeps : int;
-  mutable history : (float * Verifier.verdict option) list; (* newest first *)
+  mutable history : (float * Verdict.t option) list; (* newest first *)
 }
 
 type chaos_cell = {
@@ -128,9 +128,14 @@ let find t name =
 let advance t ~seconds =
   List.iter (fun m -> Session.advance_time m.session ~seconds) t.members
 
+let classify_verdict = function
+  | Verdict.Trusted -> Healthy
+  | Verdict.Untrusted_state | Verdict.Invalid_response | Verdict.Fault _ -> Compromised
+  | Verdict.Timed_out _ | Verdict.Bad_auth | Verdict.Not_fresh _ -> Unresponsive
+
 let classify = function
-  | Some Verifier.Trusted -> Healthy
-  | Some Verifier.Untrusted_state | Some Verifier.Invalid_response -> Compromised
+  | Some Verdict.Trusted -> Healthy
+  | Some v -> classify_verdict v
   | None -> Unresponsive
 
 let sweep_member obs m =
@@ -287,17 +292,11 @@ let sweep_par ?(domains = 4) ?(spawn = `Pool) t =
 
 (* ---- chaos sweeps: convergence under an impaired wire ---- *)
 
-let classify_verdict = function
-  | Verdict.Trusted -> Healthy
-  | Verdict.Untrusted_state | Verdict.Invalid_response | Verdict.Fault _ -> Compromised
-  | Verdict.Timed_out _ | Verdict.Bad_auth | Verdict.Not_fresh _ -> Unresponsive
-
-(* history entries keep the verifier-local verdict where one exists so the
-   pre-chaos ledger format (and render_health) is unchanged *)
-let verifier_verdict_opt = function
-  | Verdict.Trusted -> Some Verifier.Trusted
-  | Verdict.Untrusted_state -> Some Verifier.Untrusted_state
-  | Verdict.Invalid_response -> Some Verifier.Invalid_response
+(* history entries keep the closed-loop verdict where one exists so the
+   pre-chaos ledger format (and the fingerprint's tag set) is unchanged *)
+let ledger_verdict = function
+  | (Verdict.Trusted | Verdict.Untrusted_state | Verdict.Invalid_response) as v ->
+    Some v
   | Verdict.Bad_auth | Verdict.Not_fresh _ | Verdict.Fault _ | Verdict.Timed_out _ ->
     None
 
@@ -342,7 +341,7 @@ let chaos_record obs m acc ~at (r : Session.round) =
   m.health <- classify_verdict r.Session.r_verdict;
   m.sweeps <- m.sweeps + 1;
   m.history <-
-    (at +. r.Session.r_elapsed_s, verifier_verdict_opt r.Session.r_verdict) :: m.history
+    (at +. r.Session.r_elapsed_s, ledger_verdict r.Session.r_verdict) :: m.history
 
 (* Run one member through one (loss, policy) cell: install its private
    seeded impairment, attest [rounds] times with the 1 s stagger advance
@@ -512,11 +511,12 @@ let convergence_pct cell =
    is invariant under any partition of the member range — the checkable
    analogue of the materialised engines' byte-identity. *)
 
+(* byte-stable: Verdict.label yields exactly the historical tag set
+   ("trusted", "untrusted_state", "invalid_response") for every verdict a
+   benign sweep can produce *)
 let verdict_tag = function
   | None -> "|none|"
-  | Some Verifier.Trusted -> "|trusted|"
-  | Some Verifier.Untrusted_state -> "|untrusted_state|"
-  | Some Verifier.Invalid_response -> "|invalid_response|"
+  | Some v -> "|" ^ Verdict.label v ^ "|"
 
 (* Everything observable about one swept member's world: name, verdict,
    final private clock, and the full wire transcript (timestamps,
@@ -715,10 +715,8 @@ let slo_watch ?(policy = default_slo_policy) t =
         List.fold_left
           (fun (total, rejected) (_, verdict) ->
             match verdict with
-            | Some Verifier.Trusted -> (total + 1, rejected)
-            | Some Verifier.Untrusted_state | Some Verifier.Invalid_response
-            | None ->
-              (total + 1, rejected + 1))
+            | Some Verdict.Trusted -> (total + 1, rejected)
+            | Some _ | None -> (total + 1, rejected + 1))
           acc m.history)
       (0, 0) t.members
   in
@@ -760,7 +758,7 @@ type member_report = {
   r_name : string;
   r_health : health;
   r_sweeps : int;
-  r_history : (float * Verifier.verdict option) list; (* chronological *)
+  r_history : (float * Verdict.t option) list; (* chronological *)
   r_service_stats : Service.stats;
   r_anchor_stats : Code_attest.stats;
 }
@@ -828,7 +826,7 @@ let health_snapshot ?(registry = Ra_obs.Registry.default) t =
 
 let pp_verdict_opt fmt = function
   | None -> Format.pp_print_string fmt "no response"
-  | Some v -> Verifier.pp_verdict fmt v
+  | Some v -> Verdict.pp fmt v
 
 let render_health snapshot =
   let buf = Buffer.create 512 in
@@ -878,9 +876,10 @@ let render_health snapshot =
         (health_label r.r_health)
         r.r_sweeps r.r_anchor_stats.Code_attest.attestations_performed
         r.r_anchor_stats.Code_attest.requests_seen r.r_service_stats.Service.invocations
-        r.r_service_stats.Service.rejected_bad_auth
-        r.r_service_stats.Service.rejected_not_fresh
-        r.r_service_stats.Service.rejected_fault last)
+        (Service.rejected r.r_service_stats Verdict.Reason.Bad_auth)
+        (Service.rejected r.r_service_stats Verdict.Reason.Not_fresh)
+        (Service.rejected r.r_service_stats Verdict.Reason.Fault)
+        last)
     snapshot.s_members;
   Format.pp_print_flush fmt ();
   Buffer.contents buf

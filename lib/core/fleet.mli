@@ -21,7 +21,7 @@ val member_session : member -> Session.t
 val member_health : member -> health
 val sweeps_of : member -> int
 
-val member_history : member -> (float * Verifier.verdict option) list
+val member_history : member -> (float * Verdict.t option) list
 (** Every sweep's (simulated completion time, verdict), chronological. *)
 
 type t
@@ -39,13 +39,13 @@ val find : t -> string -> member
 val advance : t -> seconds:float -> unit
 (** Let time pass everywhere. *)
 
-val sweep_one : t -> string -> Verifier.verdict option
+val sweep_one : t -> string -> Verdict.t option
 (** Attest one device now and update its ledger. *)
 
 val sweep :
   ?engine:[ `Seq | `Events | `Shards of int ] ->
   t ->
-  (string * Verifier.verdict option) list
+  (string * Verdict.t option) list
 (** Attest every device, staggered by {!stagger_seconds} of simulated
     time between consecutive devices: member [i]'s round happens at
     [(i+1) *. stagger_seconds] past the sweep start, and every member
@@ -71,7 +71,7 @@ val sweep_shards :
   ?tracks:Ra_obs.Profiler.Track.t array ->
   shards:int ->
   t ->
-  (string * Verifier.verdict option) list
+  (string * Verdict.t option) list
 (** The [`Shards] engine directly, with two extra knobs: [pool]
     substitutes a private domain pool, and [tracks] (one track per
     shard) lets each shard's scheduler record its [(sim_time, depth)]
@@ -84,7 +84,7 @@ val sweep_par :
   ?domains:int ->
   ?spawn:[ `Pool | `Fresh ] ->
   t ->
-  (string * Verifier.verdict option) list
+  (string * Verdict.t option) list
 (** Same verdicts, health ledger and per-member simulated clocks as
     {!sweep} (members are independent prover worlds), computed on up to
     [domains] OCaml domains (default 4, clamped to the member count).
@@ -305,7 +305,7 @@ type member_report = {
   r_name : string;
   r_health : health;
   r_sweeps : int;
-  r_history : (float * Verifier.verdict option) list; (* chronological *)
+  r_history : (float * Verdict.t option) list; (* chronological *)
   r_service_stats : Service.stats; (* rejection breakdown by reason *)
   r_anchor_stats : Code_attest.stats;
 }

@@ -83,3 +83,6 @@ let handle_request t req =
           | Error e -> Error (Code_attest.Not_fresh e)
           | Ok () -> Ok (attest t req)))
   with Cpu.Protection_fault fault -> Error (Code_attest.Anchor_fault fault)
+
+let handle_request_r t req =
+  Result.map_error Code_attest.to_verdict (handle_request t req)

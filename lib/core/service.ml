@@ -22,21 +22,20 @@ type reject =
   | Service_not_fresh of Freshness.reject
   | Service_fault of Cpu.fault
 
-type stats = {
-  invocations : int;
-  rejected_bad_auth : int;
-  rejected_not_fresh : int;
-  rejected_fault : int;
-}
+type stats = { invocations : int; breakdown : (Verdict.reason * int) list }
 
-let rejections s = s.rejected_bad_auth + s.rejected_not_fresh + s.rejected_fault
+let rejections s = List.fold_left (fun acc (_, n) -> acc + n) 0 s.breakdown
+
+let rejected s reason =
+  match List.assoc_opt reason s.breakdown with Some n -> n | None -> 0
 
 type t = {
   device : Device.t;
   scheme : Timing.auth_scheme option;
   freshness : Freshness.state;
   spans : Ra_obs.Span.t;
-  mutable stats : stats;
+  mutable invocations : int;
+  tally : Verdict.Tally.t; (* rejection counts, shared reason vocabulary *)
   (* HMAC midstates for the current K_attest (see Code_attest.keyed_cache) *)
   mutable keyed_cache : (string * C.Hmac.key_ctx) option;
 }
@@ -46,12 +45,13 @@ module M = struct
   let invocations = Ra_obs.Registry.Counter.get "ra_service_invocations_total"
 
   let rejected reason =
-    Ra_obs.Registry.Counter.get ~labels:[ ("reason", reason) ]
+    Ra_obs.Registry.Counter.get
+      ~labels:[ ("reason", Verdict.Reason.label reason) ]
       "ra_service_rejections_total"
 
-  let bad_auth = rejected "bad_auth"
-  let not_fresh = rejected "not_fresh"
-  let fault = rejected "fault"
+  let bad_auth = rejected Verdict.Reason.Bad_auth
+  let not_fresh = rejected Verdict.Reason.Not_fresh
+  let fault = rejected Verdict.Reason.Fault
 end
 
 let service_cell_offset = 24
@@ -74,11 +74,13 @@ let install device ~scheme ~policy =
       Freshness.init ~cell_addr:(Device.counter_addr device + service_cell_offset)
         device policy;
     spans = Ra_obs.Span.create ~clock:(fun () -> Cpu.elapsed_seconds cpu) ();
-    stats = { invocations = 0; rejected_bad_auth = 0; rejected_not_fresh = 0; rejected_fault = 0 };
+    invocations = 0;
+    tally = Verdict.Tally.create ();
     keyed_cache = None;
   }
 
-let stats t = t.stats
+let stats t =
+  { invocations = t.invocations; breakdown = Verdict.Tally.to_list t.tally }
 let spans t = t.spans
 
 let command_name = function
@@ -193,16 +195,16 @@ let handle t req =
   (match result with
   | Ok _ ->
     Ra_obs.Registry.Counter.inc M.invocations;
-    t.stats <- { t.stats with invocations = t.stats.invocations + 1 }
+    t.invocations <- t.invocations + 1
   | Error Service_bad_auth ->
     Ra_obs.Registry.Counter.inc M.bad_auth;
-    t.stats <- { t.stats with rejected_bad_auth = t.stats.rejected_bad_auth + 1 }
+    Verdict.Tally.add t.tally Verdict.Reason.Bad_auth
   | Error (Service_not_fresh _) ->
     Ra_obs.Registry.Counter.inc M.not_fresh;
-    t.stats <- { t.stats with rejected_not_fresh = t.stats.rejected_not_fresh + 1 }
+    Verdict.Tally.add t.tally Verdict.Reason.Not_fresh
   | Error (Service_fault _) ->
     Ra_obs.Registry.Counter.inc M.fault;
-    t.stats <- { t.stats with rejected_fault = t.stats.rejected_fault + 1 });
+    Verdict.Tally.add t.tally Verdict.Reason.Fault);
   result
 
 let command_payload = function

@@ -32,13 +32,17 @@ type reject =
 
 type stats = {
   invocations : int; (* accepted and executed *)
-  rejected_bad_auth : int;
-  rejected_not_fresh : int;
-  rejected_fault : int;
+  breakdown : (Verdict.reason * int) list;
+      (** non-zero rejection counts in {!Verdict.Reason.all} order — the
+          same [(reason * int)] shape (and Prometheus [reason] label set)
+          the verifier-side [Server] exports *)
 }
 
 val rejections : stats -> int
-(** Total across the three rejection reasons. *)
+(** Total across all rejection reasons. *)
+
+val rejected : stats -> Verdict.reason -> int
+(** Count for one reason (0 if absent from the breakdown). *)
 
 type t
 
@@ -74,16 +78,17 @@ val make_request :
   request
 (** Verifier-side construction (symmetric schemes). *)
 
+val handle_r : t -> request -> (ack, Verdict.t) result
+(** The primary entry point: authenticate, check freshness, then execute
+    the command body with its modeled cycle cost (erase: one write per
+    byte; update: one flash word program per 4 bytes; ping: bookkeeping
+    only). Errors are the unified {!Verdict.t}. *)
+
 val handle : t -> request -> (ack, reject) result
-(** Authenticate, check freshness, then execute the command body with its
-    modeled cycle cost (erase: one write per byte; update: one flash word
-    program per 4 bytes; ping: bookkeeping only). *)
+[@@ocaml.deprecated "use Service.handle_r (unified Verdict.t vocabulary)"]
 
 val to_verdict : reject -> Verdict.t
 (** Embed a service reject into the unified {!Verdict.t}. *)
-
-val handle_r : t -> request -> (ack, Verdict.t) result
-(** {!handle} with the error in the unified vocabulary. *)
 
 val request_to_wire : request -> Message.wire
 (** Serialize for the channel (frame type [V]). *)

@@ -14,7 +14,7 @@ type t = {
   service : Service.t;
   sym_key : string;
   pending : (string, Message.attreq) Hashtbl.t; (* challenge -> request *)
-  mutable verdicts : (float * Verifier.verdict) list; (* newest first *)
+  mutable verdicts : (float * Verdict.t) list; (* newest first *)
   mutable verdict_count : int; (* = List.length verdicts, O(1) *)
   retry_prng : Ra_crypto.Prng.t; (* jitter draws for the retry engine *)
   mutable sync_counter : int64;
@@ -42,9 +42,14 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
   (* The verifier needs its ECDSA public key inside the prover's blob, so
      build the verifier first with a placeholder reference image. *)
   let verifier =
-    Verifier.create ~scheme:spec.Architecture.scheme
-      ~freshness_kind:(freshness_kind_of_policy spec.Architecture.policy)
-      ~sym_key ~time ~reference_image:"" ()
+    match
+      Verifier.of_config
+        (Verifier.Config.v ?scheme:spec.Architecture.scheme
+           ~freshness_kind:(freshness_kind_of_policy spec.Architecture.policy)
+           ~sym_key ~time ())
+    with
+    | Ok v -> v
+    | Error msg -> invalid_arg ("Session.create: " ^ msg)
   in
   let prover =
     Architecture.build ?ram_seed ?ram_size
@@ -138,15 +143,11 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
         (* the span closes after Simtime catches up with the consumed
            cycles, so its duration equals the anchor's simulated work *)
         let span = Ra_obs.Span.enter (Trace.spans trace) "prover.attest" in
-        let result = Code_attest.handle_request prover.Architecture.anchor req in
+        let result = Code_attest.handle_request_r prover.Architecture.anchor req in
         let spent = Cpu.elapsed_seconds cpu -. before in
         Simtime.advance_by time spent;
         let result_label =
-          match result with
-          | Ok _ -> "attested"
-          | Error (Code_attest.Bad_auth) -> "bad_auth"
-          | Error (Code_attest.Not_fresh _) -> "not_fresh"
-          | Error (Code_attest.Anchor_fault _) -> "fault"
+          match result with Ok _ -> "attested" | Error v -> Verdict.label v
         in
         Ra_obs.Span.exit (Trace.spans trace)
           ~labels:[ ("result", result_label) ]
@@ -164,8 +165,7 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
           Channel.send channel ~src:Channel.Prover_side
             (Message.wire_to_bytes (Message.Response resp))
         | Error reject ->
-          Trace.recordf trace "prover: rejected request: %a" Code_attest.pp_reject
-            reject)
+          Trace.recordf trace "prover: rejected request: %a" Verdict.pp reject)
       | Message.Sync_request _ as sync_req ->
         (match t.clock_sync with
         | None -> Trace.record trace "prover: no clock, sync ignored"
@@ -180,13 +180,13 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
         (match Service.request_of_wire svc_frame with
         | None -> Trace.record trace "prover: unknown service command dropped"
         | Some svc_req ->
-          (match Service.handle t.service svc_req with
+          (match Service.handle_r t.service svc_req with
           | Ok ack ->
             Trace.recordf trace "prover: service %s executed" ack.Service.acked_command;
             Channel.send channel ~src:Channel.Prover_side
               (Message.wire_to_bytes (Service.ack_to_wire ack))
           | Error reject ->
-            Trace.recordf trace "prover: service rejected: %a" Service.pp_reject reject))
+            Trace.recordf trace "prover: service rejected: %a" Verdict.pp reject))
       | Message.Sync_response _ | Message.Response _ | Message.Service_ack _ ->
         Trace.record trace "prover: ignored non-request message")
   in
@@ -203,15 +203,14 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
           Hashtbl.remove t.pending resp.Message.echo_challenge;
           let verdict =
             Trace.causal_span trace ~cat:"verifier" "verifier.check" (fun () ->
-                Verifier.check_response verifier ~request:req resp)
+                Verifier.check_response_r verifier ~request:req resp)
           in
           t.verdicts <- (Simtime.now time, verdict) :: t.verdicts;
           t.verdict_count <- t.verdict_count + 1;
           Trace.causal_instant trace ~cat:"verifier"
-            ~labels:
-              [ ("verdict", Verdict.label (Verifier.to_verdict verdict)) ]
+            ~labels:[ ("verdict", Verdict.label verdict) ]
             "verifier.verdict";
-          Trace.recordf trace "verifier: verdict %a" Verifier.pp_verdict verdict)
+          Trace.recordf trace "verifier: verdict %a" Verdict.pp verdict)
       | Message.Sync_response _ as ack ->
         if Clock_sync.check_sync_ack ~sym_key:t.sym_key ~counter:t.sync_counter ack then begin
           t.sync_acks <- t.sync_acks + 1;
@@ -508,7 +507,7 @@ let round_begin ?(policy = Retry.default) t =
     in
     pump 0;
     if t.verdict_count > before then begin
-      let verdict = Verifier.to_verdict (snd (List.nth t.verdicts 0)) in
+      let verdict = snd (List.nth t.verdicts 0) in
       Trace.recordf t.trace "retry: verdict on attempt %d" n;
       cfinish ~labels:[ ("outcome", "verdict") ] attempt_sp;
       round_done ~attempts:n verdict

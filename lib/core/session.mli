@@ -34,7 +34,7 @@ val device : t -> Ra_mcu.Device.t
 val service : t -> Service.t
 val sym_key : t -> string
 
-val verdicts : t -> (float * Verifier.verdict) list
+val verdicts : t -> (float * Verdict.t) list
 (** Every response verdict the verifier reached, with its time,
     chronological order. *)
 
@@ -53,7 +53,7 @@ val deliver_next_to_prover : t -> bool
 
 val deliver_next_to_verifier : t -> bool
 
-val attest_round : t -> Verifier.verdict option
+val attest_round : t -> Verdict.t option
 (** One benign end-to-end round; [None] if the prover sent no response
     (rejected request). *)
 

@@ -24,6 +24,80 @@ let accepted = function
   | Timed_out _ ->
     false
 
+(* ---- payload-free rejection vocabulary ---- *)
+
+module Reason = struct
+  type t =
+    | Untrusted_state
+    | Invalid_response
+    | Bad_auth
+    | Not_fresh
+    | Fault
+    | Timed_out
+    | Malformed
+    | Rate_limited
+    | Queue_full
+
+  let all =
+    [
+      Untrusted_state; Invalid_response; Bad_auth; Not_fresh; Fault; Timed_out;
+      Malformed; Rate_limited; Queue_full;
+    ]
+
+  let count = List.length all
+
+  let index = function
+    | Untrusted_state -> 0
+    | Invalid_response -> 1
+    | Bad_auth -> 2
+    | Not_fresh -> 3
+    | Fault -> 4
+    | Timed_out -> 5
+    | Malformed -> 6
+    | Rate_limited -> 7
+    | Queue_full -> 8
+
+  let label = function
+    | Untrusted_state -> "untrusted_state"
+    | Invalid_response -> "invalid_response"
+    | Bad_auth -> "bad_auth"
+    | Not_fresh -> "not_fresh"
+    | Fault -> "fault"
+    | Timed_out -> "timed_out"
+    | Malformed -> "malformed"
+    | Rate_limited -> "rate_limited"
+    | Queue_full -> "queue_full"
+
+  let pp fmt r = Format.pp_print_string fmt (label r)
+end
+
+type reason = Reason.t
+
+let reason_of = function
+  | Trusted -> None
+  | Untrusted_state -> Some Reason.Untrusted_state
+  | Invalid_response -> Some Reason.Invalid_response
+  | Bad_auth -> Some Reason.Bad_auth
+  | Not_fresh _ -> Some Reason.Not_fresh
+  | Fault _ -> Some Reason.Fault
+  | Timed_out _ -> Some Reason.Timed_out
+
+module Tally = struct
+  type t = int array (* indexed by Reason.index *)
+
+  let create () = Array.make Reason.count 0
+  let add t r = t.(Reason.index r) <- t.(Reason.index r) + 1
+  let get t r = t.(Reason.index r)
+  let total t = Array.fold_left ( + ) 0 t
+
+  let to_list t =
+    List.filter_map
+      (fun r ->
+        let n = get t r in
+        if n = 0 then None else Some (r, n))
+      Reason.all
+end
+
 let label = function
   | Trusted -> "trusted"
   | Untrusted_state -> "untrusted_state"

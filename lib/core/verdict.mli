@@ -42,6 +42,62 @@ val label : t -> string
 (** Stable lower-snake metric label ([trusted], [untrusted_state],
     [invalid_response], [bad_auth], [not_fresh], [fault], [timed_out]). *)
 
+(** {2 Rejection reasons}
+
+    The payload-free projection of every way a request can be turned
+    away, on {e either} side of the wire: the prover-side service rejects
+    ([bad_auth], [not_fresh], [fault]) and the verifier-side server's
+    admission/verification rejects ([rate_limited], [queue_full],
+    [malformed], [untrusted_state], ...). Prover and verifier rejection
+    breakdowns are both [(reason * int) list]s keyed by this one type, so
+    the Prometheus [reason] label carries the same names in
+    [ra_service_rejections_total] and [ra_server_rejections_total]. *)
+
+module Reason : sig
+  type t =
+    | Untrusted_state
+    | Invalid_response
+    | Bad_auth
+    | Not_fresh
+    | Fault
+    | Timed_out
+    | Malformed  (** frame failed to parse at triage *)
+    | Rate_limited  (** admission token bucket empty *)
+    | Queue_full  (** triage queue at capacity (or evicted from it) *)
+
+  val all : t list
+  (** Every reason, in a fixed order ({!index} order). *)
+
+  val count : int
+  val index : t -> int
+  (** Dense index into [0 .. count-1]; stable within a build. *)
+
+  val label : t -> string
+  (** Same strings as {!Verdict.label} for the shared constructors, plus
+      [malformed], [rate_limited], [queue_full]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type reason = Reason.t
+
+val reason_of : t -> reason option
+(** The reason a verdict rejects; [None] for [Trusted]. *)
+
+(** Shared accumulator behind every [(reason * int) list] breakdown
+    (service stats, server stats): one int cell per reason, O(1) adds. *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> reason -> unit
+  val get : t -> reason -> int
+  val total : t -> int
+
+  val to_list : t -> (reason * int) list
+  (** Non-zero entries in {!Reason.all} order. *)
+end
+
 val freshness_label : freshness_reject -> string
 (** The label set {!Freshness} has always exported ([missing_field],
     [stale_counter], ...). *)

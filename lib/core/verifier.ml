@@ -18,31 +18,62 @@ type t = {
   mutable reference_image : string;
 }
 
+module Config = struct
+  type t = {
+    scheme : Timing.auth_scheme option;
+    freshness_kind : freshness_kind;
+    sym_key : string;
+    ecdsa_seed : string;
+    time : Simtime.t;
+    reference_image : string;
+  }
+
+  let v ?scheme ?(freshness_kind = Fk_nonce) ?(ecdsa_seed = "verifier")
+      ?(reference_image = "") ~sym_key ~time () =
+    { scheme; freshness_kind; sym_key; ecdsa_seed; time; reference_image }
+end
+
+let of_config (cfg : Config.t) =
+  if String.length cfg.Config.sym_key <> Auth.k_attest_len then
+    Error
+      (Printf.sprintf "sym_key must be %d bytes (got %d)" Auth.k_attest_len
+         (String.length cfg.Config.sym_key))
+  else if cfg.Config.ecdsa_seed = "" then Error "ecdsa_seed must be non-empty"
+  else begin
+    let ecdsa =
+      match cfg.Config.scheme with
+      | Some Timing.Auth_ecdsa_verify ->
+        Some (C.Ecdsa.generate_keypair C.Ec.secp160r1 ~seed:cfg.Config.ecdsa_seed)
+      | Some
+          ( Timing.Auth_hmac_sha1 | Timing.Auth_aes128_cbc_mac
+          | Timing.Auth_speck64_cbc_mac )
+      | None ->
+        None
+    in
+    Ok
+      {
+        scheme = cfg.Config.scheme;
+        freshness_kind = cfg.Config.freshness_kind;
+        sym_key = cfg.Config.sym_key;
+        keyed = Auth.keyed cfg.Config.sym_key;
+        ecdsa;
+        time = cfg.Config.time;
+        drbg =
+          C.Drbg.create ~personalization:"verifier-challenges"
+            ~seed:cfg.Config.sym_key ();
+        counter = 0L;
+        reference_image = cfg.Config.reference_image;
+      }
+  end
+
 let create ~scheme ~freshness_kind ~sym_key ?(ecdsa_seed = "verifier") ~time
     ~reference_image () =
-  if String.length sym_key <> Auth.k_attest_len then
-    invalid_arg "Verifier.create: sym_key must be 20 bytes";
-  let ecdsa =
-    match scheme with
-    | Some Timing.Auth_ecdsa_verify ->
-      Some (C.Ecdsa.generate_keypair C.Ec.secp160r1 ~seed:ecdsa_seed)
-    | Some
-        ( Timing.Auth_hmac_sha1 | Timing.Auth_aes128_cbc_mac
-        | Timing.Auth_speck64_cbc_mac )
-    | None ->
-      None
-  in
-  {
-    scheme;
-    freshness_kind;
-    sym_key;
-    keyed = Auth.keyed sym_key;
-    ecdsa;
-    time;
-    drbg = C.Drbg.create ~personalization:"verifier-challenges" ~seed:sym_key ();
-    counter = 0L;
-    reference_image;
-  }
+  match
+    of_config
+      { Config.scheme; freshness_kind; sym_key; ecdsa_seed; time; reference_image }
+  with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Verifier.create: " ^ msg)
 
 let prover_key_blob t =
   Auth.prover_key_blob ~sym_key:t.sym_key
@@ -92,26 +123,32 @@ let make_request t =
   in
   { Message.challenge; freshness; tag }
 
+let count_verdict verdict =
+  Ra_obs.Registry.Counter.inc
+    (match verdict with
+    | Trusted -> M.trusted
+    | Untrusted_state -> M.untrusted_state
+    | Invalid_response -> M.invalid_response)
+
+(* the report check alone, against the precomputed midstates — no echo
+   matching, no metrics: shared by the closed-loop and open-loop paths *)
+let report_matches t (resp : Message.attresp) =
+  let body = Message.response_body resp in
+  let expected =
+    Auth.response_report_keyed ~keyed:t.keyed ~body ~memory_image:t.reference_image
+  in
+  C.Hexutil.equal_ct expected resp.Message.report
+
 let check_response t ~request (resp : Message.attresp) =
   let verdict =
     if
       resp.Message.echo_challenge <> request.Message.challenge
       || resp.Message.echo_freshness <> request.Message.freshness
     then Invalid_response
-    else begin
-      let body = Message.response_body resp in
-      let expected =
-        Auth.response_report_keyed ~keyed:t.keyed ~body ~memory_image:t.reference_image
-      in
-      if C.Hexutil.equal_ct expected resp.Message.report then Trusted
-      else Untrusted_state
-    end
+    else if report_matches t resp then Trusted
+    else Untrusted_state
   in
-  Ra_obs.Registry.Counter.inc
-    (match verdict with
-    | Trusted -> M.trusted
-    | Untrusted_state -> M.untrusted_state
-    | Invalid_response -> M.invalid_response);
+  count_verdict verdict;
   verdict
 
 let to_verdict = function
@@ -120,6 +157,18 @@ let to_verdict = function
   | Invalid_response -> Verdict.Invalid_response
 
 let check_response_r t ~request resp = to_verdict (check_response t ~request resp)
+
+(* ---- open-loop (server-side) report checks ---- *)
+
+let check_report_r t (resp : Message.attresp) =
+  let verdict = if report_matches t resp then Trusted else Untrusted_state in
+  count_verdict verdict;
+  to_verdict verdict
+
+let check_reports_r t resps =
+  (* one key context — [t.keyed] — serves the whole batch; the per-report
+     work is the report MAC itself *)
+  Array.map (fun resp -> check_report_r t resp) resps
 
 let set_reference_image t image = t.reference_image <- image
 

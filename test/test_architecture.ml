@@ -84,9 +84,9 @@ let test_reboot_preserves_security_state () =
     let body = Message.request_body ~challenge:"c" ~freshness in
     { Message.challenge = "c"; freshness; tag = tag body }
   in
-  (match Code_attest.handle_request prover.Architecture.anchor (req 7L) with
+  (match Code_attest.handle_request_r prover.Architecture.anchor (req 7L) with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "pre-reboot request failed: %a" Code_attest.pp_reject e);
+  | Error e -> Alcotest.failf "pre-reboot request failed: %a" Verdict.pp e);
   (* reboot: secure boot reruns, rules are re-locked *)
   let prover' = Architecture.reboot prover in
   (match prover'.Architecture.boot_outcome with
@@ -95,14 +95,14 @@ let test_reboot_preserves_security_state () =
   Alcotest.(check bool) "MPU re-locked" true
     (Ea_mpu.is_locked (Device.mpu prover'.Architecture.device));
   (* the counter survived NVM: replaying the pre-reboot request fails *)
-  (match Code_attest.handle_request prover'.Architecture.anchor (req 7L) with
-  | Error (Code_attest.Not_fresh (Freshness.Stale_counter { stored = 7L; _ })) -> ()
+  (match Code_attest.handle_request_r prover'.Architecture.anchor (req 7L) with
+  | Error (Verdict.Not_fresh (Verdict.Stale_counter { stored = 7L; _ })) -> ()
   | Ok _ -> Alcotest.fail "reboot rolled the counter back!"
-  | Error e -> Alcotest.failf "unexpected reject: %a" Code_attest.pp_reject e);
+  | Error e -> Alcotest.failf "unexpected reject: %a" Verdict.pp e);
   (* a genuinely fresh request still works *)
-  (match Code_attest.handle_request prover'.Architecture.anchor (req 8L) with
+  (match Code_attest.handle_request_r prover'.Architecture.anchor (req 8L) with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "post-reboot request failed: %a" Code_attest.pp_reject e)
+  | Error e -> Alcotest.failf "post-reboot request failed: %a" Verdict.pp e)
 
 let test_deterministic_reference_image () =
   (* two provers built with the same seed measure identically *)

@@ -1,0 +1,135 @@
+(* Open-loop arrival processes: determinism, monotonicity, calibration. *)
+module Arrival = Ra_net.Arrival
+
+let collect t ~until =
+  let rec go acc =
+    let at = Arrival.next t in
+    if at < until then go (at :: acc) else List.rev acc
+  in
+  go []
+
+let test_deterministic () =
+  let mk () = Arrival.create ~seed:99L (Arrival.Poisson { rate = 5.0 }) in
+  Alcotest.(check (list (float 0.0)))
+    "same seed, same stream"
+    (collect (mk ()) ~until:20.0)
+    (collect (mk ()) ~until:20.0);
+  let other = Arrival.create ~seed:100L (Arrival.Poisson { rate = 5.0 }) in
+  Alcotest.(check bool) "different seed, different stream" false
+    (collect (mk ()) ~until:20.0 = collect other ~until:20.0)
+
+let test_strictly_increasing () =
+  let t = Arrival.create ~seed:3L (Arrival.bursty ~rate:50.0 ()) in
+  let prev = ref neg_infinity in
+  for _ = 1 to 10_000 do
+    let at = Arrival.next t in
+    Alcotest.(check bool) "strictly increasing" true (at > !prev);
+    prev := at
+  done
+
+let test_peek () =
+  let t = Arrival.create ~seed:1L (Arrival.Poisson { rate = 1.0 }) in
+  let p = Arrival.peek t in
+  Alcotest.(check (float 0.0)) "peek = next" p (Arrival.next t);
+  Alcotest.(check bool) "peek advanced" true (Arrival.peek t > p)
+
+let test_start_offset () =
+  let t = Arrival.create ~start:100.0 ~seed:1L (Arrival.Poisson { rate = 1.0 }) in
+  Alcotest.(check bool) "first arrival after start" true (Arrival.peek t > 100.0)
+
+let rate_over t ~until =
+  float_of_int (List.length (collect t ~until)) /. until
+
+let test_poisson_rate () =
+  let t = Arrival.create ~seed:7L (Arrival.Poisson { rate = 20.0 }) in
+  let got = rate_over t ~until:500.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical rate %.2f near 20" got)
+    true
+    (Float.abs (got -. 20.0) /. 20.0 < 0.1)
+
+let test_bursty_long_run_rate () =
+  (* the Gilbert–Elliott modulation must not change the long-run average *)
+  let t = Arrival.create ~seed:11L (Arrival.bursty ~rate:20.0 ()) in
+  let got = rate_over t ~until:2000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "calibrated long-run rate %.2f near 20" got)
+    true
+    (Float.abs (got -. 20.0) /. 20.0 < 0.1)
+
+let test_bursty_is_burstier () =
+  (* dispersion test: over fixed windows, burst arrivals have a higher
+     variance-to-mean ratio than Poisson (which has ~1) *)
+  let window_counts t ~windows ~width =
+    let counts = Array.make windows 0 in
+    let rec go () =
+      let at = Arrival.next t in
+      let w = int_of_float (at /. width) in
+      if w < windows then begin
+        counts.(w) <- counts.(w) + 1;
+        go ()
+      end
+    in
+    go ();
+    counts
+  in
+  let dispersion counts =
+    let n = float_of_int (Array.length counts) in
+    let mean = Array.fold_left (fun a c -> a +. float_of_int c) 0.0 counts /. n in
+    let var =
+      Array.fold_left
+        (fun a c ->
+          let d = float_of_int c -. mean in
+          a +. (d *. d))
+        0.0 counts
+      /. n
+    in
+    var /. mean
+  in
+  let poisson =
+    window_counts
+      (Arrival.create ~seed:5L (Arrival.Poisson { rate = 20.0 }))
+      ~windows:500 ~width:1.0
+  in
+  let bursty =
+    window_counts
+      (Arrival.create ~seed:5L (Arrival.bursty ~rate:20.0 ()))
+      ~windows:500 ~width:1.0
+  in
+  let dp = dispersion poisson and db = dispersion bursty in
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty dispersion %.2f > poisson %.2f" db dp)
+    true (db > dp *. 1.5)
+
+let test_validation () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Arrival.create: rate must be > 0") (fun () ->
+      ignore (Arrival.create ~seed:1L (Arrival.Poisson { rate = 0.0 })));
+  Alcotest.check_raises "bursty factor < 1"
+    (Invalid_argument "Arrival.bursty: burst_factor must be >= 1") (fun () ->
+      ignore (Arrival.bursty ~burst_factor:0.5 ~rate:1.0 ()));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Arrival.create: p_quiet_to_burst must be in (0, 1]")
+    (fun () ->
+      ignore
+        (Arrival.create ~seed:1L
+           (Arrival.Bursty
+              {
+                rate = 1.0;
+                burst_factor = 8.0;
+                p_quiet_to_burst = 0.0;
+                p_burst_to_quiet = 0.5;
+              })))
+
+let tests =
+  [
+    Alcotest.test_case "deterministic from seed" `Quick test_deterministic;
+    Alcotest.test_case "strictly increasing" `Quick test_strictly_increasing;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "start offset" `Quick test_start_offset;
+    Alcotest.test_case "poisson empirical rate" `Quick test_poisson_rate;
+    Alcotest.test_case "bursty long-run rate calibrated" `Quick
+      test_bursty_long_run_rate;
+    Alcotest.test_case "bursty has higher dispersion" `Quick test_bursty_is_burstier;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -22,7 +22,7 @@ let test_sweep_all_healthy () =
   Alcotest.(check int) "all swept" 3 (List.length results);
   List.iter
     (fun (name, verdict) ->
-      Alcotest.(check bool) (name ^ " trusted") true (verdict = Some Verifier.Trusted))
+      Alcotest.(check bool) (name ^ " trusted") true (verdict = Some Verdict.Trusted))
     results;
   Alcotest.(check (list string)) "none compromised" [] (Fleet.compromised fleet)
 
@@ -173,7 +173,7 @@ let test_stream_matches_materialised () =
   let members = 5 in
   let names = List.init members (fun i -> Printf.sprintf "dev-%07d" i) in
   let fleet = Fleet.create ~ram_size:2048 ~names () in
-  let (_ : (string * Verifier.verdict option) list) = Fleet.sweep fleet in
+  let (_ : (string * Verdict.t option) list) = Fleet.sweep fleet in
   let report = Fleet.stream_sweep ~ram_size:2048 ~members () in
   Alcotest.(check string)
     "stream fingerprint = materialised fingerprint" (Fleet.fingerprint fleet)

@@ -38,10 +38,14 @@ let make ?(protect = true) () =
       ~policy:Freshness.Counter
   in
   let verifier =
-    Verifier.create ~scheme:(Some Timing.Auth_hmac_sha1)
-      ~freshness_kind:Verifier.Fk_counter ~sym_key ~time:(Simtime.create ())
-      ~reference_image:(Isa_anchor.measure_memory anchor)
-      ()
+    match
+      Verifier.of_config
+        (Verifier.Config.v ~scheme:Timing.Auth_hmac_sha1
+           ~freshness_kind:Verifier.Fk_counter ~sym_key ~time:(Simtime.create ())
+           ~reference_image:(Isa_anchor.measure_memory anchor) ())
+    with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail msg
   in
   (device, anchor, verifier)
 
@@ -51,7 +55,7 @@ let test_end_to_end_trusted () =
   match Isa_anchor.handle_request anchor req with
   | Ok resp ->
     Alcotest.(check bool) "verifier accepts the interpreted MAC" true
-      (Verifier.check_response verifier ~request:req resp = Verifier.Trusted)
+      (Verifier.check_response_r verifier ~request:req resp = Verdict.Trusted)
   | Error e -> Alcotest.failf "rejected: %a" Code_attest.pp_reject e
 
 let test_report_equals_host_crypto () =
@@ -76,7 +80,7 @@ let test_detects_infection () =
   match Isa_anchor.handle_request anchor req with
   | Ok resp ->
     Alcotest.(check bool) "untrusted" true
-      (Verifier.check_response verifier ~request:req resp = Verifier.Untrusted_state)
+      (Verifier.check_response_r verifier ~request:req resp = Verdict.Untrusted_state)
   | Error e -> Alcotest.failf "rejected: %a" Code_attest.pp_reject e
 
 let test_freshness_enforced () =

@@ -10,8 +10,8 @@ let test_benign_round_trusted () =
   let s = small_session () in
   Session.advance_time s ~seconds:1.0;
   (match Session.attest_round s with
-  | Some Verifier.Trusted -> ()
-  | Some v -> Alcotest.failf "expected trusted, got %a" Verifier.pp_verdict v
+  | Some Verdict.Trusted -> ()
+  | Some v -> Alcotest.failf "expected trusted, got %a" Verdict.pp v
   | None -> Alcotest.fail "no response")
 
 let test_modified_memory_detected () =
@@ -21,8 +21,8 @@ let test_modified_memory_detected () =
   let d = Session.device s in
   Cpu.store_bytes (Device.cpu d) (Device.attested_base d) "INFECTED";
   (match Session.attest_round s with
-  | Some Verifier.Untrusted_state -> ()
-  | Some v -> Alcotest.failf "expected untrusted, got %a" Verifier.pp_verdict v
+  | Some Verdict.Untrusted_state -> ()
+  | Some v -> Alcotest.failf "expected untrusted, got %a" Verdict.pp v
   | None -> Alcotest.fail "no response")
 
 let test_forged_request_rejected () =
@@ -105,9 +105,9 @@ let test_all_schemes_end_to_end () =
       let spec = { spec with Architecture.clock_impl = Device.Clock_none } in
       let s = small_session ~spec () in
       match Session.attest_round s with
-      | Some Verifier.Trusted -> ()
+      | Some Verdict.Trusted -> ()
       | Some v ->
-        Alcotest.failf "%a: got %a" Timing.pp_auth_scheme scheme Verifier.pp_verdict v
+        Alcotest.failf "%a: got %a" Timing.pp_auth_scheme scheme Verdict.pp v
       | None -> Alcotest.failf "%a: no response" Timing.pp_auth_scheme scheme)
     [
       Timing.Auth_hmac_sha1;
@@ -126,7 +126,7 @@ let test_counter_policy_round_robin () =
   List.iter
     (fun i ->
       match Session.attest_round s with
-      | Some Verifier.Trusted -> ()
+      | Some Verdict.Trusted -> ()
       | Some _ | None -> Alcotest.failf "round %d failed" i)
     [ 1; 2; 3; 4; 5 ]
 
@@ -145,7 +145,7 @@ let test_malformed_frames_dropped () =
   (* the session still works afterwards *)
   Session.advance_time s ~seconds:1.0;
   (match Session.attest_round s with
-  | Some Verifier.Trusted -> ()
+  | Some Verdict.Trusted -> ()
   | Some _ | None -> Alcotest.fail "session broken by garbage frames")
 
 let test_bitexact_frame_replay_rejected () =
@@ -176,7 +176,7 @@ let test_code_update_with_flash_attestation () =
   in
   let s = small_session ~spec () in
   (match Session.attest_round s with
-  | Some Verifier.Trusted -> ()
+  | Some Verdict.Trusted -> ()
   | Some _ | None -> Alcotest.fail "initial round should be trusted");
   (* an authorized code update through the service layer *)
   let svc =
@@ -188,21 +188,21 @@ let test_code_update_with_flash_attestation () =
       ~scheme:(Some Timing.Auth_hmac_sha1) ~freshness:(Message.F_counter 1L)
       (Service.Code_update { image = "firmware v2" })
   in
-  (match Service.handle svc update with
+  (match Service.handle_r svc update with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "update rejected: %a" Service.pp_reject e);
+  | Error e -> Alcotest.failf "update rejected: %a" Verdict.pp e);
   (* the measurement now differs from the verifier's reference *)
   (match Session.attest_round s with
-  | Some Verifier.Untrusted_state -> ()
-  | Some v -> Alcotest.failf "expected untrusted after update, got %a" Verifier.pp_verdict v
+  | Some Verdict.Untrusted_state -> ()
+  | Some v -> Alcotest.failf "expected untrusted after update, got %a" Verdict.pp v
   | None -> Alcotest.fail "no response");
   (* verifier learns the new good state; next sweep is green again *)
   Verifier.set_reference_image (Session.verifier s)
     (Code_attest.measure_memory (Session.anchor s));
   (match Session.attest_round s with
-  | Some Verifier.Trusted -> ()
+  | Some Verdict.Trusted -> ()
   | Some v -> Alcotest.failf "expected trusted after re-provisioning, got %a"
-                Verifier.pp_verdict v
+                Verdict.pp v
   | None -> Alcotest.fail "no response")
 
 let test_flash_attestation_costs_more () =
@@ -237,7 +237,7 @@ let test_sync_round_over_the_channel () =
     (Int64.abs (Int64.sub (Session.prover_wall_ms s) 30_000L) < 1_000L);
   (* attestation still works afterwards *)
   (match Session.attest_round s with
-  | Some Verifier.Trusted -> ()
+  | Some Verdict.Trusted -> ()
   | Some _ | None -> Alcotest.fail "round after sync failed");
   (* replaying the recorded sync frame is rejected by the sync counter *)
   let sync_frames =
@@ -285,8 +285,8 @@ let test_anchor_fault_on_misconfigured_rules () =
       write_by = Ra_mcu.Ea_mpu.Nobody;
     };
   let req = Session.send_request s in
-  (match Code_attest.handle_request (Session.anchor s) req with
-  | Error (Code_attest.Anchor_fault _) -> ()
+  (match Code_attest.handle_request_r (Session.anchor s) req with
+  | Error (Verdict.Fault _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected anchor fault")
 
 let tests =

@@ -23,7 +23,7 @@ let test_multiple_outstanding_requests () =
   Alcotest.(check int) "three responses" 3 (drain 0);
   Alcotest.(check int) "three verdicts" 3 (List.length (Session.verdicts s));
   List.iter
-    (fun (_, v) -> Alcotest.(check bool) "trusted" true (v = Verifier.Trusted))
+    (fun (_, v) -> Alcotest.(check bool) "trusted" true (v = Verdict.Trusted))
     (Session.verdicts s)
 
 let test_verdict_timeline_monotone () =
@@ -85,8 +85,8 @@ let test_service_round_over_channel () =
   Alcotest.(check string) "RAM wiped" (String.make 64 '\x00')
     (Ra_mcu.Memory.read_bytes (Device.memory device) (Device.attested_base device) 64);
   (match Session.attest_round s with
-  | Some Verifier.Untrusted_state -> ()
-  | Some v -> Alcotest.failf "expected untrusted after erase, got %a" Verifier.pp_verdict v
+  | Some Verdict.Untrusted_state -> ()
+  | Some v -> Alcotest.failf "expected untrusted after erase, got %a" Verdict.pp v
   | None -> Alcotest.fail "no response");
   (* replaying the recorded erase frame bounces off the service counter *)
   let erase_frames =
@@ -107,8 +107,8 @@ let test_service_round_over_channel () =
 let test_custom_sym_key () =
   let s = Session.create ~spec:spec_counter ~sym_key:(String.make 20 'z') ~ram_size:2048 () in
   match Session.attest_round s with
-  | Some Verifier.Trusted -> ()
-  | Some v -> Alcotest.failf "custom key round: %a" Verifier.pp_verdict v
+  | Some Verdict.Trusted -> ()
+  | Some v -> Alcotest.failf "custom key round: %a" Verdict.pp v
   | None -> Alcotest.fail "no response with custom key"
 
 let tests =

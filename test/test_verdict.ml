@@ -121,8 +121,7 @@ let test_handler_conversions () =
   ignore (Session.deliver_next_to_verifier session);
   (match Session.verdicts session with
   | (_, v) :: _ ->
-    Alcotest.(check bool) "verifier conversion accepted" true
-      (Verdict.accepted (Verifier.to_verdict v))
+    Alcotest.(check bool) "verifier conversion accepted" true (Verdict.accepted v)
   | [] -> Alcotest.fail "expected a verdict");
   (* replaying the same request must surface as Not_fresh through the _r
      anchor API *)
