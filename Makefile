@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke prof-smoke server-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke prof-smoke server-smoke forensics-smoke examples docs clean loc
 
 all: build
 
@@ -56,6 +56,16 @@ prof-smoke:
 server-smoke:
 	dune exec bin/ra_cli.exe -- serve --selftest
 	BENCH_SMOKE=1 dune exec bench/main.exe -- server
+
+# failure-forensics sanity: CLI selftest (capsule JSON round-trips,
+# engine/shard-invariant capsule streams, byte-identical replay, ranked
+# triage, bucket exemplars, capture wire-neutrality), then the reduced
+# forensics bench (BENCH_forensics.json: capture-overhead gate + replay
+# identity at 10k devices in the full run); leaves the diagnosis report
+# and the replayed round's Perfetto trace behind for artifact upload
+forensics-smoke:
+	dune exec bin/ra_cli.exe -- replay --selftest --diagnosis diagnosis.jsonl --perfetto replay.perfetto.json
+	BENCH_SMOKE=1 dune exec bench/main.exe -- forensics
 
 examples:
 	dune exec examples/quickstart.exe

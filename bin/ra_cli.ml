@@ -1411,10 +1411,248 @@ let prof_cmd =
        ~doc:"PC-sample the in-ISA anchor and attribute fleet cycles/energy to phases")
     Term.(const run_prof $ n $ rounds $ loss $ shards $ period $ out $ folded $ selftest)
 
+(* ---- replay ---- *)
+
+let run_replay n rounds loss seed diagnosis_out capsules_out perfetto_out selftest =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else if rounds < 1 then begin
+    Printf.eprintf "rounds must be >= 1\n";
+    1
+  end
+  else if not (loss > 0.0 && loss < 1.0) then begin
+    Printf.eprintf "loss must be in (0, 1)\n";
+    1
+  end
+  else begin
+    let module Forensics = Ra_obs.Forensics in
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let losses = [ 0.0; loss ] in
+    let policies = [ ("no-retry", Retry.no_retry); ("default", Retry.default) ] in
+    (* one capturing fleet: forensics + tracing + profiling, then the
+       failure-provoking sweep *)
+    let make_fleet ~capture () =
+      let fleet = Fleet.create ~ram_size:4096 ~names () in
+      if capture then ignore (Fleet.enable_forensics fleet);
+      Fleet.enable_tracing fleet;
+      Fleet.enable_profiling fleet;
+      fleet
+    in
+    let sweep ?engine fleet =
+      Fleet.chaos_sweep ~seed ?engine ~rounds_per_member:rounds ~losses ~policies
+        fleet
+    in
+    let fleet = make_fleet ~capture:true () in
+    let (_ : Fleet.chaos_cell list) = sweep fleet in
+    let caps = Fleet.capsules fleet in
+    let failures_caps =
+      List.filter (fun c -> c.Forensics.cap_kind = Forensics.Failure) caps
+    in
+    let stamped = Fleet.annotate_exemplars fleet in
+    let diags = Forensics.triage caps in
+    Printf.printf
+      "%d members x %d rounds, cells %s; captured %d capsules (%d failures, %d \
+       slowest), %d exemplars stamped\n\n"
+      n rounds
+      (String.concat ", "
+         (List.concat_map
+            (fun l ->
+              List.map
+                (fun (p, _) -> Printf.sprintf "%.0f%%/%s" (100.0 *. l) p)
+                policies)
+            losses))
+      (List.length caps) (List.length failures_caps)
+      (List.length caps - List.length failures_caps)
+      stamped;
+    print_string (Forensics.render_diagnosis diags);
+    (* replay the first failure capsule (or the latest capsule when the
+       sweep happened to converge everywhere) and report the comparison *)
+    let target =
+      match failures_caps with
+      | c :: _ -> Some c
+      | [] -> ( match List.rev caps with c :: _ -> Some c | [] -> None)
+    in
+    let replayed =
+      match target with
+      | None ->
+        print_endline "\nno capsule to replay";
+        None
+      | Some c -> (
+        Printf.printf
+          "\nreplaying %s capsule: %s cell=%d (loss=%.0f%% policy=%s) round=%d \
+           reason=%s\n"
+          (Forensics.kind_label c.Forensics.cap_kind)
+          c.Forensics.cap_name c.Forensics.cap_cell
+          (100.0 *. c.Forensics.cap_loss)
+          c.Forensics.cap_policy c.Forensics.cap_round c.Forensics.cap_reason;
+        match Fleet.replay_capsule fleet c with
+        | Error msg ->
+          Printf.printf "replay failed: %s\n" msg;
+          None
+        | Ok rp ->
+          Format.printf
+            "replayed: %a (%d attempt%s, %.3f s) wire digest %s — %s@."
+            Verdict.pp rp.Fleet.rp_verdict rp.Fleet.rp_attempts
+            (if rp.Fleet.rp_attempts = 1 then "" else "s")
+            rp.Fleet.rp_elapsed_s
+            (String.sub rp.Fleet.rp_digest 0 12)
+            (if rp.Fleet.rp_match then "byte-identical to the capture"
+             else "MISMATCH vs capture");
+          Some (c, rp))
+    in
+    let write path contents what =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes) — %s\n" path (String.length contents) what
+    in
+    (match diagnosis_out with
+    | None -> ()
+    | Some path ->
+      write path (Forensics.diagnosis_jsonl diags) "ranked diagnosis JSONL");
+    (match capsules_out with
+    | None -> ()
+    | Some path -> write path (Forensics.capsules_jsonl caps) "replay capsules JSONL");
+    (match perfetto_out with
+    | None -> ()
+    | Some path ->
+      let rounds_tr, phases =
+        match replayed with
+        | Some (_, rp) ->
+          ( (match rp.Fleet.rp_round with Some r -> [ r ] | None -> []),
+            match rp.Fleet.rp_profile with
+            | Some p -> Ra_obs.Profiler.Phases.samples p.Ra_obs.Profiler.phases
+            | None -> [] )
+        | None -> ([], [])
+      in
+      write path
+        (Ra_obs.Export.perfetto_string ~counters:[] ~phases rounds_tr)
+        "Perfetto trace of the replayed round");
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      (* --- capsules survive the JSON wire --- *)
+      check "capsules captured" (caps <> []);
+      check "failure capsules captured" (failures_caps <> []);
+      check "capsule JSON round-trips"
+        (List.for_all
+           (fun c ->
+             match
+               Ra_obs.Json.of_string
+                 (Ra_obs.Json.to_string (Forensics.capsule_to_json c))
+             with
+             | Ok j -> Forensics.capsule_of_json j = Some c
+             | Error _ -> false)
+           caps);
+      (* --- the capsule stream is engine- and shard-invariant --- *)
+      let stream engine =
+        let f = make_fleet ~capture:true () in
+        let (_ : Fleet.chaos_cell list) = sweep ~engine f in
+        Forensics.capsules_jsonl (Fleet.capsules f)
+      in
+      let base = Forensics.capsules_jsonl caps in
+      check "capsule stream identical across engines and shard counts"
+        (List.for_all
+           (fun e -> String.equal (stream e) base)
+           [ `Seq; `Events; `Shards 1; `Shards 2; `Shards 4 ]);
+      (* --- every capsule replays byte-identically --- *)
+      check "every capsule replays byte-identically"
+        (List.for_all
+           (fun c ->
+             match Fleet.replay_capsule fleet c with
+             | Ok rp -> rp.Fleet.rp_match
+             | Error _ -> false)
+           caps);
+      check "replay carries a causal trace"
+        (match replayed with
+        | Some (_, rp) -> rp.Fleet.rp_round <> None
+        | None -> true);
+      (* --- triage accounts for every failure exactly once --- *)
+      check "triage counts sum to the failure total"
+        (List.fold_left (fun acc d -> acc + d.Forensics.dg_count) 0 diags
+        = List.length failures_caps);
+      check "triage is ranked by count"
+        (let rec desc = function
+           | a :: (b :: _ as tl) ->
+             a.Forensics.dg_count >= b.Forensics.dg_count && desc tl
+           | _ -> true
+         in
+         desc diags);
+      (* --- SLO buckets carry trace-id exemplars --- *)
+      check "exemplars stamped" (stamped > 0);
+      check "prometheus buckets carry exemplars"
+        (Ra_net.Trace.contains_substring ~needle:"# {trace_id="
+           (Ra_obs.Export.render_prometheus Ra_obs.Registry.default));
+      (* --- capture never touches the wire --- *)
+      (let fingerprint capture =
+         let f = make_fleet ~capture () in
+         let (_ : Fleet.chaos_cell list) = sweep f in
+         Fleet.fingerprint f
+       in
+       check "fleet fingerprint identical with capture on/off"
+         (String.equal (fingerprint true) (fingerprint false)));
+      check "paper model unchanged" (Experiment.table2 () = Experiment.expected_table2);
+      match !failures with
+      | [] ->
+        print_endline "replay selftest ok";
+        0
+      | fs ->
+        List.iter
+          (fun f -> Printf.eprintf "replay selftest FAILED: %s\n" f)
+          (List.rev fs);
+        1
+    end
+  end
+
+let replay_cmd =
+  let n =
+    Arg.(value & opt int 6 & info [ "size" ] ~docv:"N" ~doc:"Fleet size (members).")
+  in
+  let rounds =
+    Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"R"
+           ~doc:"Rounds per member per chaos cell.")
+  in
+  let loss =
+    Arg.(value & opt float 0.4 & info [ "loss" ] ~docv:"P"
+           ~doc:"Per-direction loss probability for the failure-provoking cells.")
+  in
+  let seed =
+    Arg.(value & opt int64 31L & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Chaos sweep root seed (pinned into every capsule).")
+  in
+  let diagnosis =
+    Arg.(value & opt (some string) None & info [ "diagnosis" ] ~docv:"FILE"
+           ~doc:"Write the ranked diagnosis report as JSONL here.")
+  in
+  let capsules =
+    Arg.(value & opt (some string) None & info [ "capsules" ] ~docv:"FILE"
+           ~doc:"Write the captured replay capsules as JSONL here.")
+  in
+  let perfetto =
+    Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE"
+           ~doc:"Write the Perfetto trace of the replayed round here.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify capsule JSON round-trips, engine/shard-invariant capsule \
+                 streams, byte-identical replay of every capsule, ranked triage, \
+                 bucket exemplars, and capture wire-neutrality; non-zero exit on \
+                 failure.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Capture failure capsules from a chaos sweep, triage them, and replay \
+             one round byte-for-byte")
+    Term.(const run_replay $ n $ rounds $ loss $ seed $ diagnosis $ capsules
+          $ perfetto $ selftest)
+
 let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd; serve_cmd; prof_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd; serve_cmd; prof_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval' main)

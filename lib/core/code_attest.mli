@@ -50,9 +50,6 @@ val handle_request_r : t -> Message.attreq -> (Message.attresp, Verdict.t) resul
 (** The primary entry point: process one attestation request end to end,
     errors in the unified {!Verdict.t} vocabulary. *)
 
-val handle_request : t -> Message.attreq -> (Message.attresp, reject) result
-[@@ocaml.deprecated "use Code_attest.handle_request_r (unified Verdict.t vocabulary)"]
-
 val to_verdict : reject -> Verdict.t
 (** Embed an anchor reject into the unified {!Verdict.t}. *)
 

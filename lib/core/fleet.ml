@@ -22,7 +22,10 @@ type chaos_cell = {
 type t = {
   members : member list;
   index : (string, member) Hashtbl.t; (* name -> member, O(1) find *)
+  spec : Architecture.spec; (* every member's world recipe *)
+  ram_size : int option;
   mutable last_chaos : chaos_cell list; (* most recent chaos_sweep grid *)
+  mutable forensics : Ra_obs.Forensics.t option; (* capsule ring when capturing *)
 }
 
 let member_name m = m.name
@@ -116,7 +119,7 @@ let create ?(spec = Architecture.trustlite_base) ?ram_size ~names () =
   in
   let index = Hashtbl.create (List.length members) in
   List.iter (fun m -> Hashtbl.replace index m.name m) members;
-  { members; index; last_chaos = [] }
+  { members; index; spec; ram_size; last_chaos = []; forensics = None }
 
 let members t = t.members
 
@@ -127,6 +130,59 @@ let find t name =
 
 let advance t ~seconds =
   List.iter (fun m -> Session.advance_time m.session ~seconds) t.members
+
+(* ---- forensic capture plumbing ---- *)
+
+(* One wire frame's contribution to a digest — shared between the
+   whole-transcript [session_digest] and the per-round [window_digest],
+   so a replayed round window can be checked against a capture made by
+   either. *)
+let feed_frames ctx frames =
+  List.iter
+    (fun { Ra_net.Channel.sent_at; src; payload } ->
+      Ra_crypto.Sha1.feed ctx
+        (Printf.sprintf "|%h|%s|%d|" sent_at
+           (match src with
+           | Ra_net.Channel.Verifier_side -> "v"
+           | Ra_net.Channel.Prover_side -> "p")
+           (String.length payload));
+      Ra_crypto.Sha1.feed ctx payload)
+    frames
+
+(* Hex SHA-1 over the transcript entries in [\[tstart, tend)] — the wire
+   activity of exactly one round, byte-for-byte. *)
+let window_digest session ~tstart ~tend =
+  let frames =
+    List.filteri
+      (fun i _ -> i < tend - tstart)
+      (Ra_net.Channel.transcript_from (Session.channel session) ~pos:tstart)
+  in
+  let ctx = Ra_crypto.Sha1.init () in
+  feed_frames ctx frames;
+  Ra_crypto.Hexutil.to_hex (Ra_crypto.Sha1.finalize ctx)
+
+(* The replay-target guard a capsule carries: a fleet with a different
+   spec or RAM size would re-execute a different world. *)
+let config_digest t =
+  let ctx = Ra_crypto.Sha1.init () in
+  Ra_crypto.Sha1.feed ctx t.spec.Architecture.spec_name;
+  Ra_crypto.Sha1.feed ctx
+    (match t.ram_size with None -> "|-" | Some n -> Printf.sprintf "|%d" n);
+  Ra_crypto.Hexutil.to_hex (Ra_crypto.Sha1.finalize ctx)
+
+let enable_forensics ?capacity t =
+  match t.forensics with
+  | Some f -> f
+  | None ->
+    let f = Ra_obs.Forensics.create ?capacity () in
+    t.forensics <- Some f;
+    f
+
+let disable_forensics t = t.forensics <- None
+let forensics t = t.forensics
+
+let capsules t =
+  match t.forensics with None -> [] | Some f -> Ra_obs.Forensics.capsules f
 
 let classify_verdict = function
   | Verdict.Trusted -> Healthy
@@ -318,11 +374,11 @@ type chaos_acc = {
   mutable ca_durations : float list;
 }
 
-let chaos_install m ~imp_seed ~loss =
+let chaos_install session ~imp_seed ~loss =
   let profile =
     if loss <= 0.0 then Ra_net.Impairment.pristine else Ra_net.Impairment.lossy loss
   in
-  Session.set_impairment m.session
+  Session.set_impairment session
     (Some
        (Ra_net.Impairment.create ~to_prover:profile ~to_verifier:profile ~seed:imp_seed
           ()))
@@ -348,15 +404,17 @@ let chaos_record obs m acc ~at (r : Session.round) =
    between rounds (same advances as [sweep], so timestamp freshness
    behaves identically), then put the wire back to pristine. Touches only
    the member's own world — safe to run members on separate domains. *)
-let chaos_member obs m ~imp_seed ~loss ~policy ~rounds =
+let chaos_member ?fcap obs m ~imp_seed ~loss ~policy ~rounds =
   let session = m.session in
-  chaos_install m ~imp_seed ~loss;
+  chaos_install session ~imp_seed ~loss;
   let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
-  for _ = 1 to rounds do
+  for round = 1 to rounds do
     Session.advance_time session ~seconds:stagger_seconds;
     let at = Ra_net.Simtime.now (Session.time session) in
+    let tstart = Ra_net.Channel.transcript_length (Session.channel session) in
     let r = Session.attest_round_r ~policy session in
-    chaos_record obs m acc ~at r
+    chaos_record obs m acc ~at r;
+    match fcap with None -> () | Some f -> f ~round ~at ~tstart r
   done;
   Session.set_impairment session None;
   (acc.ca_converged, acc.ca_attempts, acc.ca_durations)
@@ -370,9 +428,9 @@ let chaos_member obs m ~imp_seed ~loss ~policy ~rounds =
    deterministic (time, insertion) order. [Session.round_begin]'s resume
    performs the identical [advance_time] the sequential driver performs,
    so per-member results are bit-identical to [chaos_member]. *)
-let chaos_member_events obs sched m ~imp_seed ~loss ~policy ~rounds ~finished =
+let chaos_member_events ?fcap obs sched m ~imp_seed ~loss ~policy ~rounds ~finished =
   let session = m.session in
-  chaos_install m ~imp_seed ~loss;
+  chaos_install session ~imp_seed ~loss;
   let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
   let member_now () = Ra_net.Simtime.now (Session.time session) in
   let rec schedule_round rounds_left =
@@ -381,11 +439,15 @@ let chaos_member_events obs sched m ~imp_seed ~loss ~policy ~rounds ~finished =
       (fun () ->
         Session.advance_time session ~seconds:stagger_seconds;
         let at = member_now () in
-        drive rounds_left ~at (Session.round_begin ~policy session);
+        let tstart = Ra_net.Channel.transcript_length (Session.channel session) in
+        drive rounds_left ~at ~tstart (Session.round_begin ~policy session);
         Sched.observe_lag sched ~member_now:(member_now ()))
-  and drive rounds_left ~at = function
+  and drive rounds_left ~at ~tstart = function
     | Session.Round_done r ->
       chaos_record obs m acc ~at r;
+      (match fcap with
+      | None -> ()
+      | Some f -> f ~round:(rounds - rounds_left + 1) ~at ~tstart r);
       if rounds_left > 1 then schedule_round (rounds_left - 1)
       else begin
         Session.set_impairment session None;
@@ -395,10 +457,72 @@ let chaos_member_events obs sched m ~imp_seed ~loss ~policy ~rounds ~finished =
       Sched.at sched
         ~at:(member_now () +. wait_s)
         (fun () ->
-          drive rounds_left ~at (resume ());
+          drive rounds_left ~at ~tstart (resume ());
           Sched.observe_lag sched ~member_now:(member_now ()))
   in
   schedule_round rounds
+
+(* ---- forensic candidate retention (one cell, one member) ---- *)
+
+(* A candidate round retained during a cell: enough to build a capsule at
+   merge time without copying wire bytes — the digest window is re-read
+   from the member's transcript, which only grows. *)
+type fcand = {
+  fc_round : int; (* 1-based within the cell *)
+  fc_at : float; (* member clock at round start *)
+  fc_verdict : Verdict.t;
+  fc_attempts : int;
+  fc_elapsed : float;
+  fc_trace_id : int option;
+  fc_tstart : int; (* transcript window [tstart, tend) *)
+  fc_tend : int;
+}
+
+type fcand_cell = {
+  mutable fc_fails : fcand list; (* newest first; reversed at merge *)
+  mutable fc_slow : fcand option; (* slowest converged round so far *)
+}
+
+(* The per-round hook a capturing sweep threads into the chaos drivers.
+   Runs on the member's own domain and touches only member-local state
+   (its slot of the candidate array and its own session/tracer), so
+   capture is safe under every engine and changes nothing on the wire. *)
+let fcap_hook fcands i m =
+  match fcands with
+  | None -> None
+  | Some arr ->
+    let cell = { fc_fails = []; fc_slow = None } in
+    arr.(i) <- Some cell;
+    Some
+      (fun ~round ~at ~tstart (r : Session.round) ->
+        let tend = Ra_net.Channel.transcript_length (Session.channel m.session) in
+        let trace_id =
+          match Session.tracing m.session with
+          | None -> None
+          | Some tr -> (
+            match Ra_obs.Recorder.latest (Ra_obs.Trace.recorder tr) with
+            | Some rd -> Some rd.Ra_obs.Trace.rd_trace_id
+            | None -> None)
+        in
+        let cand =
+          {
+            fc_round = round;
+            fc_at = at;
+            fc_verdict = r.Session.r_verdict;
+            fc_attempts = r.Session.r_attempts;
+            fc_elapsed = r.Session.r_elapsed_s;
+            fc_trace_id = trace_id;
+            fc_tstart = tstart;
+            fc_tend = tend;
+          }
+        in
+        match r.Session.r_verdict with
+        | Verdict.Trusted -> (
+          (* keep the strictly slowest converged round; first wins ties *)
+          match cell.fc_slow with
+          | Some s when s.fc_elapsed >= cand.fc_elapsed -> ()
+          | Some _ | None -> cell.fc_slow <- Some cand)
+        | _ -> cell.fc_fails <- cand :: cell.fc_fails)
 
 let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
     ?(engine = `Seq) ~losses ~policies t =
@@ -415,7 +539,23 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
       (fun loss -> List.map (fun (name, policy) -> (loss, name, policy)) policies)
       losses
   in
-  let run_cell (loss, policy_name, policy) =
+  (* capture context: the sweep parameters every capsule embeds *)
+  let prior = Array.map (fun m -> m.sweeps) members in
+  let cap_policies =
+    List.map
+      (fun (name, (p : Retry.policy)) ->
+        ( name,
+          {
+            Ra_obs.Forensics.cp_max_attempts = p.Retry.max_attempts;
+            cp_base_timeout_s = p.Retry.base_timeout_s;
+            cp_multiplier = p.Retry.multiplier;
+            cp_max_timeout_s = p.Retry.max_timeout_s;
+            cp_jitter = p.Retry.jitter;
+          } ))
+      policies
+  in
+  let config = config_digest t in
+  let run_cell cell_idx (loss, policy_name, policy) =
     (* one root draw per cell; member i's impairment seed is the pure
        function [Impairment.derive_seed ~root ~index:i] of it, so the
        schedule member i experiences is identical however the cell is
@@ -423,6 +563,9 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
     let root = Ra_crypto.Prng.next_int64 seeder in
     let seed_of i = Ra_net.Impairment.derive_seed ~root ~index:i in
     let results = Array.make n (0, 0, []) in
+    let fcands =
+      match t.forensics with None -> None | Some _ -> Some (Array.make n None)
+    in
     (match engine with
     | `Events ->
       (* single-domain by design: determinism is the point; the heap
@@ -430,8 +573,10 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
       let sched = Sched.create () in
       Array.iteri
         (fun i m ->
-          chaos_member_events global_obs sched m ~imp_seed:(seed_of i) ~loss
-            ~policy ~rounds:rounds_per_member
+          chaos_member_events
+            ?fcap:(fcap_hook fcands i m)
+            global_obs sched m ~imp_seed:(seed_of i) ~loss ~policy
+            ~rounds:rounds_per_member
             ~finished:(fun r -> results.(i) <- r))
         members;
       let (_ : int) = Sched.run sched in
@@ -449,8 +594,10 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
           let sched = Sched.create ~metrics:(Sched.arena_metrics arena) () in
           let { Shard.sh_lo; sh_hi } = parts.(s) in
           for i = sh_lo to sh_hi - 1 do
-            chaos_member_events obs sched members.(i) ~imp_seed:(seed_of i)
-              ~loss ~policy ~rounds:rounds_per_member
+            chaos_member_events
+              ?fcap:(fcap_hook fcands i members.(i))
+              obs sched members.(i) ~imp_seed:(seed_of i) ~loss ~policy
+              ~rounds:rounds_per_member
               ~finished:(fun r -> results.(i) <- r)
           done;
           let (_ : int) = Sched.run sched in
@@ -463,8 +610,10 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
             results.(i) <-
-              chaos_member global_obs members.(i) ~imp_seed:(seed_of i) ~loss
-                ~policy ~rounds:rounds_per_member;
+              chaos_member
+                ?fcap:(fcap_hook fcands i members.(i))
+                global_obs members.(i) ~imp_seed:(seed_of i) ~loss ~policy
+                ~rounds:rounds_per_member;
             go ()
           end
         in
@@ -472,6 +621,80 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
       in
       if domains = 1 then work ()
       else Pool.run (Pool.shared ()) ~helpers:(domains - 1) work);
+    (* merge retained candidates into the capsule ring — coordinator
+       only, member-index order, so the capsule stream is identical at
+       every domains/shards/engine setting *)
+    (match (t.forensics, fcands) with
+    | Some f, Some arr ->
+      let capsule kind i (c : fcand) =
+        let m = members.(i) in
+        let reason =
+          match Verdict.reason_of c.fc_verdict with
+          | Some r -> Verdict.Reason.label r
+          | None -> Verdict.label c.fc_verdict
+        in
+        let phase =
+          match (Session.profiling m.session, c.fc_trace_id) with
+          | Some p, Some id ->
+            Ra_obs.Forensics.dominant_phase
+              (Ra_obs.Profiler.Phases.samples p.Ra_obs.Profiler.phases)
+              ~trace_id:id
+          | (Some _ | None), _ -> None
+        in
+        {
+          Ra_obs.Forensics.cap_kind = kind;
+          cap_member = i;
+          cap_name = m.name;
+          cap_sweep_seed = seed;
+          cap_losses = losses;
+          cap_policies;
+          cap_rounds_per_member = rounds_per_member;
+          cap_cell = cell_idx;
+          cap_loss = loss;
+          cap_policy = policy_name;
+          cap_round = c.fc_round;
+          cap_imp_seed = seed_of i;
+          cap_prior_sweeps = prior.(i);
+          cap_started_at = c.fc_at;
+          cap_elapsed_s = c.fc_elapsed;
+          cap_attempts = c.fc_attempts;
+          cap_verdict = Verdict.to_json c.fc_verdict;
+          cap_reason = reason;
+          cap_trace_id = c.fc_trace_id;
+          cap_phase = phase;
+          cap_wire_digest =
+            window_digest m.session ~tstart:c.fc_tstart ~tend:c.fc_tend;
+          cap_config = config;
+        }
+      in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> ()
+          | Some cell ->
+            List.iter
+              (fun c ->
+                Ra_obs.Forensics.capture f (capsule Ra_obs.Forensics.Failure i c))
+              (List.rev cell.fc_fails))
+        arr;
+      (* one cell-wide slowest-converged capsule — the latency exemplar;
+         strictly-greater wins, so ties keep the earliest member *)
+      let slowest = ref None in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> ()
+          | Some cell -> (
+            match (cell.fc_slow, !slowest) with
+            | None, _ -> ()
+            | Some c, Some (_, best) when c.fc_elapsed <= best.fc_elapsed -> ()
+            | Some c, (Some _ | None) -> slowest := Some (i, c)))
+        arr;
+      (match !slowest with
+      | None -> ()
+      | Some (i, c) ->
+        Ra_obs.Forensics.capture f (capsule Ra_obs.Forensics.Slowest i c))
+    | (Some _ | None), _ -> ());
     let total = n * rounds_per_member in
     let converged = Array.fold_left (fun acc (c, _, _) -> acc + c) 0 results in
     let attempts = Array.fold_left (fun acc (_, a, _) -> acc + a) 0 results in
@@ -491,9 +714,144 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
       c_p99_s = percentile_of_sorted durations 99.0;
     }
   in
-  let grid = List.map run_cell cells in
+  let grid = List.mapi run_cell cells in
   t.last_chaos <- grid;
   grid
+
+(* ---- capsule replay: re-execute exactly one captured round ---- *)
+
+type replay = {
+  rp_verdict : Verdict.t;
+  rp_attempts : int;
+  rp_elapsed_s : float;
+  rp_started_at : float;
+  rp_digest : string;
+  rp_match : bool;
+  rp_round : Ra_obs.Trace.round option;
+  rp_profile : Ra_obs.Profiler.t option;
+}
+
+(* A capsule pins (sweep seed, grid, member index, cell, round), and the
+   whole pipeline under it is deterministic: [Session.create] builds a
+   bit-identical world from the spec, the retry PRNG is fixed per
+   session, and the impairment schedule is the pure function of
+   (seed, cell, member index) the capsule re-derives. So replay =
+   re-execute the member's full history up to the captured round from a
+   fresh session — every PRNG draw happens in the same order — then run
+   the captured round with tracing and profiling forced on. *)
+let replay_capsule t (cap : Ra_obs.Forensics.capsule) =
+  let open Ra_obs.Forensics in
+  let n_cells = List.length cap.cap_losses * List.length cap.cap_policies in
+  if cap.cap_kind = Deadline_miss then
+    Error
+      "deadline-miss capsules record an open-loop server queue; not replayable \
+       standalone"
+  else if cap.cap_config <> config_digest t then
+    Error "capsule was captured on a different fleet configuration"
+  else if cap.cap_prior_sweeps <> 0 then
+    Error "member had pre-sweep history; fresh-session replay is unsound"
+  else if cap.cap_cell < 0 || cap.cap_cell >= n_cells then
+    Error "capsule cell index is outside its own loss x policy grid"
+  else if cap.cap_round < 1 || cap.cap_round > cap.cap_rounds_per_member then
+    Error "capsule round index is outside rounds_per_member"
+  else if cap.cap_member < 0 then Error "negative member index"
+  else begin
+    let policies =
+      List.map
+        (fun (name, p) ->
+          ( name,
+            {
+              Retry.max_attempts = p.cp_max_attempts;
+              base_timeout_s = p.cp_base_timeout_s;
+              multiplier = p.cp_multiplier;
+              max_timeout_s = p.cp_max_timeout_s;
+              jitter = p.cp_jitter;
+            } ))
+        cap.cap_policies
+    in
+    match List.iter (fun (_, p) -> Retry.validate p) policies with
+    | exception Invalid_argument msg -> Error ("capsule retry policy: " ^ msg)
+    | () ->
+      let cells =
+        List.concat_map
+          (fun loss -> List.map (fun (_, policy) -> (loss, policy)) policies)
+          cap.cap_losses
+      in
+      let seeder = Ra_crypto.Prng.create cap.cap_sweep_seed in
+      let roots =
+        Array.init (cap.cap_cell + 1) (fun _ -> Ra_crypto.Prng.next_int64 seeder)
+      in
+      let target_seed =
+        Ra_net.Impairment.derive_seed ~root:roots.(cap.cap_cell)
+          ~index:cap.cap_member
+      in
+      if target_seed <> cap.cap_imp_seed then
+        Error
+          "impairment seed mismatch: capsule position does not re-derive its \
+           recorded seed"
+      else begin
+        let session = Session.create ~spec:t.spec ?ram_size:t.ram_size () in
+        let cells = Array.of_list cells in
+        (* fast-forward: the member's rounds in every cell before the
+           captured one, then the captured cell's earlier rounds — the
+           identical operation sequence the sweep ran, so every PRNG
+           draw (retry jitter, impairment schedule) lines up *)
+        for ci = 0 to cap.cap_cell - 1 do
+          let loss, policy = cells.(ci) in
+          chaos_install session
+            ~imp_seed:(Ra_net.Impairment.derive_seed ~root:roots.(ci) ~index:cap.cap_member)
+            ~loss;
+          for _ = 1 to cap.cap_rounds_per_member do
+            Session.advance_time session ~seconds:stagger_seconds;
+            ignore (Session.attest_round_r ~policy session)
+          done;
+          Session.set_impairment session None
+        done;
+        let loss, policy = cells.(cap.cap_cell) in
+        chaos_install session ~imp_seed:target_seed ~loss;
+        for _ = 1 to cap.cap_round - 1 do
+          Session.advance_time session ~seconds:stagger_seconds;
+          ignore (Session.attest_round_r ~policy session)
+        done;
+        (* the captured round itself, with full observability forced on
+           (out-of-band by invariant: neither touches wire or PRNGs) *)
+        let tracer = Session.enable_tracing ~device:cap.cap_name session in
+        let profiler = Session.enable_profiling ~device:cap.cap_name session in
+        Session.advance_time session ~seconds:stagger_seconds;
+        let at = Ra_net.Simtime.now (Session.time session) in
+        let tstart = Ra_net.Channel.transcript_length (Session.channel session) in
+        let r = Session.attest_round_r ~policy session in
+        let tend = Ra_net.Channel.transcript_length (Session.channel session) in
+        let digest = window_digest session ~tstart ~tend in
+        Session.set_impairment session None;
+        let rp_match =
+          String.equal digest cap.cap_wire_digest
+          && Verdict.to_json r.Session.r_verdict = cap.cap_verdict
+          && r.Session.r_attempts = cap.cap_attempts
+          && r.Session.r_elapsed_s = cap.cap_elapsed_s
+          && at = cap.cap_started_at
+        in
+        Ok
+          {
+            rp_verdict = r.Session.r_verdict;
+            rp_attempts = r.Session.r_attempts;
+            rp_elapsed_s = r.Session.r_elapsed_s;
+            rp_started_at = at;
+            rp_digest = digest;
+            rp_match;
+            rp_round =
+              Ra_obs.Recorder.latest (Ra_obs.Trace.recorder tracer);
+            rp_profile = Some profiler;
+          }
+      end
+  end
+
+let annotate_exemplars t =
+  match t.forensics with
+  | None -> 0
+  | Some f ->
+    Ra_obs.Forensics.annotate_exemplars ~histogram:Mc.time
+      (Ra_obs.Forensics.capsules f)
 
 let last_chaos t = t.last_chaos
 
@@ -528,16 +886,7 @@ let session_digest ~name ~verdict session =
   Ra_crypto.Sha1.feed ctx (verdict_tag verdict);
   Ra_crypto.Sha1.feed ctx
     (Printf.sprintf "%h" (Ra_net.Simtime.now (Session.time session)));
-  List.iter
-    (fun { Ra_net.Channel.sent_at; src; payload } ->
-      Ra_crypto.Sha1.feed ctx
-        (Printf.sprintf "|%h|%s|%d|" sent_at
-           (match src with
-           | Ra_net.Channel.Verifier_side -> "v"
-           | Ra_net.Channel.Prover_side -> "p")
-           (String.length payload));
-      Ra_crypto.Sha1.feed ctx payload)
-    (Ra_net.Channel.transcript (Session.channel session));
+  feed_frames ctx (Ra_net.Channel.transcript (Session.channel session));
   Ra_crypto.Sha1.finalize ctx
 
 let zero_digest = String.make Ra_crypto.Sha1.digest_size '\000'

@@ -173,6 +173,64 @@ val last_chaos : t -> chaos_cell list
 val convergence_pct : chaos_cell -> float
 (** [100 * converged / rounds]. *)
 
+(** {2 Failure forensics}
+
+    With forensics enabled, every chaos sweep records {e replay
+    capsules} (see {!Ra_obs.Forensics}) into a bounded ring next to the
+    flight recorder: one [Failure] capsule per round that ends
+    non-[Trusted], plus one [Slowest] capsule per cell — the slowest
+    converged round, the latency-SLO exemplar. Capture is out-of-band:
+    it only reads member-local state, so verdicts, transcripts, ledgers
+    and clocks are byte-identical with capture on or off, and the
+    capsule stream itself is identical at every [domains]/[shards]/
+    engine setting (candidates are member-local; the coordinator merges
+    them in member-index order after each cell). *)
+
+val enable_forensics : ?capacity:int -> t -> Ra_obs.Forensics.t
+(** Attach a capsule ring ([capacity] capsules, default 256) if none is
+    attached yet; returns the ring (idempotent). *)
+
+val disable_forensics : t -> unit
+val forensics : t -> Ra_obs.Forensics.t option
+
+val capsules : t -> Ra_obs.Forensics.capsule list
+(** Captured capsules, oldest first; empty when forensics is off. *)
+
+val config_digest : t -> string
+(** Hex digest of the fleet's world recipe (spec name, RAM size) — the
+    replay-target guard embedded in every capsule. *)
+
+type replay = {
+  rp_verdict : Verdict.t;
+  rp_attempts : int;
+  rp_elapsed_s : float;
+  rp_started_at : float;  (** member clock at round start *)
+  rp_digest : string;  (** wire digest of the re-executed round *)
+  rp_match : bool;
+      (** verdict, attempts, elapsed time, start clock {e and} wire
+          digest all byte-identical to the capture *)
+  rp_round : Ra_obs.Trace.round option;  (** the round's causal trace *)
+  rp_profile : Ra_obs.Profiler.t option;  (** its cycle/energy profile *)
+}
+
+val replay_capsule : t -> Ra_obs.Forensics.capsule -> (replay, string) result
+(** Re-execute exactly the captured round in a fresh session, with
+    tracing and profiling forced on (both are out-of-band, so forcing
+    them cannot perturb the outcome). The capsule pins the sweep seed,
+    grid and member position; the member's full pre-capture history
+    (prior cells, earlier rounds of the captured cell) is fast-forwarded
+    first so every PRNG draw lines up, then the captured round runs and
+    is compared byte-for-byte. [Error] explains why a capsule cannot be
+    replayed against this fleet (deadline-miss kind, config mismatch,
+    pre-sweep member history, out-of-range indices, or an impairment
+    seed that does not re-derive — a tampered capsule). *)
+
+val annotate_exemplars : t -> int
+(** Stamp the captured capsules into [ra_chaos_round_time_ms] as bucket
+    exemplars ({!Ra_obs.Forensics.annotate_exemplars}); returns how many
+    carried a trace id and were stamped. Requires tracing to have been
+    on during the sweep for non-zero effect. *)
+
 (** {2 Streaming sweeps}
 
     A materialised member world costs ~88 KB (dominated by the device's

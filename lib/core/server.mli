@@ -63,10 +63,17 @@ type outcome = {
 
 type t
 
-val create : ?record_outcomes:bool -> sched:Sched.t -> config -> (t, string) result
+val create :
+  ?record_outcomes:bool ->
+  ?capture:bool ->
+  sched:Sched.t ->
+  config ->
+  (t, string) result
 (** Validation errors (bad verifier config, batch < 1, non-positive
     block time, ...) come back as [Error] — construction is
-    {!Verifier.of_config} all the way down. *)
+    {!Verifier.of_config} all the way down. With [capture] (default
+    false) every deadline-missed request additionally records a
+    {!Ra_obs.Forensics.Deadline_miss} capsule — see {!capsules}. *)
 
 val register_device : t -> string -> unit
 (** Known-class admission (private token bucket) + a freshness slot for
@@ -101,6 +108,12 @@ val stats : t -> stats
 
 val outcomes : t -> outcome list
 (** Chronological; empty unless created with [~record_outcomes:true]. *)
+
+val capsules : t -> Ra_obs.Forensics.capsule list
+(** Deadline-miss capsules, chronological; empty unless created with
+    [~capture:true]. Buffered on the server itself (not pushed into a
+    shared ring) so sharded runs stay race-free — {!Load.run} merges
+    them in shard order. *)
 
 val publish : ?registry:Ra_obs.Registry.t -> t -> unit
 (** Push the server's totals into the metric registry:
@@ -173,6 +186,7 @@ module Load : sig
     ?engine:[ `Seq | `Shards of int ] ->
     ?pool:Pool.t ->
     ?record_outcomes:bool ->
+    ?forensics:Ra_obs.Forensics.t ->
     config ->
     traffic ->
     report * outcome list
@@ -185,6 +199,8 @@ module Load : sig
       tallies and pools latency samples in shard order, and each shard's
       totals are published into the default metric registry. Outcomes
       are empty unless [record_outcomes] (concatenated in shard order).
+      With [forensics], every shard server captures deadline-miss
+      capsules, merged into the given ring in shard order after the run.
       @raise Invalid_argument on an invalid [config] or [shards < 1]. *)
 
   val slo_watch :

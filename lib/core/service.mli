@@ -84,9 +84,6 @@ val handle_r : t -> request -> (ack, Verdict.t) result
     byte; update: one flash word program per 4 bytes; ping: bookkeeping
     only). Errors are the unified {!Verdict.t}. *)
 
-val handle : t -> request -> (ack, reject) result
-[@@ocaml.deprecated "use Service.handle_r (unified Verdict.t vocabulary)"]
-
 val to_verdict : reject -> Verdict.t
 (** Embed a service reject into the unified {!Verdict.t}. *)
 

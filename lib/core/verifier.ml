@@ -66,15 +66,6 @@ let of_config (cfg : Config.t) =
       }
   end
 
-let create ~scheme ~freshness_kind ~sym_key ?(ecdsa_seed = "verifier") ~time
-    ~reference_image () =
-  match
-    of_config
-      { Config.scheme; freshness_kind; sym_key; ecdsa_seed; time; reference_image }
-  with
-  | Ok t -> t
-  | Error msg -> invalid_arg ("Verifier.create: " ^ msg)
-
 let prover_key_blob t =
   Auth.prover_key_blob ~sym_key:t.sym_key
     ~public:(Option.map (fun kp -> kp.C.Ecdsa.public) t.ecdsa)

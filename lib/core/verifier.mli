@@ -47,20 +47,6 @@ val of_config : Config.t -> (t, string) result
 (** Validate and build. [Error] (not an exception) on a [sym_key] that is
     not exactly [Auth.k_attest_len] bytes or an empty [ecdsa_seed]. *)
 
-val create :
-  scheme:Ra_mcu.Timing.auth_scheme option ->
-  freshness_kind:freshness_kind ->
-  sym_key:string ->
-  ?ecdsa_seed:string ->
-  time:Ra_net.Simtime.t ->
-  reference_image:string ->
-  unit ->
-  t
-[@@ocaml.deprecated "use Verifier.of_config (validation as Result, not exception)"]
-(** Legacy constructor; [of_config] with the same fields, except that
-    validation failures raise.
-    @raise Invalid_argument on a bad key length. *)
-
 val prover_key_blob : t -> string
 (** The blob to provision into the prover's protected key storage. *)
 
@@ -87,9 +73,6 @@ val check_reports_r : t -> Message.attresp array -> Verdict.t array
 (** Batch form of {!check_report_r}: the HMAC key context (ipad/opad
     midstates) is derived once per verifier and shared across the batch,
     so per-report cost drops to the report MAC itself. *)
-
-val check_response : t -> request:Message.attreq -> Message.attresp -> verdict
-[@@ocaml.deprecated "use Verifier.check_response_r (unified Verdict.t vocabulary)"]
 
 val to_verdict : verdict -> Verdict.t
 (** Embed the verifier-local verdict into the unified {!Verdict.t}. *)

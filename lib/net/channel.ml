@@ -149,6 +149,12 @@ let send t ~src payload =
 
 let transcript t = List.init t.t_len (fun i -> t.transcript.(i))
 
+let transcript_length t = t.t_len
+
+let transcript_from t ~pos =
+  let pos = max 0 (min pos t.t_len) in
+  List.init (t.t_len - pos) (fun i -> t.transcript.(pos + i))
+
 let undelivered t =
   let out = ref [] in
   for i = t.p_len - 1 downto t.p_head do

@@ -53,6 +53,16 @@ val send : 'msg t -> src:side -> 'msg -> unit
 val transcript : 'msg t -> 'msg sent list
 (** Everything ever sent, in order — the eavesdropper's notebook. *)
 
+val transcript_length : 'msg t -> int
+(** Entries in the transcript, O(1). A [(transcript_length before,
+    transcript_length after)] pair brackets a window of wire activity —
+    the forensic capture layer records these to digest exactly one
+    round's frames without copying the whole transcript. *)
+
+val transcript_from : 'msg t -> pos:int -> 'msg sent list
+(** The transcript suffix starting at entry [pos] (clamped to the valid
+    range), in order — the window companion of {!transcript_length}. *)
+
 val undelivered : 'msg t -> 'msg sent list
 (** Sent messages not yet delivered (nor explicitly dropped). *)
 

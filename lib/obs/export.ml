@@ -56,16 +56,28 @@ let render_prometheus registry =
       | Registry.Gauge_sample v ->
         Buffer.add_string buf
           (Printf.sprintf "%s%s %s\n" name (format_labels labels) (format_value v))
-      | Registry.Histogram_sample { hs_sum; hs_count; hs_buckets } ->
+      | Registry.Histogram_sample { hs_sum; hs_count; hs_buckets; hs_exemplars } ->
         let cumulative = ref 0 in
         List.iter
           (fun (bound, n) ->
             cumulative := !cumulative + n;
             let le = ("le", format_bound bound) in
+            (* OpenMetrics exemplar suffix: only on buckets the forensics
+               layer annotated, so exemplar-free output is byte-identical
+               to the pre-exemplar exposition *)
+            let exemplar =
+              match List.assoc_opt bound hs_exemplars with
+              | None -> ""
+              | Some e ->
+                Printf.sprintf " # {trace_id=\"%s\"} %s %s"
+                  (escape_label_value e.Registry.ex_trace_id)
+                  (format_value e.Registry.ex_value)
+                  (format_value e.Registry.ex_at)
+            in
             Buffer.add_string buf
-              (Printf.sprintf "%s_bucket%s %d\n" name
+              (Printf.sprintf "%s_bucket%s %d%s\n" name
                  (format_labels (labels @ [ le ]))
-                 !cumulative))
+                 !cumulative exemplar))
           hs_buckets;
         Buffer.add_string buf
           (Printf.sprintf "%s_sum%s %s\n" name (format_labels labels)
@@ -94,7 +106,8 @@ let metrics_jsonl registry =
         match sample with
         | Registry.Counter_sample v -> [ ("value", Json.Num (float_of_int v)) ]
         | Registry.Gauge_sample v -> [ ("value", Json.Num v) ]
-        | Registry.Histogram_sample { hs_sum; hs_count; hs_buckets } ->
+        | Registry.Histogram_sample { hs_sum; hs_count; hs_buckets; hs_exemplars }
+          ->
           [
             ("sum", Json.Num hs_sum);
             ("count", Json.Num (float_of_int hs_count));
@@ -111,6 +124,27 @@ let metrics_jsonl registry =
                        ])
                    hs_buckets) );
           ]
+          @
+          (* absent (not empty) when no exemplars were set, keeping
+             exemplar-free lines byte-identical to the old format *)
+          (if hs_exemplars = [] then []
+           else
+             [
+               ( "exemplars",
+                 Json.Arr
+                   (List.map
+                      (fun (bound, e) ->
+                        Json.Obj
+                          [
+                            ( "le",
+                              if bound = infinity then Json.Str "+Inf"
+                              else Json.Num bound );
+                            ("value", Json.Num e.Registry.ex_value);
+                            ("trace_id", Json.Str e.Registry.ex_trace_id);
+                            ("at_s", Json.Num e.Registry.ex_at);
+                          ])
+                      hs_exemplars) );
+             ])
       in
       Buffer.add_string buf (Json.to_string (Json.Obj (base @ value_fields)));
       Buffer.add_char buf '\n')

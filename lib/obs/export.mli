@@ -6,7 +6,10 @@ val render_prometheus : Registry.t -> string
 (** Prometheus text exposition format, version 0.0.4: one [# TYPE] line
     per metric family, histograms expanded into cumulative
     [_bucket{le="..."}] series plus [_sum] and [_count]. Families are
-    sorted by name, series by label set, so output is deterministic. *)
+    sorted by name, series by label set, so output is deterministic.
+    Buckets carrying an {!Registry.exemplar} get the OpenMetrics suffix
+    [# {trace_id="..."} value timestamp]; exemplar-free output is
+    byte-identical to the pre-exemplar exposition. *)
 
 val metrics_jsonl : Registry.t -> string
 (** One JSON object per line:

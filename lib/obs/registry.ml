@@ -6,11 +6,14 @@ let canonical labels =
 type counter = { c_value : int Atomic.t }
 type gauge = { g_bits : int64 Atomic.t (* IEEE bits of the float value *) }
 
+type exemplar = { ex_value : float; ex_trace_id : string; ex_at : float }
+
 type histogram = {
   h_bounds : float array; (* strictly increasing upper bounds *)
   h_buckets : int Atomic.t array; (* length = bounds + 1 (overflow) *)
   h_count : int Atomic.t;
   h_sum_bits : int64 Atomic.t;
+  h_exemplars : exemplar option Atomic.t array; (* one slot per bucket *)
 }
 
 type metric =
@@ -118,7 +121,8 @@ let reset t =
           | M_histogram h ->
             Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
             Atomic.set h.h_count 0;
-            Atomic.set h.h_sum_bits zero_bits)
+            Atomic.set h.h_sum_bits zero_bits;
+            Array.iter (fun e -> Atomic.set e None) h.h_exemplars)
         t.table)
 
 (* lock-free float accumulation: CAS on the IEEE bit pattern *)
@@ -192,17 +196,45 @@ module Histogram = struct
               h_buckets = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
               h_count = Atomic.make 0;
               h_sum_bits = Atomic.make zero_bits;
+              h_exemplars =
+                Array.init (Array.length buckets + 1) (fun _ -> Atomic.make None);
             })
     with
     | M_histogram h -> h
     | M_counter _ | M_gauge _ -> assert false
 
-  let observe h v =
+  let bucket_index h v =
     let n = Array.length h.h_bounds in
     let rec idx i = if i >= n || v <= h.h_bounds.(i) then i else idx (i + 1) in
-    ignore (Atomic.fetch_and_add h.h_buckets.(idx 0) 1);
+    idx 0
+
+  let observe h v =
+    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index h v) 1);
     ignore (Atomic.fetch_and_add h.h_count 1);
     atomic_float_add h.h_sum_bits v
+
+  (* Exemplars are annotation, not measurement: they ride next to the
+     bucket counters but are never written by [observe] or [absorb], so
+     the deterministic Arena flush discipline is untouched and a
+     histogram with no exemplars set exports byte-identically to one
+     that predates them. *)
+  let set_exemplar h ~value ~trace_id ~at =
+    Atomic.set
+      h.h_exemplars.(bucket_index h value)
+      (Some { ex_value = value; ex_trace_id = trace_id; ex_at = at })
+
+  let exemplars h =
+    let out = ref [] in
+    for i = Array.length h.h_exemplars - 1 downto 0 do
+      match Atomic.get h.h_exemplars.(i) with
+      | None -> ()
+      | Some e ->
+        let bound =
+          if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity
+        in
+        out := (bound, e) :: !out
+    done;
+    !out
 
   let count h = Atomic.get h.h_count
   let sum h = Int64.float_of_bits (Atomic.get h.h_sum_bits)
@@ -266,6 +298,7 @@ type sample =
       hs_sum : float;
       hs_count : int;
       hs_buckets : (float * int) list;
+      hs_exemplars : (float * exemplar) list;
     }
 
 let snapshot t =
@@ -283,6 +316,7 @@ let snapshot t =
                     hs_sum = Histogram.sum h;
                     hs_count = Histogram.count h;
                     hs_buckets = Histogram.buckets h;
+                    hs_exemplars = Histogram.exemplars h;
                   }
             in
             (name, labels, sample) :: acc)

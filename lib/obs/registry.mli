@@ -70,6 +70,16 @@ module Gauge : sig
   val value : t -> float
 end
 
+type exemplar = {
+  ex_value : float;  (** the observation the exemplar stands for *)
+  ex_trace_id : string;  (** causal trace reference, e.g. ["dev-3/17"] *)
+  ex_at : float;
+      (** {e simulated} seconds — the two-timebase rule: exemplar
+          timestamps always carry sim-time, never CPU-cycle time, so
+          they line up with the Perfetto timeline the trace id points
+          into. *)
+}
+
 module Histogram : sig
   type t
 
@@ -104,6 +114,26 @@ module Histogram : sig
   (** [percentile h p] for [p] in [0..100]: the upper bound of the
       bucket holding the p-th percentile observation; [nan] when empty,
       [infinity] when it falls in the overflow bucket. *)
+
+  (** {2 Exemplars}
+
+      Prometheus/OpenMetrics-style exemplars: each bucket can carry one
+      representative observation with a trace reference, linking the
+      latency distribution back to a concrete causal round. Exemplars
+      are {e annotation}, set out-of-band by the forensics layer — never
+      written by {!observe} or {!absorb} — so they perturb neither the
+      hot path nor the deterministic Arena merge, and a histogram with
+      no exemplars exports byte-identically to one that predates them.
+      {!Ra_obs.Registry.reset} clears them. *)
+
+  val set_exemplar : t -> value:float -> trace_id:string -> at:float -> unit
+  (** Attach an exemplar to the bucket [value] falls in (overwriting any
+      previous exemplar of that bucket). [at] is simulated seconds — see
+      {!type:exemplar} for the two-timebase rule. *)
+
+  val exemplars : t -> (float * exemplar) list
+  (** [(bucket upper bound, exemplar)] for every bucket that has one, in
+      bound order; the overflow bucket reports bound [infinity]. *)
 end
 
 (** {2 Snapshots (for exporters)} *)
@@ -115,6 +145,7 @@ type sample =
       hs_sum : float;
       hs_count : int;
       hs_buckets : (float * int) list; (* per-bucket, not cumulative *)
+      hs_exemplars : (float * exemplar) list; (* only buckets that have one *)
     }
 
 val snapshot : t -> (string * labels * sample) list

@@ -443,39 +443,6 @@ let test_publish_and_slo () =
   Alcotest.(check int) "tight p99 breaches" 1
     (List.length (Ra_obs.Slo.breaches tight))
 
-(* ---- deprecated shims still work --------------------------------------- *)
-
-let test_legacy_shims () =
-  (let[@alert "-deprecated"] verifier =
-     Verifier.create ~scheme:None ~freshness_kind:Verifier.Fk_counter ~sym_key
-       ~time:(Simtime.create ()) ~reference_image:image ()
-   in
-   let req = Verifier.make_request verifier in
-   let resp0 =
-     {
-       Message.echo_challenge = req.Message.challenge;
-       echo_freshness = req.Message.freshness;
-       report = "";
-     }
-   in
-   let report =
-     Auth.response_report_keyed ~keyed
-       ~body:(Message.response_body resp0)
-       ~memory_image:image
-   in
-   let resp = { resp0 with report } in
-   let legacy = (Verifier.check_response [@alert "-deprecated"]) verifier ~request:req resp in
-   Alcotest.(check bool) "legacy verdict accepted" true (legacy = Verifier.Trusted);
-   Alcotest.(check bool) "bridges to unified verdict" true
-     (Verifier.to_verdict legacy = Verdict.Trusted));
-  Alcotest.check_raises "legacy create raises on bad key"
-    (Invalid_argument "Verifier.create: sym_key must be 20 bytes (got 5)")
-    (fun () ->
-      ignore
-        ((Verifier.create [@alert "-deprecated"]) ~scheme:None
-           ~freshness_kind:Verifier.Fk_counter ~sym_key:"short"
-           ~time:(Simtime.create ()) ~reference_image:image ()))
-
 let tests =
   [
     Alcotest.test_case "bucket refill at time boundaries" `Quick test_bucket_refill;
@@ -497,5 +464,4 @@ let tests =
     Alcotest.test_case "breakdown labels agree across sides" `Quick
       test_breakdown_labels_agree;
     Alcotest.test_case "publish and SLO wiring" `Quick test_publish_and_slo;
-    Alcotest.test_case "legacy shims" `Quick test_legacy_shims;
   ]
