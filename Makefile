@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke prof-smoke server-smoke forensics-smoke examples docs clean loc
+.PHONY: all build test bench bench-smoke chaos-smoke trace-smoke sched-smoke shard-smoke prof-smoke server-smoke forensics-smoke session-smoke examples docs clean loc
 
 all: build
 
@@ -66,6 +66,15 @@ server-smoke:
 forensics-smoke:
 	dune exec bin/ra_cli.exe -- replay --selftest --diagnosis diagnosis.jsonl --perfetto replay.perfetto.json
 	BENCH_SMOKE=1 dune exec bench/main.exe -- forensics
+
+# secure-session sanity: CLI selftest (deterministic transcripts, engine
+# identity, observability wire-neutrality, loss convergence, and the
+# MITM/splice/replay/tamper adversary suite), then the reduced session
+# bench (BENCH_session.json: record throughput, handshake amortization,
+# engine-identical convergence under 20% loss)
+session-smoke:
+	dune exec bin/ra_cli.exe -- session --selftest
+	BENCH_SMOKE=1 dune exec bench/main.exe -- session
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1649,10 +1649,267 @@ let replay_cmd =
     Term.(const run_replay $ n $ rounds $ loss $ seed $ diagnosis $ capsules
           $ perfetto $ selftest)
 
+(* ---- session ---- *)
+
+let run_session n rounds records loss seed selftest =
+  if n < 1 || n > 1000 then begin
+    Printf.eprintf "fleet size must be 1..1000\n";
+    1
+  end
+  else if rounds < 1 then begin
+    Printf.eprintf "rounds must be >= 1\n";
+    1
+  end
+  else if records < 0 then begin
+    Printf.eprintf "records must be >= 0\n";
+    1
+  end
+  else if not (loss > 0.0 && loss < 1.0) then begin
+    Printf.eprintf "loss must be in (0, 1)\n";
+    1
+  end
+  else begin
+    let module SS = Secure_session in
+    let module Channel = Ra_net.Channel in
+    let names = List.init n (Printf.sprintf "device-%02d") in
+    let losses = [ 0.0; loss ] in
+    let policies = [ ("default", Retry.default) ] in
+    let sweep ?engine ?(observe = false) () =
+      let fleet = Fleet.create ~ram_size:4096 ~names () in
+      if observe then begin
+        ignore (Fleet.enable_forensics fleet);
+        Fleet.enable_tracing fleet;
+        Fleet.enable_profiling fleet
+      end;
+      let cells =
+        Fleet.chaos_sweep ~seed ?engine ~rounds_per_member:rounds
+          ~workload:(`Session records) ~losses ~policies fleet
+      in
+      (fleet, cells)
+    in
+    let _fleet, cells = sweep () in
+    Printf.printf
+      "%d members x %d session rounds (handshake + %d records + close each)\n\n"
+      n rounds records;
+    Printf.printf "%-8s %-10s %-12s %-14s %-8s\n" "loss" "policy" "converged"
+      "mean sends" "p99 s";
+    List.iter
+      (fun c ->
+        Printf.printf "%-8s %-10s %-12s %-14.2f %-8.2f\n"
+          (Printf.sprintf "%.0f%%" (100.0 *. c.Fleet.c_loss))
+          c.Fleet.c_policy
+          (Printf.sprintf "%d/%d" c.Fleet.c_converged c.Fleet.c_rounds)
+          c.Fleet.c_mean_attempts c.Fleet.c_p99_s)
+      cells;
+    (* one pristine world for the wire story *)
+    let single () =
+      let s = Session.create ~ram_size:4096 () in
+      Session.advance_time s ~seconds:1.0;
+      let r = SS.run_r ~records s in
+      (s, r)
+    in
+    let s1, r1 = single () in
+    Printf.printf
+      "\nsingle pristine session: %s, %d transmissions, %.3f s, %d wire frames\n"
+      (Verdict.label r1.Session.r_verdict)
+      r1.Session.r_attempts r1.Session.r_elapsed_s
+      (Channel.transcript_length (Session.channel s1));
+    if not selftest then 0
+    else begin
+      let failures = ref [] in
+      let check name ok = if not ok then failures := name :: !failures in
+      let payloads s =
+        List.map
+          (fun e -> e.Channel.payload)
+          (Channel.transcript (Session.channel s))
+      in
+      (* --- deterministic transcripts under the fixed seed --- *)
+      let s2, r2 = single () in
+      check "single-session transcript deterministic" (payloads s1 = payloads s2);
+      check "single-session verdict deterministic"
+        (r1.Session.r_verdict = r2.Session.r_verdict
+        && r1.Session.r_attempts = r2.Session.r_attempts);
+      check "session verdict trusted" (r1.Session.r_verdict = Verdict.Trusted);
+      (* --- all three engines produce byte-identical fleets --- *)
+      let fingerprint ?engine ?observe () =
+        let f, cs = sweep ?engine ?observe () in
+        (Fleet.fingerprint f, cs)
+      in
+      let fp_seq, cells_seq = fingerprint () in
+      let fp_ev, cells_ev = fingerprint ~engine:`Events () in
+      let fp_sh, cells_sh = fingerprint ~engine:(`Shards 2) () in
+      check "engines byte-identical (events)"
+        (String.equal fp_seq fp_ev && cells_seq = cells_ev);
+      check "engines byte-identical (shards)"
+        (String.equal fp_seq fp_sh && cells_seq = cells_sh);
+      (* --- tracing/profiling/forensics never touch the wire --- *)
+      let fp_obs, _ = fingerprint ~observe:true () in
+      check "observability wire-neutral" (String.equal fp_seq fp_obs);
+      (* --- the lossy cell converges --- *)
+      check
+        (Printf.sprintf "convergence >= 99%% at %.0f%% loss" (100.0 *. loss))
+        (List.exists
+           (fun c -> c.Fleet.c_loss > 0.0 && Fleet.convergence_pct c >= 99.0)
+           cells);
+      (* --- adversary suite: every splice/replay/tamper rejects --- *)
+      let fresh () =
+        let s = Session.create ~ram_size:4096 () in
+        Session.advance_time s ~seconds:1.0;
+        s
+      in
+      let pump s =
+        let rec go k =
+          if k > 0 then begin
+            let a = Session.deliver_next_to_prover s in
+            let b = Session.deliver_next_to_verifier s in
+            if a || b then go (k - 1)
+          end
+        in
+        go 1000
+      in
+      let establish s =
+        let r = SS.listen s in
+        let i = SS.connect s in
+        SS.handshake_send i;
+        pump s;
+        (r, i)
+      in
+      let new_frames s ~pos =
+        List.map
+          (fun e -> e.Channel.payload)
+          (Channel.transcript_from (Session.channel s) ~pos)
+      in
+      (* MITM rewrites the handshake init: the transcript bind must die *)
+      (let s = fresh () in
+       let _r = SS.listen s in
+       let i = SS.connect s in
+       let pos = Channel.transcript_length (Session.channel s) in
+       SS.handshake_send i;
+       (match new_frames s ~pos with
+       | [ init_frame ] ->
+         ignore (Channel.drop_next (Session.channel s) ~src:Channel.Verifier_side);
+         (match Message.wire_of_bytes init_frame with
+         | Some (Message.Hs_init { hs_nonce; hs_req }) ->
+           Channel.deliver (Session.channel s) ~dst:Channel.Prover_side
+             (Message.wire_to_bytes
+                (Message.Hs_init
+                   { hs_nonce = String.map (fun _ -> 'x') hs_nonce; hs_req }))
+         | _ -> check "mitm: init frame parses" false);
+         ignore (Session.deliver_next_to_verifier s);
+         check "mitm handshake substitution rejected"
+           ((not (SS.established i))
+           && (SS.initiator_stats i).SS.s_hs_rejected = 1)
+       | _ -> check "mitm: one init flight" false));
+      (* records sealed in one session must not open in another *)
+      (let sa = fresh () and sb = fresh () in
+       ignore (Verifier.session_nonce (Session.verifier sb));
+       let _ra, ia = establish sa in
+       let rb, _ib = establish sb in
+       let pos = Channel.transcript_length (Session.channel sa) in
+       ignore (SS.request_round ia);
+       match new_frames sa ~pos with
+       | [ record ] ->
+         let before = Channel.transcript_length (Session.channel sb) in
+         Session.deliver_frame_to_prover sb record;
+         check "cross-session splice rejected"
+           ((SS.responder_stats rb).SS.s_bad_record = 1
+           && Channel.transcript_length (Session.channel sb) = before)
+       | _ -> check "splice: one record flight" false);
+      (* in-window replay and uniform tamper rejection *)
+      (let s = fresh () in
+       let r, i = establish s in
+       let pos = Channel.transcript_length (Session.channel s) in
+       ignore (SS.request_round i);
+       match new_frames s ~pos with
+       | [ record ] -> (
+         pump s;
+         Session.deliver_frame_to_prover s record;
+         check "in-window replay rejected" ((SS.responder_stats r).SS.s_replayed = 1);
+         let pos = Channel.transcript_length (Session.channel s) in
+         ignore (SS.request_round i);
+         match new_frames s ~pos with
+         | [ legit ] ->
+           ignore (Channel.drop_next (Session.channel s) ~src:Channel.Verifier_side);
+           let flip b =
+             String.mapi
+               (fun k c -> if k = 0 then Char.chr (Char.code c lxor 1) else c)
+               b
+           in
+           (match Message.wire_of_bytes legit with
+           | Some (Message.Record rc) ->
+             let silent forged =
+               let before = Channel.transcript_length (Session.channel s) in
+               Channel.deliver (Session.channel s) ~dst:Channel.Prover_side forged;
+               Channel.transcript_length (Session.channel s) = before
+             in
+             check "tampered ciphertext rejected silently"
+               (silent
+                  (Message.wire_to_bytes
+                     (Message.Record { rc with rec_ct = flip rc.rec_ct })));
+             check "tampered tag rejected silently"
+               (silent
+                  (Message.wire_to_bytes
+                     (Message.Record { rc with rec_tag = flip rc.rec_tag })));
+             check "tamper rejects uniform (one counter, two hits)"
+               ((SS.responder_stats r).SS.s_bad_record = 2)
+           | _ -> check "tamper: record parses" false);
+           let verdicts = SS.verdict_count i in
+           Session.deliver_frame_to_prover s legit;
+           pump s;
+           check "legit record survives forgeries"
+             (SS.verdict_count i = verdicts + 1
+             && (SS.responder_stats r).SS.s_replayed = 1)
+         | _ -> check "tamper: one record flight" false)
+       | _ -> check "replay: one record flight" false);
+      check "paper model unchanged" (Experiment.table2 () = Experiment.expected_table2);
+      match !failures with
+      | [] ->
+        print_endline "session selftest ok";
+        0
+      | fs ->
+        List.iter (fun f -> Printf.eprintf "session selftest FAILED: %s\n" f) (List.rev fs);
+        1
+    end
+  end
+
+let session_cmd =
+  let n =
+    Arg.(value & opt int 6 & info [ "size" ] ~docv:"N" ~doc:"Fleet size (members).")
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R"
+           ~doc:"Session rounds per member per chaos cell.")
+  in
+  let records =
+    Arg.(value & opt int 4 & info [ "records" ] ~docv:"K"
+           ~doc:"Streaming attestation records per session.")
+  in
+  let loss =
+    Arg.(value & opt float 0.2 & info [ "loss" ] ~docv:"P"
+           ~doc:"Per-direction loss probability for the impaired cell.")
+  in
+  let seed =
+    Arg.(value & opt int64 23L & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Chaos sweep root seed.")
+  in
+  let selftest =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Verify deterministic session transcripts, engine-identical \
+                 fleets, observability wire-neutrality, >= 99% convergence \
+                 under loss, and that MITM substitution, cross-session \
+                 splices, replays and tampered records all reject; non-zero \
+                 exit on failure.")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Stream encrypted, replay-windowed attestation records over an \
+             attested secure session")
+    Term.(const run_session $ n $ rounds $ records $ loss $ seed $ selftest)
+
 let main =
   Cmd.group
     (Cmd.info "ra_cli" ~version:"1.0.0"
        ~doc:"Prover-side remote attestation: protocol, attacks, and costs")
-    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd; serve_cmd; prof_cmd; replay_cmd ]
+    [ attest_cmd; attack_cmd; table2_cmd; costs_cmd; auth_cost_cmd; fleet_cmd; lattice_cmd; inspect_cmd; stats_cmd; chaos_cmd; trace_cmd; sched_cmd; serve_cmd; prof_cmd; replay_cmd; session_cmd ]
 
 let () = exit (Cmd.eval' main)

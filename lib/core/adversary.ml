@@ -15,7 +15,9 @@ let recorded_requests session =
       match Message.wire_of_bytes sent.Channel.payload with
       | Some (Message.Request req) -> Some req
       | Some (Message.Response _ | Message.Sync_request _ | Message.Sync_response _
-             | Message.Service_request _ | Message.Service_ack _)
+             | Message.Service_request _ | Message.Service_ack _
+             | Message.Hs_init _ | Message.Hs_resp _ | Message.Hs_fin _
+             | Message.Record _)
       | None ->
         None)
     (Channel.transcript (Session.channel session))
@@ -58,7 +60,9 @@ let intercept_next_request session =
             Message.pp_attreq req;
           Some req
         | Some (Message.Response _ | Message.Sync_request _ | Message.Sync_response _
-               | Message.Service_request _ | Message.Service_ack _)
+               | Message.Service_request _ | Message.Service_ack _
+               | Message.Hs_init _ | Message.Hs_resp _ | Message.Hs_fin _
+               | Message.Record _)
         | None ->
           grab ()
       else None

@@ -114,7 +114,8 @@ let handle_raw t wire =
             end
           end)
   | Message.Request _ | Message.Response _ | Message.Sync_response _
-  | Message.Service_request _ | Message.Service_ack _ ->
+  | Message.Service_request _ | Message.Service_ack _ | Message.Hs_init _
+  | Message.Hs_resp _ | Message.Hs_fin _ | Message.Record _ ->
     Error Sync_bad_auth
 
 let handle t wire =
@@ -143,7 +144,8 @@ let check_sync_ack ~sym_key ~counter wire =
          ~msg:(ack_body ~acked_counter:counter)
          ~tag:ack_tag
   | Message.Request _ | Message.Response _ | Message.Sync_request _
-  | Message.Service_request _ | Message.Service_ack _ ->
+  | Message.Service_request _ | Message.Service_ack _ | Message.Hs_init _
+  | Message.Hs_resp _ | Message.Hs_fin _ | Message.Record _ ->
     false
 
 let pp_reject fmt = function

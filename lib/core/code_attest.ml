@@ -154,6 +154,33 @@ let handle_request t req =
     bump_rejected t);
   result
 
+(* The channel-authenticated path: a request arriving inside an
+   established secure session already carries channel-level authenticity
+   (CMAC over the record) and freshness (the anti-replay window), so the
+   anchor skips its own auth tag and strict-counter checks — which would
+   reject legitimately reordered in-session requests — and goes straight
+   to the measured MAC sweep. Bookkeeping and memory-MAC cycle charges,
+   the protected execution context and the [anchor.mac] span are
+   identical to the one-shot path. *)
+let handle_channel_request t req =
+  bump_seen t;
+  let run () =
+    Cpu.consume_cycles (cpu t) bookkeeping_cycles;
+    Ok (Ra_obs.Span.with_span t.spans "anchor.mac" (fun () -> attest t req))
+  in
+  let result =
+    try Cpu.with_context (cpu t) Device.region_attest run
+    with Cpu.Protection_fault fault -> Error (Anchor_fault fault)
+  in
+  (match result with
+  | Ok _ ->
+    Ra_obs.Registry.Counter.inc M.attested;
+    bump_attested t
+  | Error _ ->
+    Ra_obs.Registry.Counter.inc M.fault;
+    bump_rejected t);
+  result
+
 let to_verdict = function
   | Bad_auth -> Verdict.Bad_auth
   | Not_fresh r -> Verdict.Not_fresh r
@@ -162,6 +189,9 @@ let to_verdict = function
 
 let handle_request_r t req =
   Result.map_error to_verdict (handle_request t req)
+
+let handle_channel_request_r t req =
+  Result.map_error to_verdict (handle_channel_request t req)
 
 let pp_reject fmt = function
   | Bad_auth -> Format.pp_print_string fmt "authentication failed"

@@ -50,6 +50,16 @@ val handle_request_r : t -> Message.attreq -> (Message.attresp, Verdict.t) resul
 (** The primary entry point: process one attestation request end to end,
     errors in the unified {!Verdict.t} vocabulary. *)
 
+val handle_channel_request_r :
+  t -> Message.attreq -> (Message.attresp, Verdict.t) result
+(** Like {!handle_request_r} for a request that arrived {e inside} an
+    established secure session: authenticity and freshness are already
+    established by the record layer (CMAC + anti-replay window), so the
+    per-request auth-tag and monotone-counter checks are skipped — they
+    would wrongly reject in-session requests the impairment layer
+    reordered. The measured memory-MAC sweep, its cycle/energy charges
+    and the protected execution context are unchanged. *)
+
 val to_verdict : reject -> Verdict.t
 (** Embed an anchor reject into the unified {!Verdict.t}. *)
 

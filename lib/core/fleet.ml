@@ -374,6 +374,34 @@ type chaos_acc = {
   mutable ca_durations : float list;
 }
 
+(* What one chaos "round" executes: the classic one-shot retry round, or
+   one full secure-session lifecycle (handshake + [n] streamed records +
+   close). Both yield a [Session.round], so every consumer downstream —
+   accumulators, ledgers, capsules — is workload-agnostic. *)
+type workload = [ `Attest | `Session of int ]
+
+let workload_label = function
+  | `Attest -> "attest"
+  | `Session n -> Printf.sprintf "session:%d" n
+
+let workload_of_label s =
+  if String.equal s "attest" then Some `Attest
+  else
+    match String.index_opt s ':' with
+    | Some i when String.equal (String.sub s 0 i) "session" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n when n >= 0 -> Some (`Session n)
+      | Some _ | None -> None)
+    | Some _ | None -> None
+
+let workload_round_begin ~workload ~policy session =
+  match workload with
+  | `Attest -> Session.round_begin ~policy session
+  | `Session records -> Secure_session.round_begin ~policy ~records session
+
+let workload_round ~workload ~policy session =
+  Session.drive_round (workload_round_begin ~workload ~policy session)
+
 let chaos_install session ~imp_seed ~loss =
   let profile =
     if loss <= 0.0 then Ra_net.Impairment.pristine else Ra_net.Impairment.lossy loss
@@ -404,7 +432,7 @@ let chaos_record obs m acc ~at (r : Session.round) =
    between rounds (same advances as [sweep], so timestamp freshness
    behaves identically), then put the wire back to pristine. Touches only
    the member's own world — safe to run members on separate domains. *)
-let chaos_member ?fcap obs m ~imp_seed ~loss ~policy ~rounds =
+let chaos_member ?fcap ?(workload = `Attest) obs m ~imp_seed ~loss ~policy ~rounds =
   let session = m.session in
   chaos_install session ~imp_seed ~loss;
   let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
@@ -412,7 +440,7 @@ let chaos_member ?fcap obs m ~imp_seed ~loss ~policy ~rounds =
     Session.advance_time session ~seconds:stagger_seconds;
     let at = Ra_net.Simtime.now (Session.time session) in
     let tstart = Ra_net.Channel.transcript_length (Session.channel session) in
-    let r = Session.attest_round_r ~policy session in
+    let r = workload_round ~workload ~policy session in
     chaos_record obs m acc ~at r;
     match fcap with None -> () | Some f -> f ~round ~at ~tstart r
   done;
@@ -428,7 +456,8 @@ let chaos_member ?fcap obs m ~imp_seed ~loss ~policy ~rounds =
    deterministic (time, insertion) order. [Session.round_begin]'s resume
    performs the identical [advance_time] the sequential driver performs,
    so per-member results are bit-identical to [chaos_member]. *)
-let chaos_member_events ?fcap obs sched m ~imp_seed ~loss ~policy ~rounds ~finished =
+let chaos_member_events ?fcap ?(workload = `Attest) obs sched m ~imp_seed ~loss
+    ~policy ~rounds ~finished =
   let session = m.session in
   chaos_install session ~imp_seed ~loss;
   let acc = { ca_converged = 0; ca_attempts = 0; ca_durations = [] } in
@@ -440,7 +469,7 @@ let chaos_member_events ?fcap obs sched m ~imp_seed ~loss ~policy ~rounds ~finis
         Session.advance_time session ~seconds:stagger_seconds;
         let at = member_now () in
         let tstart = Ra_net.Channel.transcript_length (Session.channel session) in
-        drive rounds_left ~at ~tstart (Session.round_begin ~policy session);
+        drive rounds_left ~at ~tstart (workload_round_begin ~workload ~policy session);
         Sched.observe_lag sched ~member_now:(member_now ()))
   and drive rounds_left ~at ~tstart = function
     | Session.Round_done r ->
@@ -525,10 +554,13 @@ let fcap_hook fcands i m =
         | _ -> cell.fc_fails <- cand :: cell.fc_fails)
 
 let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
-    ?(engine = `Seq) ~losses ~policies t =
+    ?(engine = `Seq) ?(workload = `Attest) ~losses ~policies t =
   if losses = [] then invalid_arg "Fleet.chaos_sweep: no loss rates";
   if policies = [] then invalid_arg "Fleet.chaos_sweep: no policies";
   if rounds_per_member < 1 then invalid_arg "Fleet.chaos_sweep: rounds_per_member < 1";
+  (match workload with
+  | `Session n when n < 0 -> invalid_arg "Fleet.chaos_sweep: negative session records"
+  | `Session _ | `Attest -> ());
   List.iter (fun (_, p) -> Retry.validate p) policies;
   let members = Array.of_list t.members in
   let n = Array.length members in
@@ -575,7 +607,7 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
         (fun i m ->
           chaos_member_events
             ?fcap:(fcap_hook fcands i m)
-            global_obs sched m ~imp_seed:(seed_of i) ~loss ~policy
+            ~workload global_obs sched m ~imp_seed:(seed_of i) ~loss ~policy
             ~rounds:rounds_per_member
             ~finished:(fun r -> results.(i) <- r))
         members;
@@ -596,7 +628,7 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
           for i = sh_lo to sh_hi - 1 do
             chaos_member_events
               ?fcap:(fcap_hook fcands i members.(i))
-              obs sched members.(i) ~imp_seed:(seed_of i) ~loss ~policy
+              ~workload obs sched members.(i) ~imp_seed:(seed_of i) ~loss ~policy
               ~rounds:rounds_per_member
               ~finished:(fun r -> results.(i) <- r)
           done;
@@ -612,7 +644,7 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
             results.(i) <-
               chaos_member
                 ?fcap:(fcap_hook fcands i members.(i))
-                global_obs members.(i) ~imp_seed:(seed_of i) ~loss ~policy
+                ~workload global_obs members.(i) ~imp_seed:(seed_of i) ~loss ~policy
                 ~rounds:rounds_per_member;
             go ()
           end
@@ -653,6 +685,7 @@ let chaos_sweep ?(seed = 0xC4A05L) ?(domains = 4) ?(rounds_per_member = 10)
           cap_loss = loss;
           cap_policy = policy_name;
           cap_round = c.fc_round;
+          cap_workload = workload_label workload;
           cap_imp_seed = seed_of i;
           cap_prior_sweeps = prior.(i);
           cap_started_at = c.fc_at;
@@ -755,7 +788,11 @@ let replay_capsule t (cap : Ra_obs.Forensics.capsule) =
   else if cap.cap_round < 1 || cap.cap_round > cap.cap_rounds_per_member then
     Error "capsule round index is outside rounds_per_member"
   else if cap.cap_member < 0 then Error "negative member index"
-  else begin
+  else
+    match workload_of_label cap.cap_workload with
+    | None -> Error ("unknown capsule workload: " ^ cap.cap_workload)
+    | Some workload ->
+  begin
     let policies =
       List.map
         (fun (name, p) ->
@@ -803,7 +840,7 @@ let replay_capsule t (cap : Ra_obs.Forensics.capsule) =
             ~loss;
           for _ = 1 to cap.cap_rounds_per_member do
             Session.advance_time session ~seconds:stagger_seconds;
-            ignore (Session.attest_round_r ~policy session)
+            ignore (workload_round ~workload ~policy session)
           done;
           Session.set_impairment session None
         done;
@@ -811,7 +848,7 @@ let replay_capsule t (cap : Ra_obs.Forensics.capsule) =
         chaos_install session ~imp_seed:target_seed ~loss;
         for _ = 1 to cap.cap_round - 1 do
           Session.advance_time session ~seconds:stagger_seconds;
-          ignore (Session.attest_round_r ~policy session)
+          ignore (workload_round ~workload ~policy session)
         done;
         (* the captured round itself, with full observability forced on
            (out-of-band by invariant: neither touches wire or PRNGs) *)
@@ -820,7 +857,7 @@ let replay_capsule t (cap : Ra_obs.Forensics.capsule) =
         Session.advance_time session ~seconds:stagger_seconds;
         let at = Ra_net.Simtime.now (Session.time session) in
         let tstart = Ra_net.Channel.transcript_length (Session.channel session) in
-        let r = Session.attest_round_r ~policy session in
+        let r = workload_round ~workload ~policy session in
         let tend = Ra_net.Channel.transcript_length (Session.channel session) in
         let digest = window_digest session ~tstart ~tend in
         Session.set_impairment session None;

@@ -119,6 +119,20 @@ type chaos_cell = {
   c_p99_s : float;
 }
 
+type workload = [ `Attest | `Session of int ]
+(** What one chaos "round" executes. [`Attest] is the classic one-shot
+    retry round ({!Session.round_begin}); [`Session n] is one full
+    secure-session lifecycle — attested handshake, [n] streamed
+    encrypt-then-MAC attestation records, best-effort close
+    ({!Secure_session.round_begin}). Both produce a {!Session.round},
+    so accumulators, ledgers and capsules are workload-agnostic. *)
+
+val workload_label : workload -> string
+(** ["attest"] or ["session:<n>"] — the form capsules embed. *)
+
+val workload_of_label : string -> workload option
+(** Total inverse of {!workload_label}. *)
+
 val chaos_latency_buckets : float array
 (** Buckets of [ra_chaos_round_time_ms] — wider than the sweep-latency
     buckets, since backed-off rounds legitimately take tens of seconds. *)
@@ -133,14 +147,15 @@ val chaos_sweep :
   ?domains:int ->
   ?rounds_per_member:int ->
   ?engine:[ `Seq | `Events | `Shards of int ] ->
+  ?workload:workload ->
   losses:float list ->
   policies:(string * Retry.policy) list ->
   t ->
   chaos_cell list
 (** For every (loss, policy) cell: give each member its own
     deterministically-seeded impairment, run [rounds_per_member]
-    retry-engine rounds per member with the usual 1 s stagger, then
-    restore a pristine wire. Updates each member's health ledger from
+    rounds of [workload] (default [`Attest]) per member with the usual
+    1 s stagger, then restore a pristine wire. Updates each member's health ledger from
     its last round, feeds [ra_chaos_rounds_total{result}] and
     [ra_chaos_round_time_ms], and remembers the grid for
     {!health_snapshot}.

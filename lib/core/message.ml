@@ -35,6 +35,10 @@ type wire =
       service_tag : auth_tag;
     }
   | Service_ack of { acked_command : string; ack_report : string }
+  | Hs_init of { hs_nonce : string; hs_req : attreq }
+  | Hs_resp of { hs_rnonce : string; hs_report : attresp; hs_bind : string }
+  | Hs_fin of { fin_tag : string }
+  | Record of { rec_seq : int64; rec_ct : string; rec_tag : string }
 
 let u64_be v =
   String.init 8 (fun i ->
@@ -59,10 +63,14 @@ let tag_bytes = function
   | Tag_speck_cbc_mac s -> "T3" ^ lv s
   | Tag_ecdsa s -> "T4" ^ lv s
 
+let attreq_fields r = lv r.challenge ^ freshness_bytes r.freshness ^ tag_bytes r.tag
+
+let attresp_fields r =
+  lv r.echo_challenge ^ freshness_bytes r.echo_freshness ^ lv r.report
+
 let wire_to_bytes = function
-  | Request r ->
-    "Q" ^ lv r.challenge ^ freshness_bytes r.freshness ^ tag_bytes r.tag
-  | Response r -> "P" ^ lv r.echo_challenge ^ freshness_bytes r.echo_freshness ^ lv r.report
+  | Request r -> "Q" ^ attreq_fields r
+  | Response r -> "P" ^ attresp_fields r
   | Sync_request { verifier_time_ms; sync_counter; sync_tag } ->
     "S" ^ u64_be verifier_time_ms ^ u64_be sync_counter ^ lv sync_tag
   | Sync_response { acked_counter; ack_tag } -> "A" ^ u64_be acked_counter ^ lv ack_tag
@@ -71,6 +79,11 @@ let wire_to_bytes = function
     ^ freshness_bytes service_freshness
     ^ tag_bytes service_tag
   | Service_ack { acked_command; ack_report } -> "K" ^ lv acked_command ^ lv ack_report
+  | Hs_init { hs_nonce; hs_req } -> "H" ^ lv hs_nonce ^ attreq_fields hs_req
+  | Hs_resp { hs_rnonce; hs_report; hs_bind } ->
+    "E" ^ lv hs_rnonce ^ attresp_fields hs_report ^ lv hs_bind
+  | Hs_fin { fin_tag } -> "F" ^ lv fin_tag
+  | Record { rec_seq; rec_ct; rec_tag } -> "R" ^ u64_be rec_seq ^ lv rec_ct ^ lv rec_tag
 
 (* --- total parser: a cursor over the frame; any violation aborts --- *)
 
@@ -116,21 +129,25 @@ let take_tag c =
   | "T4" -> Tag_ecdsa (take_lv c)
   | _ -> raise Malformed
 
+let take_attreq c =
+  let challenge = take_lv c in
+  let freshness = take_freshness c in
+  let tag = take_tag c in
+  { challenge; freshness; tag }
+
+let take_attresp c =
+  let echo_challenge = take_lv c in
+  let echo_freshness = take_freshness c in
+  let report = take_lv c in
+  { echo_challenge; echo_freshness; report }
+
 let wire_of_bytes data =
   let c = { data; pos = 0 } in
   try
     let wire =
       match take c 1 with
-      | "Q" ->
-        let challenge = take_lv c in
-        let freshness = take_freshness c in
-        let tag = take_tag c in
-        Request { challenge; freshness; tag }
-      | "P" ->
-        let echo_challenge = take_lv c in
-        let echo_freshness = take_freshness c in
-        let report = take_lv c in
-        Response { echo_challenge; echo_freshness; report }
+      | "Q" -> Request (take_attreq c)
+      | "P" -> Response (take_attresp c)
       | "S" ->
         let verifier_time_ms = take_u64 c in
         let sync_counter = take_u64 c in
@@ -150,6 +167,21 @@ let wire_of_bytes data =
         let acked_command = take_lv c in
         let ack_report = take_lv c in
         Service_ack { acked_command; ack_report }
+      | "H" ->
+        let hs_nonce = take_lv c in
+        let hs_req = take_attreq c in
+        Hs_init { hs_nonce; hs_req }
+      | "E" ->
+        let hs_rnonce = take_lv c in
+        let hs_report = take_attresp c in
+        let hs_bind = take_lv c in
+        Hs_resp { hs_rnonce; hs_report; hs_bind }
+      | "F" -> Hs_fin { fin_tag = take_lv c }
+      | "R" ->
+        let rec_seq = take_u64 c in
+        let rec_ct = take_lv c in
+        let rec_tag = take_lv c in
+        Record { rec_seq; rec_ct; rec_tag }
       | _ -> raise Malformed
     in
     if c.pos <> String.length data then None (* trailing garbage *) else Some wire
@@ -182,3 +214,8 @@ let pp_wire fmt = function
     Format.fprintf fmt "sync_resp{c=%Ld}" acked_counter
   | Service_request { command_name; _ } -> Format.fprintf fmt "svc_req{%s}" command_name
   | Service_ack { acked_command; _ } -> Format.fprintf fmt "svc_ack{%s}" acked_command
+  | Hs_init { hs_req; _ } -> Format.fprintf fmt "hs_init{%a}" pp_attreq hs_req
+  | Hs_resp _ -> Format.pp_print_string fmt "hs_resp"
+  | Hs_fin _ -> Format.pp_print_string fmt "hs_fin"
+  | Record { rec_seq; rec_ct; _ } ->
+    Format.fprintf fmt "record{seq=%Ld, %dB}" rec_seq (String.length rec_ct)

@@ -44,6 +44,18 @@ type wire =
       service_tag : auth_tag;
     }
   | Service_ack of { acked_command : string; ack_report : string }
+  | Hs_init of { hs_nonce : string; hs_req : attreq }
+      (** Secure-session handshake open: initiator nonce plus a regular
+          authenticated attestation request — the session is refused
+          unless the prover passes a fresh attestation. *)
+  | Hs_resp of { hs_rnonce : string; hs_report : attresp; hs_bind : string }
+      (** Responder nonce, the attestation report, and a MAC binding the
+          report to the running handshake transcript hash. *)
+  | Hs_fin of { fin_tag : string }
+      (** Initiator's confirmation MAC over the full transcript hash. *)
+  | Record of { rec_seq : int64; rec_ct : string; rec_tag : string }
+      (** Encrypt-then-MAC session record: AES-CTR ciphertext under the
+          per-direction channel key, CMAC tag over seq + ciphertext. *)
 
 val request_body : challenge:string -> freshness:freshness_field -> string
 (** The byte string an authentication tag covers. *)

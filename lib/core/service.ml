@@ -235,7 +235,8 @@ let request_of_wire = function
       (fun command -> { command; freshness = service_freshness; tag = service_tag })
       command
   | Message.Request _ | Message.Response _ | Message.Sync_request _
-  | Message.Sync_response _ | Message.Service_ack _ ->
+  | Message.Sync_response _ | Message.Service_ack _ | Message.Hs_init _
+  | Message.Hs_resp _ | Message.Hs_fin _ | Message.Record _ ->
     None
 
 let ack_to_wire ack =

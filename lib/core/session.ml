@@ -187,7 +187,12 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
               (Message.wire_to_bytes (Service.ack_to_wire ack))
           | Error reject ->
             Trace.recordf trace "prover: service rejected: %a" Verdict.pp reject))
-      | Message.Sync_response _ | Message.Response _ | Message.Service_ack _ ->
+      | Message.Sync_response _ | Message.Response _ | Message.Service_ack _
+      | Message.Hs_init _ | Message.Hs_resp _ | Message.Hs_fin _
+      | Message.Record _ ->
+        (* session frames are handled by the Secure_session endpoint
+           attached above this one; reaching here means no session is
+           listening *)
         Trace.record trace "prover: ignored non-request message")
   in
   let (_ : string Channel.Endpoint.handle) =
@@ -220,7 +225,9 @@ let create ?(spec = Architecture.trustlite_base) ?(sym_key = default_sym_key)
       | Message.Service_ack { acked_command; _ } ->
         t.service_acks <- acked_command :: t.service_acks;
         Trace.recordf trace "verifier: service %s acknowledged" acked_command
-      | Message.Request _ | Message.Sync_request _ | Message.Service_request _ ->
+      | Message.Request _ | Message.Sync_request _ | Message.Service_request _
+      | Message.Hs_init _ | Message.Hs_resp _ | Message.Hs_fin _
+      | Message.Record _ ->
         Trace.record trace "verifier: ignored non-response message")
   in
   (* Permanent out-of-band observers over the anchor's CPU-clocked spans
@@ -362,6 +369,8 @@ let prover_wall_ms t =
 let advance_time t ~seconds =
   Simtime.advance_by t.time seconds;
   Device.idle t.prover.Architecture.device ~seconds
+
+let set_in_flight t v = t.in_flight <- v
 
 (* ---- impaired channel + retry engine ---- *)
 

@@ -166,3 +166,10 @@ val profiling : t -> Ra_obs.Profiler.t option
 val advance_time : t -> seconds:float -> unit
 (** Let wall-clock time pass for everyone: the network clock and the
     prover's sleeping device. *)
+
+val set_in_flight : t -> bool -> unit
+(** Mark a retry round as in flight for the profiler's wait-phase
+    attribution (idle cycles inside a round count as [wait]; idle outside
+    does not). {!round_begin} manages this itself; external round
+    machines over the same session — {!Secure_session.round_begin} —
+    bracket their work with it. *)

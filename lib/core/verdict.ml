@@ -37,11 +37,12 @@ module Reason = struct
     | Malformed
     | Rate_limited
     | Queue_full
+    | Bad_record
 
   let all =
     [
       Untrusted_state; Invalid_response; Bad_auth; Not_fresh; Fault; Timed_out;
-      Malformed; Rate_limited; Queue_full;
+      Malformed; Rate_limited; Queue_full; Bad_record;
     ]
 
   let count = List.length all
@@ -56,6 +57,7 @@ module Reason = struct
     | Malformed -> 6
     | Rate_limited -> 7
     | Queue_full -> 8
+    | Bad_record -> 9
 
   let label = function
     | Untrusted_state -> "untrusted_state"
@@ -67,6 +69,7 @@ module Reason = struct
     | Malformed -> "malformed"
     | Rate_limited -> "rate_limited"
     | Queue_full -> "queue_full"
+    | Bad_record -> "bad_record"
 
   let pp fmt r = Format.pp_print_string fmt (label r)
 end

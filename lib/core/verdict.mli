@@ -64,6 +64,11 @@ module Reason : sig
     | Malformed  (** frame failed to parse at triage *)
     | Rate_limited  (** admission token bucket empty *)
     | Queue_full  (** triage queue at capacity (or evicted from it) *)
+    | Bad_record
+        (** secure-session record failed to open. Deliberately a single
+            reason for {e every} decrypt-side failure (bad tag, bad
+            length, inner parse) so rejection behavior leaks nothing
+            about where the open failed — no padding-oracle shape. *)
 
   val all : t list
   (** Every reason, in a fixed order ({!index} order). *)

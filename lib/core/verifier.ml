@@ -114,6 +114,20 @@ let make_request t =
   in
   { Message.challenge; freshness; tag }
 
+(* In-session request: the secure channel supplies authenticity and
+   freshness (record CMAC + anti-replay window), so the inner request
+   carries neither a tag nor a freshness field — per-round freshness is
+   the challenge echo. *)
+let make_session_request t =
+  Ra_obs.Registry.Counter.inc M.requests;
+  {
+    Message.challenge = C.Drbg.generate t.drbg 16;
+    freshness = Message.F_none;
+    tag = Message.Tag_none;
+  }
+
+let session_nonce t = C.Drbg.generate t.drbg 16
+
 let count_verdict verdict =
   Ra_obs.Registry.Counter.inc
     (match verdict with

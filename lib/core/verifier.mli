@@ -60,6 +60,15 @@ val make_request : t -> Message.attreq
     [freshness_kind] (counter incremented, timestamp = current simulated
     time), authenticated per [scheme]. *)
 
+val make_session_request : t -> Message.attreq
+(** Build a request for delivery {e inside} an established secure
+    session: fresh challenge, but no freshness field and no auth tag —
+    the record layer (CMAC + anti-replay window) supplies both, and the
+    challenge echo binds each response to its round. *)
+
+val session_nonce : t -> string
+(** 16 fresh bytes from the verifier's DRBG — handshake nonces. *)
+
 val check_response_r : t -> request:Message.attreq -> Message.attresp -> Verdict.t
 (** The primary closed-loop check: echo fields must match [request], then
     the report MAC decides [Trusted] vs [Untrusted_state]. *)

@@ -73,6 +73,26 @@ let cbc_decrypt c ~iv ct =
     unpad_pkcs7 (Buffer.contents buf)
   end
 
+let ctr_crypt c ~nonce s =
+  let nlen = c.block_size - 8 in
+  if nlen < 0 then invalid_arg "Block_mode.ctr_crypt: block size < 8";
+  if String.length nonce <> nlen then invalid_arg "Block_mode.ctr_crypt: nonce";
+  let n = String.length s in
+  let out = Bytes.create n in
+  let counter = Bytes.create 8 in
+  let nblocks = (n + c.block_size - 1) / c.block_size in
+  for b = 0 to nblocks - 1 do
+    Bytes.set_int64_be counter 0 (Int64.of_int b);
+    let keystream = c.encrypt (nonce ^ Bytes.to_string counter) in
+    let off = b * c.block_size in
+    let len = min c.block_size (n - off) in
+    for i = 0 to len - 1 do
+      Bytes.set out (off + i)
+        (Char.chr (Char.code s.[off + i] lxor Char.code keystream.[i]))
+    done
+  done;
+  Bytes.to_string out
+
 let encode_length block_size n =
   (* big-endian length in one block *)
   String.init block_size (fun i ->

@@ -26,7 +26,22 @@ val cbc_encrypt : cipher -> iv:string -> string -> string
     @raise Invalid_argument if [iv] is not one block. *)
 
 val cbc_decrypt : cipher -> iv:string -> string -> string option
-(** Inverse of {!cbc_encrypt}; [None] on bad length or padding. *)
+(** Inverse of {!cbc_encrypt}; [None] on bad length or padding.
+
+    Note the asymmetry with {!ctr_crypt}: CBC decryption can {e fail}
+    (bad length, bad padding) and callers can tell those failures apart
+    from a MAC mismatch — a padding-oracle-shaped signal. Authenticated
+    framing must verify the MAC first and never branch on padding; the
+    secure-session record layer therefore uses encrypt-then-MAC over
+    CTR, where decryption is total. CBC stays for the paper tables. *)
+
+val ctr_crypt : cipher -> nonce:string -> string -> string
+(** Counter-mode keystream XOR: block [i] of the keystream is
+    [encrypt (nonce ^ u64_be i)]. Encryption and decryption are the same
+    operation, total on any input length — there is no padding to leak.
+    [nonce] must be [block_size - 8] bytes and must never repeat under
+    one key (the record layer uses the record sequence number).
+    @raise Invalid_argument if [nonce] has the wrong length. *)
 
 val cbc_mac : cipher -> string -> string
 (** Length-prepended CBC-MAC (zero IV): prefixing the message length makes

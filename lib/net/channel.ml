@@ -105,8 +105,16 @@ module Endpoint = struct
   let side h = h.h_side
 end
 
-let receiver t side =
-  match Endpoint.stack t side with [] -> None | h :: _ -> Some h.h_fn
+(* Dispatch resolves the newest {e still-active} handle, and re-checks
+   activity at invocation time. Handlers detach/attach themselves and
+   siblings from inside receive callbacks (secure-session teardown does
+   exactly that), so correctness must not depend on [detach]'s list
+   surgery alone: skipping on [h_active] keeps a half-detached handle
+   from swallowing a frame, and the invocation-time re-resolve hands the
+   frame to the handler below instead of a dead closure. *)
+let rec first_active = function
+  | [] -> None
+  | h :: rest -> if h.h_active then Some h else first_active rest
 
 (* ---- growable buffers ---- *)
 
@@ -166,14 +174,14 @@ let undelivered t =
 type delivery_kind = Forwarded | Adversarial
 
 let deliver_kind t ~kind ~dst payload =
-  match receiver t dst with
+  match first_active (Endpoint.stack t dst) with
   | None ->
     Ra_obs.Registry.Counter.inc M.lost;
     Trace.recordf t.trace "net: delivery to %a lost (no receiver)" pp_side dst;
     Trace.causal_instant t.trace ~cat:"net"
       ~labels:[ ("dst", side_label dst) ]
       "net.lost"
-  | Some f ->
+  | Some h ->
     let counter, label =
       match kind with
       | Forwarded -> (M.delivered_forwarded, "forwarded")
@@ -188,7 +196,16 @@ let deliver_kind t ~kind ~dst payload =
       "net.deliver"
       (fun () ->
         Trace.with_span t.trace ~labels:[ ("kind", label) ] "channel.deliver"
-          (fun () -> f payload))
+          (fun () ->
+            let target =
+              if h.h_active then Some h else first_active (Endpoint.stack t dst)
+            in
+            match target with
+            | Some h -> h.h_fn payload
+            | None ->
+              Trace.recordf t.trace
+                "net: receiver on %a detached before invocation; frame lost"
+                pp_side dst))
 
 let deliver t ~dst payload = deliver_kind t ~kind:Adversarial ~dst payload
 

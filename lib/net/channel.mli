@@ -40,7 +40,14 @@ module Endpoint : sig
 
   val detach : 'msg handle -> unit
   (** Detach; the most recently attached still-active receiver on that
-      side (if any) resumes receiving. Idempotent. *)
+      side (if any) resumes receiving. Idempotent.
+
+      Re-entrancy contract: [attach] and [detach] may be called from
+      inside a receive callback — on the running handle itself or on a
+      sibling. The frame being delivered is affected only if the handle
+      {e receiving it} detaches before the callback is invoked (it then
+      falls through to the handler below); it is never delivered twice,
+      and a handle attached mid-delivery sees only subsequent frames. *)
 
   val is_attached : 'msg handle -> bool
   val side : 'msg handle -> side

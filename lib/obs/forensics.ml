@@ -20,6 +20,7 @@ type capsule = {
   cap_loss : float;
   cap_policy : string;
   cap_round : int;
+  cap_workload : string;
   cap_imp_seed : int64;
   cap_prior_sweeps : int;
   cap_started_at : float;
@@ -57,6 +58,7 @@ let deadline_miss ~device ~tag ~arrived ~done_ ~verdict =
     cap_loss = 0.0;
     cap_policy = "deadline";
     cap_round = 0;
+    cap_workload = "attest";
     cap_imp_seed = 0L;
     cap_prior_sweeps = 0;
     cap_started_at = arrived;
@@ -127,6 +129,7 @@ let capsule_to_json c =
       ("loss", num c.cap_loss);
       ("policy", Json.Str c.cap_policy);
       ("round", int c.cap_round);
+      ("workload", Json.Str c.cap_workload);
       ("imp_seed", i64 c.cap_imp_seed);
       ("prior_sweeps", int c.cap_prior_sweeps);
       ("started_at", num c.cap_started_at);
@@ -202,6 +205,12 @@ let capsule_of_json j =
   let* cap_loss = member_num "loss" j in
   let* cap_policy = member_str "policy" j in
   let* cap_round = member_int "round" j in
+  (* capsules captured before workloads existed are attest sweeps *)
+  let* cap_workload =
+    match Json.member "workload" j with
+    | None | Some Json.Null -> Some "attest"
+    | Some v -> Json.as_string v
+  in
   let* cap_imp_seed = member_i64 "imp_seed" j in
   let* cap_prior_sweeps = member_int "prior_sweeps" j in
   let* cap_started_at = member_num "started_at" j in
@@ -219,7 +228,7 @@ let capsule_of_json j =
     {
       cap_kind; cap_member; cap_name; cap_sweep_seed; cap_losses; cap_policies;
       cap_rounds_per_member; cap_cell; cap_loss; cap_policy; cap_round;
-      cap_imp_seed; cap_prior_sweeps; cap_started_at; cap_elapsed_s;
+      cap_workload; cap_imp_seed; cap_prior_sweeps; cap_started_at; cap_elapsed_s;
       cap_attempts; cap_verdict; cap_reason; cap_trace_id; cap_phase;
       cap_wire_digest; cap_config;
     }

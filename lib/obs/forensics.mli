@@ -54,6 +54,11 @@ type capsule = {
   cap_loss : float;  (** this cell's loss rate *)
   cap_policy : string;  (** this cell's policy name *)
   cap_round : int;  (** 1-based round within the cell *)
+  cap_workload : string;
+      (** what one "round" executed: ["attest"] (one-shot retry round) or
+          ["session:<n>"] (secure-session lifecycle streaming [n]
+          records). Replay re-runs the same workload; capsules from
+          before workloads existed parse as ["attest"]. *)
   cap_imp_seed : int64;
       (** the member's derived positional impairment seed for the cell —
           redundant with (seed, cell, member) and re-derived on replay as

@@ -26,6 +26,7 @@ let sample_capsule =
     cap_loss = 0.25;
     cap_policy = "default";
     cap_round = 7;
+    cap_workload = "attest";
     cap_imp_seed = -123456789L;
     cap_prior_sweeps = 0;
     cap_started_at = 42.5;
@@ -88,6 +89,7 @@ let capsule_gen =
         cap_loss = (match losses with l :: _ -> l | [] -> 0.0);
         cap_policy = (match policies with (n, _) :: _ -> n | [] -> "p");
         cap_round = round;
+        cap_workload = (if round mod 2 = 0 then "attest" else Printf.sprintf "session:%d" round);
         cap_imp_seed = Int64.mul seed 0x9E3779B97F4A7C15L;
         cap_prior_sweeps = 0;
         cap_started_at = f1;

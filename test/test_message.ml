@@ -93,6 +93,27 @@ let wire_gen =
           (fun name report -> Message.Service_ack { acked_command = name; ack_report = report })
           (string_size (int_range 0 16))
           (string_size (return 20));
+        map3
+          (fun hs_nonce challenge (freshness, tag) ->
+            Message.Hs_init { hs_nonce; hs_req = { challenge; freshness; tag } })
+          (string_size (int_range 0 32))
+          (string_size (int_range 0 32))
+          (pair freshness_gen tag_gen);
+        map3
+          (fun hs_rnonce (echo_challenge, echo_freshness) (report, hs_bind) ->
+            Message.Hs_resp
+              { hs_rnonce;
+                hs_report = { echo_challenge; echo_freshness; report };
+                hs_bind })
+          (string_size (int_range 0 32))
+          (pair (string_size (int_range 0 32)) freshness_gen)
+          (pair (string_size (return 20)) (string_size (return 32)));
+        map (fun fin_tag -> Message.Hs_fin { fin_tag }) (string_size (return 32));
+        map3
+          (fun seq ct tag -> Message.Record { rec_seq = Int64.of_int (abs seq); rec_ct = ct; rec_tag = tag })
+          int
+          (string_size (int_range 0 64))
+          (string_size (return 16));
       ])
 
 let wire_arb = QCheck.make ~print:(Format.asprintf "%a" Message.pp_wire) wire_gen

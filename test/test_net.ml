@@ -185,6 +185,75 @@ let test_endpoint_mid_stack_detach () =
   Alcotest.(check (list (pair string string))) "top still receives"
     [ ("c", "m") ] !got
 
+let test_endpoint_self_detach_in_callback () =
+  (* the secure-session teardown shape: a handler detaches {e itself}
+     while handling a frame. The in-flight frame must not be
+     re-dispatched, and every later frame must fall through to the
+     handler below — no skipped or double delivery. *)
+  let _, ch = make_channel () in
+  let got = ref [] in
+  let tag name m = got := (name, m) :: !got in
+  let _base = Channel.Endpoint.attach ch Channel.Prover_side (tag "base") in
+  let top = ref None in
+  let top_handle =
+    Channel.Endpoint.attach ch Channel.Prover_side (fun m ->
+        tag "top" m;
+        if m = "bye" then Option.iter Channel.Endpoint.detach !top)
+  in
+  top := Some top_handle;
+  Channel.deliver ch ~dst:Channel.Prover_side "m1";
+  Channel.deliver ch ~dst:Channel.Prover_side "bye";
+  Channel.deliver ch ~dst:Channel.Prover_side "m2";
+  Alcotest.(check (list (pair string string)))
+    "each frame delivered exactly once"
+    [ ("base", "m2"); ("top", "bye"); ("top", "m1") ]
+    !got;
+  Alcotest.(check bool) "top detached" false (Channel.Endpoint.is_attached top_handle)
+
+let test_endpoint_attach_in_callback () =
+  (* a handler attaching a new receiver mid-delivery: the frame being
+     handled stays with its original handler; only subsequent frames see
+     the newcomer *)
+  let _, ch = make_channel () in
+  let got = ref [] in
+  let tag name m = got := (name, m) :: !got in
+  let _base =
+    Channel.Endpoint.attach ch Channel.Prover_side (fun m ->
+        tag "base" m;
+        if m = "grow" then
+          ignore (Channel.Endpoint.attach ch Channel.Prover_side (tag "late")))
+  in
+  Channel.deliver ch ~dst:Channel.Prover_side "grow";
+  Channel.deliver ch ~dst:Channel.Prover_side "after";
+  Alcotest.(check (list (pair string string)))
+    "newcomer sees only later frames"
+    [ ("late", "after"); ("base", "grow") ]
+    !got
+
+let test_endpoint_detach_below_in_callback () =
+  (* the top handler rips out the handler {e below} while a frame is in
+     flight; the next frame must reach the (new) next-active handler,
+     never the dead closure *)
+  let _, ch = make_channel () in
+  let got = ref [] in
+  let tag name m = got := (name, m) :: !got in
+  let _floor = Channel.Endpoint.attach ch Channel.Prover_side (tag "floor") in
+  let mid = Channel.Endpoint.attach ch Channel.Prover_side (tag "mid") in
+  let top = ref None in
+  let top_handle =
+    Channel.Endpoint.attach ch Channel.Prover_side (fun m ->
+        tag "top" m;
+        Channel.Endpoint.detach mid;
+        Option.iter Channel.Endpoint.detach !top)
+  in
+  top := Some top_handle;
+  Channel.deliver ch ~dst:Channel.Prover_side "m1";
+  Channel.deliver ch ~dst:Channel.Prover_side "m2";
+  Alcotest.(check (list (pair string string)))
+    "frame falls through both detached handles"
+    [ ("floor", "m2"); ("top", "m1") ]
+    !got
+
 let tests =
   [
     Alcotest.test_case "simtime" `Quick test_simtime;
@@ -205,4 +274,10 @@ let tests =
       test_endpoint_detach_idempotent;
     Alcotest.test_case "endpoint mid-stack detach" `Quick
       test_endpoint_mid_stack_detach;
+    Alcotest.test_case "endpoint self-detach in callback" `Quick
+      test_endpoint_self_detach_in_callback;
+    Alcotest.test_case "endpoint attach in callback" `Quick
+      test_endpoint_attach_in_callback;
+    Alcotest.test_case "endpoint detach-below in callback" `Quick
+      test_endpoint_detach_below_in_callback;
   ]

@@ -89,7 +89,9 @@ let test_response_echo_checked () =
       Alcotest.(check int) "no verdict" 0 (List.length (Session.verdicts s));
       ignore req
     | Some (Message.Request _ | Message.Sync_request _ | Message.Sync_response _
-           | Message.Service_request _ | Message.Service_ack _)
+           | Message.Service_request _ | Message.Service_ack _
+           | Message.Hs_init _ | Message.Hs_resp _ | Message.Hs_fin _
+           | Message.Record _)
     | None ->
       Alcotest.fail "expected response on wire")
   | l -> Alcotest.failf "expected one pending message, got %d" (List.length l))
@@ -247,7 +249,9 @@ let test_sync_round_over_the_channel () =
         | Some (Message.Sync_request _) -> true
         | Some
             ( Message.Request _ | Message.Response _ | Message.Sync_response _
-            | Message.Service_request _ | Message.Service_ack _ )
+            | Message.Service_request _ | Message.Service_ack _
+            | Message.Hs_init _ | Message.Hs_resp _ | Message.Hs_fin _
+            | Message.Record _ )
         | None ->
           false)
       (Ra_net.Channel.transcript (Session.channel s))
